@@ -1,0 +1,232 @@
+(* Benchmark harness.
+
+   Part 1 regenerates the paper's evaluation: Table 1 (its only numeric
+   artifact) in full, followed by the sweep series that make the prose
+   claims measurable (E4/E7/E8 of DESIGN.md).  Throughput is simulated
+   time — the reproduction target.
+
+   Part 2 is a Bechamel microbenchmark suite: one Test.make per Table 1
+   cell (host wall-time of simulating that cell, i.e. simulator speed)
+   plus the primitive operations of the stack.  These measure the
+   implementation, not the paper. *)
+
+open Bechamel
+open Toolkit
+
+(* --- Part 1: the paper's numbers --- *)
+
+let reproduce_table1 () =
+  Fmt.pr "==================================================================@.";
+  Fmt.pr "Part 1a: Table 1 reproduction (simulated time)@.";
+  Fmt.pr "==================================================================@.@.";
+  let rows = Workload.Table1.run ~iterations:2500 ~repeats:3 () in
+  Workload.Table1.render rows Format.std_formatter;
+  (match rows with
+  | desktop :: _ -> Workload.Table1.render_breakdown desktop Format.std_formatter
+  | [] -> ());
+  Fmt.pr "@."
+
+let reproduce_sweeps () =
+  Fmt.pr "==================================================================@.";
+  Fmt.pr "Part 1b: sweep series (E4, E7, E8, E11, E12, cache ablation)@.";
+  Fmt.pr "==================================================================@.@.";
+  let render t = Workload.Sweeps.render t Format.std_formatter; Fmt.pr "@." in
+  render (Workload.Sweeps.flush_latency ~iterations:600 ());
+  render (Workload.Sweeps.thread_scaling ~iterations:600 ());
+  render (Workload.Sweeps.log_cost_ablation ~iterations:600 ());
+  render (Workload.Sweeps.cache_ablation ~iterations:600 ());
+  render (Workload.Sweeps.read_ratio ~iterations:600 ());
+  Fmt.pr "%a@.@." Workload.Sweeps.pp_ledger
+    (Workload.Sweeps.procrastination_ledger ~iterations:600
+       ~crash_step:60_000 ());
+  Workload.Sweeps.render_ycsb
+    (Workload.Sweeps.ycsb_table ~iterations:600 Workload.Ycsb.A)
+    Format.std_formatter;
+  Fmt.pr "@.";
+  Workload.Sweeps.render_ycsb
+    (Workload.Sweeps.ycsb_table ~iterations:600 Workload.Ycsb.B)
+    Format.std_formatter;
+  Fmt.pr "@." 
+
+let reproduce_fault_summary () =
+  Fmt.pr "==================================================================@.";
+  Fmt.pr "Part 1c: fault-injection spot check (E3/E9)@.";
+  Fmt.pr "==================================================================@.@.";
+  let base =
+    {
+      (Workload.Runner.calibrated_config Nvm.Config.desktop) with
+      Workload.Runner.iterations = 400;
+      workload = Workload.Runner.Counters { h_keys = 4096; preload = true };
+    }
+  in
+  let campaign name cfg =
+    let spec =
+      {
+        (Workload.Fault_injector.default_spec cfg) with
+        Workload.Fault_injector.runs = 12;
+        max_step = 60_000;
+      }
+    in
+    let s = Workload.Fault_injector.run spec in
+    Fmt.pr "%-46s %d/%d consistent@." name s.Workload.Fault_injector.consistent_recoveries
+      s.Workload.Fault_injector.crashes
+  in
+  campaign "mutex+log-only, process crash (TSP):"
+    { base with Workload.Runner.variant = Workload.Runner.Mutex_map Atlas.Mode.Log_only };
+  campaign "non-blocking, process crash (TSP):"
+    { base with Workload.Runner.variant = Workload.Runner.Nonblocking_map };
+  campaign "B+-tree + log-only, process crash (TSP):"
+    { base with Workload.Runner.variant = Workload.Runner.Mutex_btree Atlas.Mode.Log_only };
+  campaign "log-only, power outage, no TSP (control):"
+    {
+      base with
+      Workload.Runner.variant = Workload.Runner.Mutex_map Atlas.Mode.Log_only;
+      hardware = Tsp_core.Hardware.conventional_server;
+      failure = Tsp_core.Failure_class.Power_outage;
+    };
+  Fmt.pr "@."
+
+(* --- Part 2: Bechamel microbenchmarks --- *)
+
+(* Primitive device operations. *)
+let bench_pmem_ops () =
+  let cfg = Nvm.Config.with_region_size Nvm.Config.desktop (1024 * 1024) in
+  let pmem = Nvm.Pmem.create cfg in
+  let i = ref 0 in
+  let test name f = Test.make ~name (Staged.stage f) in
+  [
+    test "pmem/store" (fun () ->
+        incr i;
+        Nvm.Pmem.store pmem (!i * 8 land 0xFFF8) 1L);
+    test "pmem/load" (fun () ->
+        incr i;
+        ignore (Nvm.Pmem.load pmem (!i * 8 land 0xFFF8)));
+    test "pmem/flush+fence" (fun () ->
+        Nvm.Pmem.store pmem 0 2L;
+        Nvm.Pmem.flush pmem 0;
+        Nvm.Pmem.fence pmem);
+    test "pmem/cas" (fun () ->
+        ignore (Nvm.Pmem.cas pmem 64 ~expected:0L ~desired:0L));
+  ]
+
+let bench_heap_ops () =
+  let pmem =
+    Nvm.Pmem.create (Nvm.Config.with_region_size Nvm.Config.desktop (8 * 1024 * 1024))
+  in
+  let heap = Pheap.Heap.create pmem ~base:0 ~size:(8 * 1024 * 1024) in
+  [
+    Test.make ~name:"heap/alloc+free"
+      (Staged.stage (fun () ->
+           let a = Pheap.Heap.alloc heap ~kind:Pheap.Kind.raw ~words:4 in
+           Pheap.Heap.free heap a));
+  ]
+
+let bench_skiplist_ops () =
+  let pmem =
+    Nvm.Pmem.create (Nvm.Config.with_region_size Nvm.Config.desktop (16 * 1024 * 1024))
+  in
+  let heap = Pheap.Heap.create pmem ~base:0 ~size:(16 * 1024 * 1024) in
+  let sl = Tsp_maps.Lockfree_skiplist.create heap ~num_threads:1 ~seed:1 () in
+  for k = 0 to 9999 do
+    Tsp_maps.Lockfree_skiplist.set_plain sl ~key:(k * 2) ~value:1L
+  done;
+  let ops = Tsp_maps.Lockfree_skiplist.ops sl in
+  let i = ref 0 in
+  [
+    Test.make ~name:"skiplist/get(10k)"
+      (Staged.stage (fun () ->
+           incr i;
+           ignore (ops.Tsp_maps.Map_intf.get ~tid:0 ~key:(!i * 7 mod 20000))));
+    Test.make ~name:"skiplist/set(10k)"
+      (Staged.stage (fun () ->
+           incr i;
+           ops.Tsp_maps.Map_intf.set ~tid:0 ~key:(!i * 2 mod 20000) ~value:2L));
+  ]
+
+let bench_undo_log () =
+  let pmem =
+    Nvm.Pmem.create (Nvm.Config.with_region_size Nvm.Config.desktop (1024 * 1024))
+  in
+  let log = Atlas.Undo_log.format pmem ~base:0 ~size:(512 * 1024) ~num_threads:1 in
+  let seq = ref 0 in
+  [
+    Test.make ~name:"undo-log/append+prune"
+      (Staged.stage (fun () ->
+           incr seq;
+           let at =
+             Atlas.Undo_log.append log ~tid:0
+               {
+                 Atlas.Log_entry.seq = !seq;
+                 tid = 0;
+                 payload = Atlas.Log_entry.Update { addr = 64; old = 0L };
+               }
+           in
+           Atlas.Undo_log.advance_tail log ~tid:0
+             ~new_tail:(Atlas.Undo_log.next_slot log at)
+             ~flush:false));
+  ]
+
+(* One Test.make per Table 1 cell: host time to simulate that cell with
+   a reduced iteration count.  Name format "<platform>/<variant>". *)
+let bench_table1_cells () =
+  let cell platform variant =
+    let config =
+      {
+        (Workload.Runner.calibrated_config platform) with
+        Workload.Runner.variant;
+        iterations = 40;
+        workload = Workload.Runner.Counters { h_keys = 2048; preload = true };
+        n_buckets = 1024;
+        log_mib = 2;
+      }
+    in
+    let name =
+      Printf.sprintf "table1/%s/%s"
+        (if platform.Nvm.Config.name = Nvm.Config.desktop.Nvm.Config.name
+         then "desktop"
+         else "server")
+        (Workload.Runner.variant_to_string variant)
+    in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let r = Workload.Runner.run config in
+           assert (Workload.Runner.consistent r)))
+  in
+  List.concat_map
+    (fun platform -> List.map (cell platform) Workload.Table1.variants)
+    [ Nvm.Config.desktop; Nvm.Config.server ]
+
+let run_bechamel tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"tsp" tests) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> Printf.sprintf "%.1f" est
+        | _ -> "-"
+      in
+      rows := [ name; ns ] :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  Workload.Report.table ~header:[ "benchmark"; "ns/run (host)" ] ~rows
+    Format.std_formatter
+
+let () =
+  reproduce_table1 ();
+  reproduce_sweeps ();
+  reproduce_fault_summary ();
+  Fmt.pr "==================================================================@.";
+  Fmt.pr "Part 2: Bechamel microbenchmarks (host wall time of the simulator)@.";
+  Fmt.pr "==================================================================@.@.";
+  run_bechamel
+    (bench_pmem_ops () @ bench_heap_ops () @ bench_skiplist_ops ()
+   @ bench_undo_log () @ bench_table1_cells ())

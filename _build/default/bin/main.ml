@@ -1,0 +1,380 @@
+(* tsp — command-line front end for the TSP reproduction.
+
+   Subcommands map one-to-one onto the experiment index of DESIGN.md:
+   table1 (E1/E2), faults (E3/E9), sweeps (E4/E7/E8 + cache ablation),
+   policy (E5), wsp (E6), and run for one-off configurations. *)
+
+open Cmdliner
+
+let setup_logs style_renderer level =
+  Fmt_tty.setup_std_outputs ?style_renderer ();
+  Logs.set_level level;
+  Logs.set_reporter (Logs_fmt.reporter ())
+
+let logs_term =
+  Term.(const setup_logs $ Fmt_cli.style_renderer () $ Logs_cli.level ())
+
+(* Shared argument parsers *)
+
+let platform_conv =
+  let parse = function
+    | "desktop" | "envy" -> Ok Nvm.Config.desktop
+    | "server" | "dl580" -> Ok Nvm.Config.server
+    | s -> Error (`Msg (Printf.sprintf "unknown platform %S" s))
+  in
+  Arg.conv (parse, fun ppf p -> Fmt.string ppf p.Nvm.Config.name)
+
+let variant_conv =
+  let parse s =
+    match s with
+    | "no-log" | "native" -> Ok (Workload.Runner.Mutex_map Atlas.Mode.No_log)
+    | "log-only" | "log" | "tsp" ->
+        Ok (Workload.Runner.Mutex_map Atlas.Mode.Log_only)
+    | "log-flush" | "flush" ->
+        Ok (Workload.Runner.Mutex_map Atlas.Mode.Log_flush)
+    | "log-flush-async" | "async" ->
+        Ok (Workload.Runner.Mutex_map Atlas.Mode.Log_flush_async)
+    | "non-blocking" | "skiplist" -> Ok Workload.Runner.Nonblocking_map
+    | "btree" | "btree-log" -> Ok (Workload.Runner.Mutex_btree Atlas.Mode.Log_only)
+    | "btree-no-log" -> Ok (Workload.Runner.Mutex_btree Atlas.Mode.No_log)
+    | "btree-flush" -> Ok (Workload.Runner.Mutex_btree Atlas.Mode.Log_flush)
+    | s -> Error (`Msg (Printf.sprintf "unknown variant %S" s))
+  in
+  Arg.conv (parse, fun ppf v -> Fmt.string ppf (Workload.Runner.variant_to_string v))
+
+let hardware_conv =
+  let parse s =
+    match Tsp_core.Hardware.find s with
+    | Some h -> Ok h
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown hardware %S (try one of: %s)" s
+                (String.concat ", "
+                   (List.map
+                      (fun h -> h.Tsp_core.Hardware.name)
+                      Tsp_core.Hardware.all))))
+  in
+  Arg.conv (parse, fun ppf h -> Fmt.string ppf h.Tsp_core.Hardware.name)
+
+let failure_conv =
+  let parse s =
+    Result.map_error (fun m -> `Msg m) (Tsp_core.Failure_class.of_string s)
+  in
+  Arg.conv (parse, Tsp_core.Failure_class.pp)
+
+let iterations_arg default =
+  Arg.(value & opt int default & info [ "iterations"; "n" ] ~docv:"N"
+         ~doc:"Iterations per worker thread.")
+
+let threads_arg =
+  Arg.(value & opt int 8 & info [ "threads"; "t" ] ~docv:"T"
+         ~doc:"Number of worker threads.")
+
+let seed_arg =
+  Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Deterministic seed; a run is a pure function of it.")
+
+(* table1 *)
+
+let table1_cmd =
+  let run () iterations threads seed repeats breakdown =
+    let rows = Workload.Table1.run ~iterations ~threads ~seed ~repeats () in
+    Workload.Table1.render rows Format.std_formatter;
+    if breakdown then
+      List.iter
+        (fun row -> Workload.Table1.render_breakdown row Format.std_formatter)
+        rows
+  in
+  Cmd.v
+    (Cmd.info "table1"
+       ~doc:
+         "Reproduce Table 1: throughput of the four map variants on both \
+          platforms (experiments E1 and E2).")
+    Term.(
+      const run $ logs_term $ iterations_arg 4000 $ threads_arg $ seed_arg
+      $ Arg.(value & opt int 1
+             & info [ "repeats" ] ~docv:"R"
+                 ~doc:"Rerun each cell with R distinct seeds; report mean \
+                       and half-spread.")
+      $ Arg.(value & flag
+             & info [ "breakdown" ]
+                 ~doc:"Also print the per-variant cycle decomposition."))
+
+(* faults *)
+
+let faults_cmd =
+  let run () variant hardware failure runs iterations transfers wide journal =
+    let base = Workload.Runner.calibrated_config Nvm.Config.desktop in
+    let workload =
+      if transfers then
+        Workload.Runner.Transfers { accounts = 512; initial_balance = 1000 }
+      else if wide > 1 then
+        Workload.Runner.Wide { h_keys = 1024; value_words = wide }
+      else base.Workload.Runner.workload
+    in
+    let base =
+      {
+        base with
+        Workload.Runner.variant;
+        hardware;
+        failure;
+        iterations;
+        workload;
+        journal;
+      }
+    in
+    let spec =
+      { (Workload.Fault_injector.default_spec base) with
+        Workload.Fault_injector.runs }
+    in
+    let summary = Workload.Fault_injector.run spec in
+    Fmt.pr "%a@." Workload.Fault_injector.pp_summary summary;
+    if not (Workload.Fault_injector.all_consistent summary) then begin
+      Fmt.pr
+        "@.NOTE: violations above demonstrate a failure class the chosen \
+         configuration does not tolerate.@.";
+      exit 1
+    end
+  in
+  let variant =
+    Arg.(value
+         & opt variant_conv (Workload.Runner.Mutex_map Atlas.Mode.Log_only)
+         & info [ "variant" ] ~docv:"VARIANT"
+             ~doc:
+               "Map variant: no-log, log-only, log-flush, non-blocking, \
+                btree, btree-no-log or btree-flush.")
+  in
+  let hardware =
+    Arg.(value
+         & opt hardware_conv Tsp_core.Hardware.nvram_machine
+         & info [ "hardware" ] ~docv:"HW" ~doc:"Hardware platform model.")
+  in
+  let failure =
+    Arg.(value
+         & opt failure_conv Tsp_core.Failure_class.Process_crash
+         & info [ "failure" ] ~docv:"F"
+             ~doc:"Injected failure class: process-crash, kernel-panic or \
+                   power-outage.")
+  in
+  let runs =
+    Arg.(value & opt int 100 & info [ "runs" ] ~docv:"N"
+           ~doc:"Number of injected crashes.")
+  in
+  let transfers =
+    Arg.(value & flag
+         & info [ "transfers" ]
+             ~doc:"Use the bank-transfer workload (multi-store critical \
+                   sections) instead of the Section 5.1 counters.")
+  in
+  let wide =
+    Arg.(value & opt int 1
+         & info [ "wide" ] ~docv:"W"
+             ~doc:"Use the wide-value workload with W-word values (the \
+                   multi-word tearing experiment E13).")
+  in
+  let journal =
+    Arg.(value & flag
+         & info [ "journal" ]
+             ~doc:"Record store history and run the recovery-observer \
+                   prefix check on every crash.")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Fault-injection campaign (experiment E3; with --hardware \
+          conventional-server --failure power-outage --variant log-only it \
+          becomes the E9 negative control).")
+    Term.(const run $ logs_term $ variant $ hardware $ failure $ runs
+          $ iterations_arg 800 $ transfers $ wide $ journal)
+
+(* sweeps *)
+
+let sweeps_cmd =
+  let run () which iterations =
+    let t =
+      match which with
+      | "flush-latency" -> Workload.Sweeps.flush_latency ~iterations ()
+      | "threads" -> Workload.Sweeps.thread_scaling ~iterations ()
+      | "log-cost" -> Workload.Sweeps.log_cost_ablation ~iterations ()
+      | "cache" -> Workload.Sweeps.cache_ablation ~iterations ()
+      | "read-ratio" -> Workload.Sweeps.read_ratio ~iterations ()
+      | "ledger" ->
+          let l = Workload.Sweeps.procrastination_ledger ~iterations () in
+          Fmt.pr "%a@." Workload.Sweeps.pp_ledger l;
+          exit 0
+      | s -> Fmt.failwith "unknown sweep %S" s
+    in
+    Workload.Sweeps.render t Format.std_formatter
+  in
+  let which =
+    Arg.(required
+         & pos 0 (some string) None
+         & info [] ~docv:"SWEEP"
+             ~doc:"One of: flush-latency (E7), threads (E8), log-cost (E4), \
+                   cache, read-ratio (E12), ledger (E11).")
+  in
+  Cmd.v
+    (Cmd.info "sweeps" ~doc:"Parameter sweeps and ablations (E4, E7, E8).")
+    Term.(const run $ logs_term $ which $ iterations_arg 1500)
+
+(* policy *)
+
+let policy_cmd =
+  let run () =
+    Fmt.pr
+      "TSP decision matrix (Section 3): per platform and tolerated failure \
+       class,@ whether a crash-time rescue replaces failure-free flushing.@.@.";
+    List.iter
+      (fun (name, verdicts) ->
+        Fmt.pr "@[<v2>%s:@ %a@]@.@." name
+          Fmt.(
+            list ~sep:cut (fun ppf (fc, v) ->
+                pf ppf "%-14s %a" (Tsp_core.Failure_class.to_string fc)
+                  Tsp_core.Policy.pp_verdict v))
+          verdicts)
+      (Tsp_core.Policy.decision_matrix ())
+  in
+  Cmd.v
+    (Cmd.info "policy"
+       ~doc:"Print the platform x failure-class TSP decision matrix (E5).")
+    Term.(const run $ logs_term)
+
+(* wsp *)
+
+let wsp_cmd =
+  let run () hardware =
+    Fmt.pr "Whole-System Persistence rescue plan for %a:@.@.%a@."
+      Tsp_core.Hardware.pp hardware Tsp_core.Wsp.pp_outcome
+      (Tsp_core.Wsp.of_hardware hardware);
+    let o = Tsp_core.Wsp.of_hardware hardware in
+    Fmt.pr "@.headroom (budget/need, worst stage): %.2f@."
+      (Tsp_core.Wsp.headroom o)
+  in
+  let hardware =
+    Arg.(value
+         & opt hardware_conv Tsp_core.Hardware.wsp_machine
+         & info [ "hardware" ] ~docv:"HW" ~doc:"Platform to plan for.")
+  in
+  Cmd.v
+    (Cmd.info "wsp"
+       ~doc:"Simulate the two-stage Whole-System Persistence rescue (E6).")
+    Term.(const run $ logs_term $ hardware)
+
+(* run *)
+
+let run_cmd =
+  let run () platform variant iterations threads seed crash_at hardware
+      failure transfers journal resume =
+    let base = Workload.Runner.calibrated_config platform in
+    let workload =
+      if transfers then
+        Workload.Runner.Transfers { accounts = 512; initial_balance = 1000 }
+      else base.Workload.Runner.workload
+    in
+    let config =
+      {
+        base with
+        Workload.Runner.variant;
+        iterations;
+        threads;
+        seed;
+        crash_at_step = crash_at;
+        hardware;
+        failure;
+        workload;
+        journal;
+      }
+    in
+    if resume then begin
+      let r = Workload.Runner.run_with_resume config in
+      Fmt.pr "%a@." Workload.Runner.pp_resume_report r;
+      if not r.Workload.Runner.completion_ok then exit 1
+    end
+    else begin
+      let r = Workload.Runner.run config in
+      Fmt.pr "%a@." Workload.Runner.pp_result r;
+      if not (Workload.Runner.consistent r) then exit 1
+    end
+  in
+  let platform =
+    Arg.(value & opt platform_conv Nvm.Config.desktop
+         & info [ "platform" ] ~docv:"P" ~doc:"desktop or server.")
+  in
+  let variant =
+    Arg.(value
+         & opt variant_conv (Workload.Runner.Mutex_map Atlas.Mode.Log_only)
+         & info [ "variant" ] ~docv:"VARIANT" ~doc:"Map variant.")
+  in
+  let crash_at =
+    Arg.(value & opt (some int) None
+         & info [ "crash-at" ] ~docv:"STEP"
+             ~doc:"Inject a crash after STEP simulated memory operations.")
+  in
+  let hardware =
+    Arg.(value
+         & opt hardware_conv Tsp_core.Hardware.nvram_machine
+         & info [ "hardware" ] ~docv:"HW" ~doc:"Hardware platform model.")
+  in
+  let failure =
+    Arg.(value
+         & opt failure_conv Tsp_core.Failure_class.Process_crash
+         & info [ "failure" ] ~docv:"F" ~doc:"Failure class for --crash-at.")
+  in
+  let transfers =
+    Arg.(value & flag
+         & info [ "transfers" ] ~doc:"Run the bank-transfer workload.")
+  in
+  let journal =
+    Arg.(value & flag
+         & info [ "journal" ] ~doc:"Enable the recovery-observer journal.")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"After crash recovery, restart workers from the recovered \
+                   persistent state and run the workload to completion \
+                   (counters only).")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one configuration and print the full report.")
+    Term.(const run $ logs_term $ platform $ variant $ iterations_arg 2000
+          $ threads_arg $ seed_arg $ crash_at $ hardware $ failure
+          $ transfers $ journal $ resume)
+
+(* ycsb *)
+
+let ycsb_cmd =
+  let run () preset iterations records =
+    match Workload.Ycsb.preset_of_string preset with
+    | Error e -> Fmt.failwith "%s" e
+    | Ok p ->
+        Workload.Sweeps.render_ycsb
+          (Workload.Sweeps.ycsb_table ~iterations ~records p)
+          Format.std_formatter
+  in
+  let preset =
+    Arg.(value & pos 0 string "A"
+         & info [] ~docv:"PRESET" ~doc:"YCSB core workload: A, B, C or F.")
+  in
+  let records =
+    Arg.(value & opt int 16384
+         & info [ "records" ] ~docv:"N" ~doc:"Pre-loaded record count.")
+  in
+  Cmd.v
+    (Cmd.info "ycsb"
+       ~doc:
+         "YCSB-style workload mixes (Zipfian requests) across all map \
+          variants, with latency percentiles.")
+    Term.(const run $ logs_term $ preset $ iterations_arg 1500 $ records)
+
+let main_cmd =
+  let doc =
+    "Timely Sufficient Persistence: reproduction of Nawab et al., \
+     'Procrastination Beats Prevention' (EDBT 2015)"
+  in
+  Cmd.group
+    (Cmd.info "tsp" ~version:"1.0.0" ~doc)
+    [ table1_cmd; faults_cmd; sweeps_cmd; ycsb_cmd; policy_cmd; wsp_cmd; run_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Atlas Fmt Int64 List Nvm Tsp_core Workload

@@ -1,0 +1,1 @@
+examples/crash_campaign.ml: Atlas Fmt Nvm Tsp_core Workload

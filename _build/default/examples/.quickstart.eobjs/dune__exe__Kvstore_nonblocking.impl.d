@@ -1,0 +1,1 @@
+examples/kvstore_nonblocking.ml: Fmt Int64 Nvm Pheap Printf Sched Tsp_core Tsp_maps

@@ -1,0 +1,1 @@
+examples/memcache_like.ml: Array Atlas Bytes Char Fmt Hashtbl Nvm Pheap Printf Scanf Sched String Tsp_core Tsp_maps

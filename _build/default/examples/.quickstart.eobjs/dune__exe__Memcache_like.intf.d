@@ -1,0 +1,1 @@
+examples/memcache_like.mli:

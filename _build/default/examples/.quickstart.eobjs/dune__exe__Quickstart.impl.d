@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dump Fmt Int64 Nvm Pheap Tsp_core

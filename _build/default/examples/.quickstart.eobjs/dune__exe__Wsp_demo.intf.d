@@ -1,0 +1,1 @@
+examples/wsp_demo.mli:

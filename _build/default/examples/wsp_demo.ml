@@ -1,0 +1,34 @@
+(* Whole-System Persistence energy accounting (Section 3's archetypal
+   TSP design), across hardware design points.
+
+   The rescue is "timely" (runs only at power failure) and must be
+   "sufficient" (each stage's energy budget covers its data).  We print
+   the plan for every platform preset and then sweep the supercapacitor
+   budget to find the cliff where the DRAM-to-flash stage stops fitting.
+
+   Run with: dune exec examples/wsp_demo.exe *)
+
+let () =
+  List.iter
+    (fun hw ->
+      let outcome = Tsp_core.Wsp.of_hardware hw in
+      Fmt.pr "@[<v2>%a:@ %a@ headroom %.2f@]@.@." Tsp_core.Hardware.pp hw
+        Tsp_core.Wsp.pp_outcome outcome
+        (Tsp_core.Wsp.headroom outcome))
+    Tsp_core.Hardware.all;
+
+  Fmt.pr "supercap sizing sweep for the WSP machine (64 GB DRAM @ 1 GB/s \
+          to flash, 150 W):@.";
+  List.iter
+    (fun budget ->
+      let hw =
+        { Tsp_core.Hardware.wsp_machine with Tsp_core.Hardware.supercap_energy_j = budget }
+      in
+      let o = Tsp_core.Wsp.of_hardware hw in
+      Fmt.pr "  %7.0f J -> %s (needs %.0f J)@." budget
+        (if o.Tsp_core.Wsp.success then "rescue fits" else "INSUFFICIENT")
+        o.Tsp_core.Wsp.total_energy_j)
+    [ 2_000.; 5_000.; 9_000.; 9_900.; 10_000.; 15_000.; 25_000. ];
+  Fmt.pr
+    "@.Below the cliff, the designer must either add energy storage or \
+     fall back to a non-TSP mechanism (synchronous write-through).@."

@@ -1,0 +1,1 @@
+lib/atlas/log_entry.ml: Fmt Int64 Option

@@ -1,0 +1,1 @@
+lib/atlas/log_entry.mli: Fmt

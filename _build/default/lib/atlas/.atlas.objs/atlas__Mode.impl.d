@@ -1,0 +1,1 @@
+lib/atlas/mode.ml: Fmt Printf

@@ -1,0 +1,1 @@
+lib/atlas/mode.mli: Fmt

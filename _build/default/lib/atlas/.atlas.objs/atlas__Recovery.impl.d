@@ -1,0 +1,1 @@
+lib/atlas/recovery.ml: Fmt Hashtbl List Log_entry Nvm Pheap Printf Undo_log

@@ -1,0 +1,1 @@
+lib/atlas/recovery.mli: Fmt Pheap

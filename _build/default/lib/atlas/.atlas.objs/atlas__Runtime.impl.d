@@ -1,0 +1,1 @@
+lib/atlas/runtime.ml: Array Fmt Hashtbl Int64 List Log_entry Mode Nvm Option Pheap Queue Sched Undo_log

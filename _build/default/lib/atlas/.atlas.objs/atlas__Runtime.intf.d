@@ -1,0 +1,1 @@
+lib/atlas/runtime.mli: Mode Pheap Sched Undo_log

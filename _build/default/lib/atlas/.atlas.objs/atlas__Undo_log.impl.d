@@ -1,0 +1,1 @@
+lib/atlas/undo_log.ml: Array Fmt Int64 List Log_entry Nvm

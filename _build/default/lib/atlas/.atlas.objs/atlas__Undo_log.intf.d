@@ -1,0 +1,1 @@
+lib/atlas/undo_log.mli: Log_entry Nvm

@@ -1,0 +1,84 @@
+type payload =
+  | Begin of { ocs : int }
+  | Update of { addr : int; old : int64 }
+  | Dep of { on_ocs : int; mutex : int }
+  | Commit of { ocs : int }
+
+type t = { seq : int; tid : int; payload : payload }
+
+let bytes = 32
+let magic = 0xE7
+
+let type_code = function
+  | Begin _ -> 1
+  | Update _ -> 2
+  | Dep _ -> 3
+  | Commit _ -> 4
+
+let payload_words = function
+  | Begin { ocs } -> (Int64.of_int ocs, 0L)
+  | Update { addr; old } -> (Int64.of_int addr, old)
+  | Dep { on_ocs; mutex } -> (Int64.of_int on_ocs, Int64.of_int mutex)
+  | Commit { ocs } -> (Int64.of_int ocs, 0L)
+
+let checksum ~ty ~seq ~a ~b =
+  let fold v =
+    let v = Int64.logxor v (Int64.shift_right_logical v 32) in
+    let v = Int64.logxor v (Int64.shift_right_logical v 16) in
+    Int64.to_int v land 0xffff
+  in
+  fold (Int64.logxor (Int64.of_int (ty lsl 8)) (Int64.logxor seq (Int64.logxor a b)))
+
+let write store ~at e =
+  let ty = type_code e.payload in
+  let a, b = payload_words e.payload in
+  let seq = Int64.of_int e.seq in
+  let ck = checksum ~ty ~seq ~a ~b in
+  let w0 =
+    Int64.logor
+      (Int64.shift_left (Int64.of_int magic) 56)
+      (Int64.logor
+         (Int64.shift_left (Int64.of_int ty) 48)
+         (Int64.logor
+            (Int64.shift_left (Int64.of_int ck) 32)
+            (Int64.of_int (e.tid land 0xffffffff))))
+  in
+  store (at + 8) seq;
+  store (at + 16) a;
+  store (at + 24) b;
+  (* Header last: a torn entry whose header never made it is simply
+     invisible rather than mis-checksummed. *)
+  store at w0
+
+let read load ~at =
+  let w0 = load at in
+  let m = Int64.to_int (Int64.shift_right_logical w0 56) land 0xff in
+  if m <> magic then None
+  else
+    let ty = Int64.to_int (Int64.shift_right_logical w0 48) land 0xff in
+    let ck = Int64.to_int (Int64.shift_right_logical w0 32) land 0xffff in
+    let tid = Int64.to_int (Int64.logand w0 0xffffffffL) in
+    let seq64 = load (at + 8) in
+    let a = load (at + 16) in
+    let b = load (at + 24) in
+    if checksum ~ty ~seq:seq64 ~a ~b <> ck then None
+    else
+      let seq = Int64.to_int seq64 in
+      let payload =
+        match ty with
+        | 1 -> Some (Begin { ocs = Int64.to_int a })
+        | 2 -> Some (Update { addr = Int64.to_int a; old = b })
+        | 3 -> Some (Dep { on_ocs = Int64.to_int a; mutex = Int64.to_int b })
+        | 4 -> Some (Commit { ocs = Int64.to_int a })
+        | _ -> None
+      in
+      Option.map (fun payload -> { seq; tid; payload }) payload
+
+let pp ppf e =
+  let p ppf = function
+    | Begin { ocs } -> Fmt.pf ppf "begin ocs=%d" ocs
+    | Update { addr; old } -> Fmt.pf ppf "update addr=%d old=%Ld" addr old
+    | Dep { on_ocs; mutex } -> Fmt.pf ppf "dep on=%d mutex=%d" on_ocs mutex
+    | Commit { ocs } -> Fmt.pf ppf "commit ocs=%d" ocs
+  in
+  Fmt.pf ppf "[seq=%d tid=%d %a]" e.seq e.tid p e.payload

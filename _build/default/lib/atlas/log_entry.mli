@@ -1,0 +1,38 @@
+(** Undo-log entry codec.
+
+    Entries are exactly four words (32 bytes) so they never straddle more
+    than one cache-line boundary and the ring arithmetic stays trivial:
+
+    {v  w0: [ magic:8 | type:8 | checksum:16 | tid:32 ]
+        w1: global sequence number
+        w2: payload a
+        w3: payload b v}
+
+    The checksum covers w1..w3 and the type, making entries
+    self-validating: recovery can scan a log forward and recognise where
+    the valid window ends without trusting a separately-persisted head
+    pointer.  A torn entry (some words persisted, some lost in a non-TSP
+    crash) fails the checksum; a stale entry from a previous ring lap
+    breaks the strictly-increasing-sequence rule. *)
+
+type payload =
+  | Begin of { ocs : int }  (** an outermost critical section opened *)
+  | Update of { addr : int; old : int64 }
+      (** first store of this OCS to [addr]; [old] restores it on rollback *)
+  | Dep of { on_ocs : int; mutex : int }
+      (** the running OCS acquired [mutex], last released by [on_ocs]: if
+          [on_ocs] rolls back, so must this OCS (the Section 2.3 hazard) *)
+  | Commit of { ocs : int }
+
+type t = { seq : int; tid : int; payload : payload }
+
+val bytes : int
+(** Size of an encoded entry: 32. *)
+
+val write : (int -> int64 -> unit) -> at:int -> t -> unit
+(** Encode [t] into four word stores starting at address [at]. *)
+
+val read : (int -> int64) -> at:int -> t option
+(** Decode and validate; [None] if magic or checksum fail. *)
+
+val pp : t Fmt.t

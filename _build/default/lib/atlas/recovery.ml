@@ -1,0 +1,162 @@
+module Heap = Pheap.Heap
+
+type report = {
+  log_entries : int;
+  ocses : int;
+  committed : int;
+  incomplete : int;
+  cascaded : int;
+  updates_applied : int;
+  updates_skipped : int;
+  max_seq : int;
+  anomalies : string list;
+}
+
+type rec_ocs = {
+  id : int;
+  mutable committed : bool;
+  mutable commit_seq : int;  (* sequence of the Commit entry, 0 if none *)
+  mutable deps : int list;
+  mutable updates : (int * int * int64) list;  (* seq, addr, old — newest first *)
+}
+
+let parse_thread ~anomalies ~table entries =
+  let anomaly fmt = Fmt.kstr (fun s -> anomalies := s :: !anomalies) fmt in
+  let current = ref None in
+  let open_ocs id =
+    let r = { id; committed = false; commit_seq = 0; deps = []; updates = [] } in
+    Hashtbl.replace table id r;
+    current := Some r
+  in
+  let close () = current := None in
+  List.iter
+    (fun (e : Log_entry.t) ->
+      match e.payload with
+      | Log_entry.Begin { ocs } ->
+          (match !current with
+          | Some r ->
+              anomaly "begin of ocs %d while ocs %d still open" ocs r.id
+          | None -> ());
+          open_ocs ocs
+      | Log_entry.Update { addr; old } -> begin
+          match !current with
+          | Some r -> r.updates <- (e.seq, addr, old) :: r.updates
+          | None -> anomaly "update entry (seq %d) outside any ocs" e.seq
+        end
+      | Log_entry.Dep { on_ocs; mutex = _ } -> begin
+          match !current with
+          | Some r -> r.deps <- on_ocs :: r.deps
+          | None -> anomaly "dep entry (seq %d) outside any ocs" e.seq
+        end
+      | Log_entry.Commit { ocs } -> begin
+          match !current with
+          | Some r when r.id = ocs ->
+              r.committed <- true;
+              r.commit_seq <- e.seq;
+              close ()
+          | Some r ->
+              anomaly "commit of ocs %d while ocs %d open" ocs r.id;
+              close ()
+          | None -> anomaly "commit of ocs %d with no open ocs" ocs
+        end)
+    entries
+
+let rollback_closure ~watermark table =
+  (* Seed with interrupted sections — and, under deferred durability,
+     with committed sections the watermark does not cover (their data
+     never provably reached the persistence domain).  Then iterate to a
+     fixpoint: a committed section whose dependency rolls back must roll
+     back too. *)
+  let doomed = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun id r ->
+      if
+        (not r.committed)
+        || (watermark >= 0 && r.commit_seq > watermark)
+      then Hashtbl.replace doomed id ())
+    table;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun id r ->
+        if not (Hashtbl.mem doomed id)
+           && List.exists (Hashtbl.mem doomed) r.deps
+        then begin
+          Hashtbl.replace doomed id ();
+          changed := true
+        end)
+      table
+  done;
+  doomed
+
+let run ~heap ~log_base =
+  let pmem = Heap.pmem heap in
+  let ulog = Undo_log.attach pmem ~base:log_base in
+  let anomalies = ref [] in
+  let table : (int, rec_ocs) Hashtbl.t = Hashtbl.create 256 in
+  let log_entries = ref 0 in
+  let max_seq = ref 0 in
+  for tid = 0 to Undo_log.num_threads ulog - 1 do
+    let entries = Undo_log.scan_thread ulog ~tid in
+    log_entries := !log_entries + List.length entries;
+    List.iter
+      (fun (e : Log_entry.t) -> if e.seq > !max_seq then max_seq := e.seq)
+      entries;
+    parse_thread ~anomalies ~table entries
+  done;
+  let watermark = Undo_log.watermark ulog in
+  let doomed = rollback_closure ~watermark table in
+  let committed = Hashtbl.fold (fun _ r n -> if r.committed then n + 1 else n) table 0 in
+  let incomplete =
+    Hashtbl.fold (fun _ r n -> if not r.committed then n + 1 else n) table 0
+  in
+  let cascaded =
+    Hashtbl.fold
+      (fun id r n -> if r.committed && Hashtbl.mem doomed id then n + 1 else n)
+      table 0
+  in
+  (* Collect every update of every doomed section and undo them newest
+     first, so overlapping writes unwind in the right order. *)
+  let updates =
+    Hashtbl.fold
+      (fun id r acc -> if Hashtbl.mem doomed id then r.updates @ acc else acc)
+      table []
+    |> List.sort (fun (s1, _, _) (s2, _, _) -> compare s2 s1)
+  in
+  let applied = ref 0 and skipped = ref 0 in
+  let lo = Heap.start_addr heap and hi = Heap.end_addr heap in
+  List.iter
+    (fun (_, addr, old) ->
+      if addr land 7 = 0 && addr >= lo && addr < hi then begin
+        Nvm.Pmem.store pmem addr old;
+        incr applied
+      end
+      else begin
+        incr skipped;
+        anomalies := Printf.sprintf "update to invalid address %d" addr :: !anomalies
+      end)
+    updates;
+  Nvm.Pmem.persist_all pmem;
+  {
+    log_entries = !log_entries;
+    ocses = Hashtbl.length table;
+    committed;
+    incomplete;
+    cascaded;
+    updates_applied = !applied;
+    updates_skipped = !skipped;
+    max_seq = !max_seq;
+    anomalies = List.rev !anomalies;
+  }
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<v>log entries %d; ocses %d (committed %d, incomplete %d, cascaded \
+     %d)@ rolled back %d updates (%d skipped); max seq %d%a@]"
+    r.log_entries r.ocses r.committed r.incomplete r.cascaded
+    r.updates_applied r.updates_skipped r.max_seq
+    (fun ppf -> function
+      | [] -> ()
+      | l -> Fmt.pf ppf "@ anomalies: %a" Fmt.(list ~sep:comma string) l)
+    r.anomalies

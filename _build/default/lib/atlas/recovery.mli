@@ -1,0 +1,34 @@
+(** Atlas recovery: restore the persistent heap to a consistent state
+    after a crash, using the undo logs.
+
+    The pass runs after {!Nvm.Pmem.recover} has installed the durable
+    image.  It scans every thread's log window, reconstructs the set of
+    outermost critical sections and their dependency edges, computes the
+    rollback closure — every section that was interrupted by the crash,
+    plus, transitively, every {e committed} section that depended on one
+    being rolled back — and applies the affected [Update] entries in
+    reverse global order.  It finishes by persisting its own repairs.
+
+    Callers normally follow with {!Pheap.Heap_gc.collect} to reclaim
+    objects orphaned by the crash or by the rollback itself, and with
+    {!Undo_log.format} (via a fresh {!Runtime.create}) before resuming. *)
+
+type report = {
+  log_entries : int;  (** valid entries scanned across all threads *)
+  ocses : int;  (** distinct sections seen in the logs *)
+  committed : int;
+  incomplete : int;  (** sections interrupted by the crash *)
+  cascaded : int;  (** committed sections rolled back via dependencies *)
+  updates_applied : int;
+  updates_skipped : int;  (** entries whose target address failed validation *)
+  max_seq : int;  (** highest sequence seen; seed for the next runtime *)
+  anomalies : string list;
+      (** structurally unexpected log content — empty under TSP, possibly
+          non-empty after a non-TSP crash lost log writes *)
+}
+
+val run : heap:Pheap.Heap.t -> log_base:int -> report
+(** Perform rollback.  The heap's device must not be in the crashed
+    state (call {!Nvm.Pmem.recover} first). *)
+
+val pp_report : report Fmt.t

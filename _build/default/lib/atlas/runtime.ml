@@ -1,0 +1,334 @@
+module Heap = Pheap.Heap
+module Scheduler = Sched.Scheduler
+
+type costs = { lock_cycles : int; unlock_cycles : int; log_cycles : int }
+
+let default_costs = { lock_cycles = 30; unlock_cycles = 20; log_cycles = 45 }
+
+type ocs_info = {
+  id : int;
+  tid : int;
+  mutable committed : bool;
+  mutable stable : bool;
+  mutable deps : int list;
+  mutable rev_deps : int list;
+  mutable seg_last : int;  (* address of the OCS's most recent log entry *)
+}
+
+type ctx = {
+  tid : int;
+  mutable depth : int;
+  mutable current : ocs_info option;
+  logged : (int, unit) Hashtbl.t;
+  dirtied : (int, unit) Hashtbl.t;  (* line addresses; Log_flush commits *)
+  segments : int Queue.t;  (* unpruned OCS ids of this thread, oldest first *)
+}
+
+type t = {
+  mode : Mode.t;
+  heap : Heap.t;
+  ulog : Undo_log.t;
+  costs : costs;
+  mutable next_ocs : int;
+  mutable next_seq : int;
+  mutable started : int;
+  table : (int, ocs_info) Hashtbl.t;
+  ctxs : ctx array;
+  (* Deferred durability (Log_flush_async): committed sections whose
+     data has not yet reached the persistence domain, in commit order,
+     with the union of their dirtied lines. *)
+  checkpoint_every : int;
+  mutable commits_since_checkpoint : int;
+  mutable in_checkpoint : bool;
+  pending : (int * int) Queue.t;  (* commit seq, ocs id *)
+  pending_lines : (int, unit) Hashtbl.t;
+}
+
+type amutex = {
+  m : Scheduler.Mutex.mutex;
+  amid : int;
+  mutable last_release : int;  (* OCS id, 0 = none *)
+}
+
+let create ?(costs = default_costs) ?(first_seq = 1) ?(checkpoint_every = 32)
+    ~mode ~heap ~log_base ~log_size ~num_threads () =
+  let pmem = Heap.pmem heap in
+  let ulog = Undo_log.format pmem ~base:log_base ~size:log_size ~num_threads in
+  if Mode.deferred_durability mode then Undo_log.set_watermark ulog 0;
+  let ctx tid =
+    {
+      tid;
+      depth = 0;
+      current = None;
+      logged = Hashtbl.create 64;
+      dirtied = Hashtbl.create 64;
+      segments = Queue.create ();
+    }
+  in
+  {
+    mode;
+    heap;
+    ulog;
+    costs;
+    next_ocs = 1;
+    next_seq = first_seq;
+    started = 0;
+    table = Hashtbl.create 256;
+    ctxs = Array.init num_threads ctx;
+    checkpoint_every;
+    commits_since_checkpoint = 0;
+    in_checkpoint = false;
+    pending = Queue.create ();
+    pending_lines = Hashtbl.create 256;
+  }
+
+let mode t = t.mode
+let heap t = t.heap
+let log t = t.ulog
+
+let thread_ctx t ~tid =
+  if tid < 0 || tid >= Array.length t.ctxs then
+    Fmt.invalid_arg "Atlas.thread_ctx: bad tid %d" tid;
+  t.ctxs.(tid)
+
+let make_mutex t sched =
+  ignore t;
+  let m = Scheduler.Mutex.create sched in
+  { m; amid = Scheduler.Mutex.id m; last_release = 0 }
+
+let mutex_id am = am.amid
+
+let pmem t = Heap.pmem t.heap
+
+let append t (ctx : ctx) payload =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let entry = { Log_entry.seq; tid = ctx.tid; payload } in
+  let addr = Undo_log.append t.ulog ~tid:ctx.tid entry in
+  (match ctx.current with
+  | Some cur -> cur.seg_last <- addr
+  | None -> assert false);
+  Nvm.Pmem.charge (pmem t) t.costs.log_cycles;
+  if Mode.flushes t.mode then Undo_log.flush_entry t.ulog ~entry_addr:addr;
+  addr
+
+(* Stability: an OCS can never be rolled back once it is committed and
+   every section it depends on is itself stable.  Stability is monotone,
+   so we propagate it eagerly along reverse edges and prune as we go.
+   (A cycle of mutually-dependent committed OCSes is never proven stable
+   by this rule; that is conservative — its log space is retained — and
+   such cycles require overlapping sections trading two mutexes.) *)
+let rec prune_thread t tid =
+  let ctx = t.ctxs.(tid) in
+  match Queue.peek_opt ctx.segments with
+  | None -> ()
+  | Some id -> begin
+      match Hashtbl.find_opt t.table id with
+      | None ->
+          ignore (Queue.pop ctx.segments);
+          prune_thread t tid
+      | Some info when info.stable ->
+          ignore (Queue.pop ctx.segments);
+          Undo_log.advance_tail t.ulog ~tid
+            ~new_tail:(Undo_log.next_slot t.ulog info.seg_last)
+            ~flush:(Mode.flushes t.mode);
+          Hashtbl.remove t.table id;
+          prune_thread t tid
+      | Some _ -> ()
+    end
+
+let rec try_stabilize t id =
+  match Hashtbl.find_opt t.table id with
+  | None -> ()
+  | Some info when info.stable || not info.committed -> ()
+  | Some info ->
+      let dep_stable d =
+        match Hashtbl.find_opt t.table d with
+        | None -> true (* pruned, hence stable *)
+        | Some di -> di.stable
+      in
+      if List.for_all dep_stable info.deps then begin
+        info.stable <- true;
+        prune_thread t info.tid;
+        List.iter (try_stabilize t) info.rev_deps
+      end
+
+(* Durability point: flush every line dirtied by commits since the
+   last point, then advance the persistent watermark along the prefix of
+   pending commits that is now stable (committed, data durable, and all
+   dependencies stable).  A commit whose dependency is still an open
+   section blocks the watermark — recovery must be able to cascade. *)
+let checkpoint t =
+  (* Flushes below are scheduler yield points, so another thread can
+     commit — and try to start a durability point — while this one runs.
+     The guard makes the point exclusive; commits that arrive meanwhile
+     are simply covered by the next point. *)
+  if
+    (not t.in_checkpoint)
+    && not (Hashtbl.length t.pending_lines = 0 && Queue.is_empty t.pending)
+  then begin
+    t.in_checkpoint <- true;
+    Hashtbl.iter (fun line () -> Nvm.Pmem.flush (pmem t) line) t.pending_lines;
+    Nvm.Pmem.fence (pmem t);
+    Hashtbl.reset t.pending_lines;
+    let advanced = ref None in
+    let continue_ = ref true in
+    while !continue_ do
+      match Queue.peek_opt t.pending with
+      | None -> continue_ := false
+      | Some (seq, id) ->
+          try_stabilize t id;
+          let stable =
+            match Hashtbl.find_opt t.table id with
+            | None -> true (* pruned, hence stable *)
+            | Some info -> info.stable
+          in
+          if stable then begin
+            ignore (Queue.pop t.pending);
+            advanced := Some seq
+          end
+          else continue_ := false
+    done;
+    (match !advanced with
+    | Some seq -> Undo_log.set_watermark t.ulog seq
+    | None -> ());
+    t.in_checkpoint <- false
+  end;
+  t.commits_since_checkpoint <- 0
+
+let begin_ocs t ctx =
+  let id = t.next_ocs in
+  t.next_ocs <- id + 1;
+  t.started <- t.started + 1;
+  let info =
+    {
+      id;
+      tid = ctx.tid;
+      committed = false;
+      stable = false;
+      deps = [];
+      rev_deps = [];
+      seg_last = 0;
+    }
+  in
+  Hashtbl.replace t.table id info;
+  ctx.current <- Some info;
+  Queue.add id ctx.segments;
+  ignore (append t ctx (Log_entry.Begin { ocs = id }) : int)
+
+let record_dep t ctx am =
+  match ctx.current with
+  | None -> assert false
+  | Some cur ->
+      let lr = am.last_release in
+      if lr <> 0 && lr <> cur.id && not (List.mem lr cur.deps) then begin
+        match Hashtbl.find_opt t.table lr with
+        | Some dep_info when not dep_info.stable ->
+            cur.deps <- lr :: cur.deps;
+            dep_info.rev_deps <- cur.id :: dep_info.rev_deps;
+            ignore
+              (append t ctx (Log_entry.Dep { on_ocs = lr; mutex = am.amid })
+                : int)
+        | Some _ | None -> ()
+      end
+
+let lock t ctx am =
+  Nvm.Pmem.charge (pmem t) t.costs.lock_cycles;
+  Scheduler.Mutex.lock am.m;
+  if Mode.logs t.mode then begin
+    if ctx.depth = 0 then begin_ocs t ctx;
+    record_dep t ctx am
+  end;
+  ctx.depth <- ctx.depth + 1
+
+let commit t ctx =
+  match ctx.current with
+  | None -> assert false
+  | Some cur ->
+      if Mode.eager_data_flush t.mode then begin
+        (* Eager durability: the section's data reaches the persistence
+           domain before its commit record, so a committed-by-the-log OCS
+           is never partially durable. *)
+        Hashtbl.iter (fun line () -> Nvm.Pmem.flush (pmem t) line) ctx.dirtied;
+        Nvm.Pmem.fence (pmem t)
+      end;
+      let commit_seq = t.next_seq in
+      ignore (append t ctx (Log_entry.Commit { ocs = cur.id }) : int);
+      cur.committed <- true;
+      ctx.current <- None;
+      Hashtbl.reset ctx.logged;
+      if Mode.deferred_durability t.mode then begin
+        (* Data durability is deferred to the next durability point; the
+           section stays unpruned (it may still be rolled back). *)
+        Hashtbl.iter (fun line () -> Hashtbl.replace t.pending_lines line ()) ctx.dirtied;
+        Hashtbl.reset ctx.dirtied;
+        Queue.add (commit_seq, cur.id) t.pending;
+        t.commits_since_checkpoint <- t.commits_since_checkpoint + 1;
+        if t.commits_since_checkpoint >= t.checkpoint_every then checkpoint t
+      end
+      else begin
+        Hashtbl.reset ctx.dirtied;
+        try_stabilize t cur.id
+      end
+
+let unlock t ctx am =
+  if ctx.depth <= 0 then invalid_arg "Atlas.unlock: not inside a section";
+  if Mode.logs t.mode then begin
+    (match ctx.current with
+    | Some cur -> am.last_release <- cur.id
+    | None -> assert false);
+    if ctx.depth = 1 then commit t ctx
+  end;
+  ctx.depth <- ctx.depth - 1;
+  Scheduler.Mutex.unlock am.m;
+  Nvm.Pmem.charge (pmem t) t.costs.unlock_cycles
+
+let with_lock t ctx am f =
+  lock t ctx am;
+  match f () with
+  | v ->
+      unlock t ctx am;
+      v
+  | exception e ->
+      unlock t ctx am;
+      raise e
+
+let line_addr t addr =
+  let ls = (Nvm.Pmem.config (pmem t)).Nvm.Config.line_size in
+  addr / ls * ls
+
+let store t ctx addr v =
+  match t.mode with
+  | Mode.No_log -> Nvm.Pmem.store (pmem t) addr v
+  | Mode.Log_only | Mode.Log_flush | Mode.Log_flush_async -> begin
+      match ctx.current with
+      | None ->
+          invalid_arg
+            "Atlas.store: persistent store outside any critical section"
+      | Some _ ->
+          if not (Hashtbl.mem ctx.logged addr) then begin
+            let old = Nvm.Pmem.load (pmem t) addr in
+            ignore (append t ctx (Log_entry.Update { addr; old }) : int);
+            Hashtbl.replace ctx.logged addr ()
+          end;
+          Nvm.Pmem.store (pmem t) addr v;
+          if Mode.flushes t.mode then
+            Hashtbl.replace ctx.dirtied (line_addr t addr) ()
+    end
+
+let load t addr = Nvm.Pmem.load (pmem t) addr
+
+let store_field t ctx obj i v = store t ctx (Heap.field_addr t.heap obj i) v
+
+let store_field_int t ctx obj i v = store_field t ctx obj i (Int64.of_int v)
+let load_field t obj i = Heap.load_field t.heap obj i
+let load_field_int t obj i = Heap.load_field_int t.heap obj i
+
+let ocs_depth ctx = ctx.depth
+let current_ocs ctx = Option.map (fun (o : ocs_info) -> o.id) ctx.current
+let live_log_entries t ~tid = Undo_log.live_entries t.ulog ~tid
+let ocs_started t = t.started
+let unpruned_ocses t = Hashtbl.length t.table
+
+let watermark t = Undo_log.watermark t.ulog
+let pending_commits t = Queue.length t.pending

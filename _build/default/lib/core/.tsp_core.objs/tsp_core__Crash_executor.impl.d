@@ -1,0 +1,1 @@
+lib/core/crash_executor.ml: Float Fmt Hardware List Nvm Policy Printf Wsp

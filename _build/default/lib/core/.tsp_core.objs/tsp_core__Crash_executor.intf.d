@@ -1,0 +1,1 @@
+lib/core/crash_executor.mli: Failure_class Fmt Hardware Nvm Policy

@@ -1,0 +1,1 @@
+lib/core/failure_class.ml: Fmt Int Printf

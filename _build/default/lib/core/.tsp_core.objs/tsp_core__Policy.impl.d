@@ -1,0 +1,1 @@
+lib/core/policy.ml: Failure_class Fmt Hardware List Nvm Requirement Wsp

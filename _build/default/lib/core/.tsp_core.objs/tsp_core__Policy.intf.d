@@ -1,0 +1,1 @@
+lib/core/policy.mli: Failure_class Fmt Hardware Nvm Requirement Wsp

@@ -1,0 +1,1 @@
+lib/core/recovery_observer.ml: Fmt Hashtbl List Nvm

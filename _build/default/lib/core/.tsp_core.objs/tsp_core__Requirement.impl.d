@@ -1,0 +1,1 @@
+lib/core/requirement.ml: Failure_class Fmt

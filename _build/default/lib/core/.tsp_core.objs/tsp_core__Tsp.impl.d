@@ -1,0 +1,1 @@
+lib/core/tsp.ml: Failure_class Fmt Hardware List Nvm Policy Requirement

@@ -1,0 +1,1 @@
+lib/core/tsp.mli: Failure_class Fmt Hardware Nvm Policy Requirement

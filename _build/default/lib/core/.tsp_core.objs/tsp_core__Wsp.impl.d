@@ -1,0 +1,1 @@
+lib/core/wsp.ml: Float Fmt Hardware List

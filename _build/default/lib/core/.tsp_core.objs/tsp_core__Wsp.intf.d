@@ -1,0 +1,1 @@
+lib/core/wsp.mli: Fmt Hardware

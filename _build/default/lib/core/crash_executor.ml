@@ -1,0 +1,102 @@
+type action_bill = {
+  action : Policy.crash_action;
+  seconds : float;
+  energy_j : float;
+  lines_involved : int;
+}
+
+type execution = {
+  verdict : Policy.verdict;
+  mode : Nvm.Pmem.crash_mode;
+  bills : action_bill list;
+  total_seconds : float;
+  total_energy_j : float;
+  rescued_lines : int;
+  dropped_lines : int;
+}
+
+let bill_action (h : Hardware.t) ~dirty_lines ~line_size action =
+  let dirty_mb =
+    float_of_int (dirty_lines * line_size) /. (1024. *. 1024.)
+  in
+  let flush_seconds =
+    dirty_mb /. (h.Hardware.dram_bandwidth_gb_s *. 1024.)
+  in
+  match action with
+  | Policy.Rely_on_kernel_persistence ->
+      (* Nothing moves at crash time: the page cache already holds the
+         pages and dirty CPU lines stay coherent-visible (Appendix A). *)
+      { action; seconds = 0.; energy_j = 0.; lines_involved = dirty_lines }
+  | Policy.Panic_flush_caches ->
+      {
+        action;
+        seconds = flush_seconds;
+        energy_j = flush_seconds *. h.Hardware.rescue_power_w;
+        lines_involved = dirty_lines;
+      }
+  | Policy.Panic_dump_memory { seconds } ->
+      {
+        action;
+        seconds;
+        energy_j = seconds *. h.Hardware.rescue_power_w;
+        lines_involved = 0;
+      }
+  | Policy.Failover_to_ups ->
+      (* The UPS keeps everything running; no data moves at the instant
+         of the outage. *)
+      { action; seconds = 0.; energy_j = 0.; lines_involved = 0 }
+  | Policy.Nvdimm_save ->
+      let dram_mb = float_of_int h.Hardware.dram_gb *. 1024. in
+      let seconds = dram_mb /. h.Hardware.flash_bandwidth_mb_s in
+      {
+        action;
+        seconds;
+        energy_j = Float.min h.Hardware.supercap_energy_j
+            (seconds *. h.Hardware.rescue_power_w);
+        lines_involved = 0;
+      }
+  | Policy.Wsp_rescue outcome ->
+      {
+        action;
+        seconds = outcome.Wsp.total_time_s;
+        energy_j = outcome.Wsp.total_energy_j;
+        lines_involved = dirty_lines;
+      }
+
+let execute pmem ~hardware ~failure =
+  let verdict = Policy.decide hardware failure in
+  let mode = Policy.crash_mode verdict in
+  let dirty_lines = Nvm.Pmem.dirty_line_count pmem in
+  let line_size = (Nvm.Pmem.config pmem).Nvm.Config.line_size in
+  let stats = Nvm.Pmem.stats pmem in
+  let rescued_before = stats.Nvm.Stats.rescued_lines in
+  let dropped_before = stats.Nvm.Stats.dropped_lines in
+  Nvm.Pmem.crash pmem mode;
+  let bills =
+    match verdict with
+    | Policy.Tsp { actions; _ } ->
+        List.map (bill_action hardware ~dirty_lines ~line_size) actions
+    | Policy.Not_tsp _ -> []
+  in
+  {
+    verdict;
+    mode;
+    bills;
+    total_seconds = List.fold_left (fun a b -> a +. b.seconds) 0. bills;
+    total_energy_j = List.fold_left (fun a b -> a +. b.energy_j) 0. bills;
+    rescued_lines = stats.Nvm.Stats.rescued_lines - rescued_before;
+    dropped_lines = stats.Nvm.Stats.dropped_lines - dropped_before;
+  }
+
+let pp_execution ppf e =
+  let pp_bill ppf b =
+    Fmt.pf ppf "%a: %.6f s, %.3f J%s" Policy.pp_crash_action b.action
+      b.seconds b.energy_j
+      (if b.lines_involved > 0 then
+         Printf.sprintf " (%d dirty lines)" b.lines_involved
+       else "")
+  in
+  Fmt.pf ppf "@[<v>%a@ %a@ total %.6f s, %.3f J; rescued %d lines, dropped %d@]"
+    Policy.pp_verdict e.verdict
+    Fmt.(list ~sep:cut pp_bill)
+    e.bills e.total_seconds e.total_energy_j e.rescued_lines e.dropped_lines

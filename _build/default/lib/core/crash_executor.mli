@@ -1,0 +1,38 @@
+(** Execute a TSP rescue plan against the simulated device.
+
+    {!Policy.decide} names the crash-time actions; this module actually
+    runs them when a failure is injected — flushing the dirty lines into
+    the durable image for TSP verdicts, dropping them otherwise — and
+    bills each action with the time and energy it would cost on the
+    modelled hardware.  The bill is the "timely" and "sufficient" parts
+    of TSP made concrete: a rescue is only a valid design if it fits the
+    budget the hardware actually has at that moment (residual PSU
+    energy, supercapacitors, panic-handler time). *)
+
+type action_bill = {
+  action : Policy.crash_action;
+  seconds : float;
+  energy_j : float;
+  lines_involved : int;  (** dirty lines this action moved (if any) *)
+}
+
+type execution = {
+  verdict : Policy.verdict;
+  mode : Nvm.Pmem.crash_mode;
+  bills : action_bill list;
+  total_seconds : float;
+  total_energy_j : float;
+  rescued_lines : int;
+  dropped_lines : int;
+}
+
+val execute :
+  Nvm.Pmem.t ->
+  hardware:Hardware.t ->
+  failure:Failure_class.t ->
+  execution
+(** Decide the verdict for [failure] on [hardware], apply the
+    corresponding {!Nvm.Pmem.crash} to the device, and bill the actions
+    against the dirty-line count observed at the instant of the crash. *)
+
+val pp_execution : execution Fmt.t

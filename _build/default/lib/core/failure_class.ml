@@ -1,0 +1,23 @@
+type t = Process_crash | Kernel_panic | Power_outage
+
+let all = [ Process_crash; Kernel_panic; Power_outage ]
+
+let to_string = function
+  | Process_crash -> "process-crash"
+  | Kernel_panic -> "kernel-panic"
+  | Power_outage -> "power-outage"
+
+let of_string = function
+  | "process-crash" | "process" | "crash" | "sigkill" -> Ok Process_crash
+  | "kernel-panic" | "kernel" | "panic" -> Ok Kernel_panic
+  | "power-outage" | "power" | "outage" -> Ok Power_outage
+  | s -> Error (Printf.sprintf "unknown failure class %S" s)
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+let severity = function
+  | Process_crash -> 0
+  | Kernel_panic -> 1
+  | Power_outage -> 2
+
+let compare a b = Int.compare (severity a) (severity b)

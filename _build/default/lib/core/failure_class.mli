@@ -1,0 +1,26 @@
+(** The tolerated-failure classes the paper restricts itself to
+    (Section 1): all single-machine, all fail-stop unless noted. *)
+
+type t =
+  | Process_crash
+      (** SIGKILL, segmentation violation, illegal instruction, division
+          by zero: all threads of one process halt abruptly; the OS and
+          the machine keep running. *)
+  | Kernel_panic
+      (** The OS dies but has a last-gasp panic handler; the machine's
+          memory may or may not survive the subsequent reboot. *)
+  | Power_outage
+      (** Utility power is lost; only components with standby energy can
+          take action. *)
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val pp : t Fmt.t
+
+val severity : t -> int
+(** A coarse order: each class destroys strictly more machine state than
+    the previous one (process < kernel < power). *)
+
+val compare : t -> t -> int
+(** By {!severity}. *)

@@ -1,0 +1,23 @@
+type verdict = {
+  total_stores : int;
+  distinct_addresses : int;
+  lost : int;
+  prefix_ok : bool;
+}
+
+let observe pmem =
+  let history = Nvm.Pmem.store_history pmem in
+  let last = Hashtbl.create 1024 in
+  List.iter (fun (addr, v) -> Hashtbl.replace last addr v) history;
+  let lost = Nvm.Pmem.lost_store_count pmem in
+  {
+    total_stores = List.length history;
+    distinct_addresses = Hashtbl.length last;
+    lost;
+    prefix_ok = lost = 0;
+  }
+
+let pp ppf v =
+  Fmt.pf ppf "observer: %d stores to %d addresses; %d lost -> %s"
+    v.total_stores v.distinct_addresses v.lost
+    (if v.prefix_ok then "full prefix visible" else "PREFIX BROKEN")

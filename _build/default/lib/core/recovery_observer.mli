@@ -1,0 +1,25 @@
+(** The recovery observer of Section 4.1, made executable.
+
+    Pelley et al.'s recovery observer is a hypothetical thread created at
+    the instant of a crash, observing the state of memory that recovery
+    code will actually see.  The paper's argument is: under TSP, that
+    state reflects a strict prefix of the stores issued by the terminated
+    threads (in fact, all of them), and a non-blocking algorithm can by
+    definition make correct progress from any such state.
+
+    Given a journaling device ({!Nvm.Pmem.create} with [~journal:true]),
+    this module checks the premise directly: did every issued store reach
+    the durable image the observer reads? *)
+
+type verdict = {
+  total_stores : int;
+  distinct_addresses : int;
+  lost : int;  (** addresses whose final store is missing from durable *)
+  prefix_ok : bool;  (** [lost = 0]: the observer sees all stores *)
+}
+
+val observe : Nvm.Pmem.t -> verdict
+(** Call between [Pmem.crash] and [Pmem.recover] (or any time: the check
+    compares the journal against the durable image). *)
+
+val pp : verdict Fmt.t

@@ -1,0 +1,33 @@
+type scope = Persistent_heap | Whole_process
+type integrity = Fail_stop | Corrupting_sections
+
+type t = {
+  tolerated : Failure_class.t list;
+  scope : scope;
+  integrity : integrity;
+}
+
+let default =
+  { tolerated = Failure_class.all; scope = Persistent_heap; integrity = Fail_stop }
+
+let make ?(scope = Persistent_heap) ?(integrity = Fail_stop) tolerated =
+  { tolerated; scope; integrity }
+
+let mechanism t =
+  match t.integrity with
+  | Fail_stop -> `Non_blocking_suffices
+  | Corrupting_sections -> `Needs_rollback
+
+let scope_to_string = function
+  | Persistent_heap -> "persistent-heap"
+  | Whole_process -> "whole-process"
+
+let integrity_to_string = function
+  | Fail_stop -> "fail-stop"
+  | Corrupting_sections -> "corrupting-sections"
+
+let pp ppf t =
+  Fmt.pf ppf "tolerate {%a}, scope %s, %s"
+    Fmt.(list ~sep:comma Failure_class.pp)
+    t.tolerated (scope_to_string t.scope)
+    (integrity_to_string t.integrity)

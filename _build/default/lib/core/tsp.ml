@@ -1,0 +1,29 @@
+type runtime_plan = {
+  hardware : Hardware.t;
+  requirement : Requirement.t;
+  verdicts : (Failure_class.t * Policy.verdict) list;
+  obligation : Policy.runtime_obligation;
+}
+
+let plan hardware requirement =
+  {
+    hardware;
+    requirement;
+    verdicts = Policy.decide_requirement hardware requirement;
+    obligation = Policy.weakest_runtime_obligation hardware requirement;
+  }
+
+let tsp_everywhere p = List.for_all (fun (_, v) -> Policy.is_tsp v) p.verdicts
+
+let crash pmem ~hardware ~failure =
+  let verdict = Policy.decide hardware failure in
+  Nvm.Pmem.crash pmem (Policy.crash_mode verdict);
+  verdict
+
+let pp_plan ppf p =
+  Fmt.pf ppf "@[<v>%a under %a:@ %a@ => failure-free obligation: %a@]"
+    Requirement.pp p.requirement Hardware.pp p.hardware
+    Fmt.(
+      list ~sep:cut (fun ppf (fc, v) ->
+          pf ppf "  %a: %a" Failure_class.pp fc Policy.pp_verdict v))
+    p.verdicts Policy.pp_runtime_obligation p.obligation

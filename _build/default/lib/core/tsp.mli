@@ -1,0 +1,26 @@
+(** Facade tying the TSP decision procedure to a simulated device.
+
+    Typical use: pick a {!Hardware.t} and a {!Requirement.t}, ask
+    {!runtime_plan} what (if anything) must be done during failure-free
+    operation, run the application accordingly, and when injecting a
+    failure call {!crash} — the device then either rescues or discards
+    its dirty lines exactly as that failure on that platform would. *)
+
+type runtime_plan = {
+  hardware : Hardware.t;
+  requirement : Requirement.t;
+  verdicts : (Failure_class.t * Policy.verdict) list;
+  obligation : Policy.runtime_obligation;
+}
+
+val plan : Hardware.t -> Requirement.t -> runtime_plan
+
+val tsp_everywhere : runtime_plan -> bool
+(** All tolerated failure classes got TSP verdicts. *)
+
+val crash :
+  Nvm.Pmem.t -> hardware:Hardware.t -> failure:Failure_class.t -> Policy.verdict
+(** Inject [failure] on [hardware]: decides the verdict, applies the
+    corresponding {!Nvm.Pmem.crash} mode, and returns the verdict. *)
+
+val pp_plan : runtime_plan Fmt.t

@@ -1,0 +1,1 @@
+lib/nvm/cache.ml: Array List Option

@@ -1,0 +1,1 @@
+lib/nvm/pmem.ml: Cache Config Fmt Hashtbl Int64 List Memory Option Queue Stats

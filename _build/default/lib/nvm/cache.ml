@@ -1,0 +1,118 @@
+type way = { mutable tag : int; mutable dirty : bool; mutable stamp : int }
+(* [tag] is the line number (addr / line_size), or -1 when the way is
+   empty.  [stamp] implements LRU: lower stamp = least recently used. *)
+
+type t = {
+  sets : way array array;
+  line_size : int;
+  n_sets : int;
+  write_back : int -> unit;
+  mutable tick : int;
+}
+
+type access = Hit | Miss of { evicted_dirty : bool }
+
+let create ~sets ~ways ~line_size ~write_back =
+  let make_set _ =
+    Array.init ways (fun _ -> { tag = -1; dirty = false; stamp = 0 })
+  in
+  {
+    sets = Array.init sets make_set;
+    line_size;
+    n_sets = sets;
+    write_back;
+    tick = 0;
+  }
+
+let line_of t addr = addr / t.line_size
+let set_of t line = line mod t.n_sets
+
+let find_way t line =
+  let set = t.sets.(set_of t line) in
+  let rec go i =
+    if i >= Array.length set then None
+    else if set.(i).tag = line then Some set.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let next_stamp t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+let lru_way set =
+  let best = ref set.(0) in
+  Array.iter (fun w -> if w.stamp < !best.stamp then best := w) set;
+  !best
+
+let touch t ~addr ~dirty =
+  let line = line_of t addr in
+  match find_way t line with
+  | Some w ->
+      w.stamp <- next_stamp t;
+      if dirty then w.dirty <- true;
+      Hit
+  | None ->
+      let set = t.sets.(set_of t line) in
+      let victim = lru_way set in
+      let evicted_dirty = victim.tag >= 0 && victim.dirty in
+      if evicted_dirty then t.write_back (victim.tag * t.line_size);
+      victim.tag <- line;
+      victim.dirty <- dirty;
+      victim.stamp <- next_stamp t;
+      Miss { evicted_dirty }
+
+let flush_line t ~addr =
+  let line = line_of t addr in
+  match find_way t line with
+  | Some w when w.dirty ->
+      t.write_back (line * t.line_size);
+      w.dirty <- false;
+      true
+  | Some _ | None -> false
+
+let dirty_lines t =
+  let acc = ref [] in
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun w -> if w.tag >= 0 && w.dirty then acc := (w.tag * t.line_size) :: !acc)
+        set)
+    t.sets;
+  List.sort compare !acc
+
+let write_back_all t =
+  let n = ref 0 in
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun w ->
+          if w.tag >= 0 && w.dirty then begin
+            t.write_back (w.tag * t.line_size);
+            w.dirty <- false;
+            incr n
+          end)
+        set)
+    t.sets;
+  !n
+
+let drop_all t =
+  let lost = ref 0 in
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun w ->
+          if w.tag >= 0 && w.dirty then incr lost;
+          w.tag <- -1;
+          w.dirty <- false;
+          w.stamp <- 0)
+        set)
+    t.sets;
+  !lost
+
+let cached t ~addr = Option.is_some (find_way t (line_of t addr))
+
+let is_dirty t ~addr =
+  match find_way t (line_of t addr) with
+  | Some w -> w.dirty
+  | None -> false

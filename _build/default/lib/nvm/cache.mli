@@ -1,0 +1,47 @@
+(** Set-associative write-back cache model.
+
+    Only the metadata of the cache is modelled — tags, dirty bits and LRU
+    ordering.  Data lives in {!Memory}'s current image; when this model
+    decides a line must be written back it invokes the [write_back]
+    callback supplied at creation, which snapshots that line into the
+    durable image.  This is precisely the behaviour TSP reasons about:
+    dirty lines are vulnerable, written-back lines are safe. *)
+
+type t
+
+type access = Hit | Miss of { evicted_dirty : bool }
+
+val create :
+  sets:int -> ways:int -> line_size:int -> write_back:(int -> unit) -> t
+(** [write_back line_addr] is called with the byte address of the first
+    byte of each line the cache evicts or flushes while dirty. *)
+
+val touch : t -> addr:int -> dirty:bool -> access
+(** Record an access to the line containing [addr].  [dirty] marks the
+    line modified (a store); a load leaves the dirty bit as it was.  On a
+    miss the LRU way of the set is evicted (writing it back first if
+    dirty) and the new line installed. *)
+
+val flush_line : t -> addr:int -> bool
+(** Write the line containing [addr] back if it is cached and dirty
+    (clwb semantics: the line stays cached, now clean).  Returns [true] if
+    a write-back actually happened. *)
+
+val dirty_lines : t -> int list
+(** Byte addresses of all currently dirty lines. *)
+
+val write_back_all : t -> int
+(** Flush every dirty line (the crash-time TSP rescue, or a full cache
+    flush from a kernel panic handler).  Returns the number of lines
+    written back. *)
+
+val drop_all : t -> int
+(** Invalidate the whole cache {e without} writing anything back: the
+    non-TSP crash.  Returns the number of dirty lines whose contents were
+    lost. *)
+
+val cached : t -> addr:int -> bool
+(** Whether the line containing [addr] is present (for tests). *)
+
+val is_dirty : t -> addr:int -> bool
+(** Whether the line containing [addr] is present and dirty. *)

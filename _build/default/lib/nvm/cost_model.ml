@@ -1,0 +1,12 @@
+let seconds cfg ~cycles = float_of_int cycles /. (cfg.Config.ghz *. 1e9)
+
+let miter_per_sec cfg ~iterations ~cycles =
+  if cycles = 0 then nan
+  else float_of_int iterations /. seconds cfg ~cycles /. 1e6
+
+let pp_cycles ppf cycles =
+  let f = float_of_int cycles in
+  if f >= 1e9 then Fmt.pf ppf "%.2f Gcy" (f /. 1e9)
+  else if f >= 1e6 then Fmt.pf ppf "%.2f Mcy" (f /. 1e6)
+  else if f >= 1e3 then Fmt.pf ppf "%.2f kcy" (f /. 1e3)
+  else Fmt.pf ppf "%d cy" cycles

@@ -1,0 +1,10 @@
+(** Conversions between simulated cycles and reported metrics. *)
+
+val seconds : Config.t -> cycles:int -> float
+(** Simulated wall time for [cycles] at the platform's clock rate. *)
+
+val miter_per_sec : Config.t -> iterations:int -> cycles:int -> float
+(** Millions of iterations per second — the metric of Table 1. *)
+
+val pp_cycles : Format.formatter -> int -> unit
+(** Human-readable cycle count (e.g. ["1.25 Mcy"]). *)

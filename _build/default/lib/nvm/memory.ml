@@ -1,0 +1,47 @@
+type t = { current : Bytes.t; durable : Bytes.t; size : int }
+
+let create ~size =
+  { current = Bytes.make size '\000'; durable = Bytes.make size '\000'; size }
+
+let size t = t.size
+
+let check t addr =
+  if addr < 0 || addr + 8 > t.size then
+    Fmt.invalid_arg "Memory: word address %d out of bounds (size %d)" addr
+      t.size;
+  if addr land 7 <> 0 then
+    Fmt.invalid_arg "Memory: word address %d not 8-byte aligned" addr
+
+let load t addr =
+  check t addr;
+  Bytes.get_int64_le t.current addr
+
+let store t addr v =
+  check t addr;
+  Bytes.set_int64_le t.current addr v
+
+let load_durable t addr =
+  check t addr;
+  Bytes.get_int64_le t.durable addr
+
+let write_back t ~line_addr ~len =
+  Bytes.blit t.current line_addr t.durable line_addr len
+
+let discard_current t = Bytes.blit t.durable 0 t.current 0 t.size
+let promote_all t = Bytes.blit t.current 0 t.durable 0 t.size
+
+let blit_string t addr s =
+  Bytes.blit_string s 0 t.current addr (String.length s);
+  Bytes.blit_string s 0 t.durable addr (String.length s)
+
+let diff_lines t ~line_size =
+  let n = t.size / line_size in
+  let differs i =
+    let off = i * line_size in
+    not
+      (String.equal
+         (Bytes.sub_string t.current off line_size)
+         (Bytes.sub_string t.durable off line_size))
+  in
+  List.filter differs (List.init n (fun i -> i))
+  |> List.map (fun i -> i * line_size)

@@ -1,0 +1,51 @@
+(** The two byte images of the simulated NVM region.
+
+    [current] is what running threads observe: it reflects every store
+    issued so far, regardless of whether the data has left the (simulated)
+    CPU cache.  [durable] is what the persistence domain holds: it is only
+    updated when a line is written back — by cache eviction, by an explicit
+    flush, or by a TSP crash-time rescue.  After a crash, recovery swaps
+    the durable image in as the new current image; anything that never
+    reached [durable] is gone. *)
+
+type t
+
+val create : size:int -> t
+(** Fresh, zero-filled region; [size] in bytes. *)
+
+val size : t -> int
+
+val load : t -> int -> int64
+(** [load t addr] reads the 8-byte little-endian word at byte offset
+    [addr] from the current image.  [addr] must be 8-byte aligned and in
+    bounds. *)
+
+val store : t -> int -> int64 -> unit
+(** Write a word to the current image (cache semantics are handled by the
+    device, not here). *)
+
+val load_durable : t -> int -> int64
+(** Read a word from the durable image, bypassing the current image.  Used
+    by tests and by the recovery observer. *)
+
+val write_back : t -> line_addr:int -> len:int -> unit
+(** Copy [len] bytes at [line_addr] from current to durable: the effect of
+    a cache-line write-back. *)
+
+val discard_current : t -> unit
+(** Replace the current image with a copy of the durable image: the effect
+    of a crash in which unsaved data is lost. *)
+
+val promote_all : t -> unit
+(** Copy the entire current image over the durable image: the effect of a
+    perfect TSP rescue (used only by tests; real rescues write back the
+    dirty lines individually so the statistics stay honest). *)
+
+val blit_string : t -> int -> string -> unit
+(** Raw initialisation helper: write [string] bytes into both images at
+    once (used when formatting a fresh heap, which is by definition
+    durable). *)
+
+val diff_lines : t -> line_size:int -> int list
+(** Byte offsets of the lines whose current and durable contents differ;
+    a debugging and verification aid. *)

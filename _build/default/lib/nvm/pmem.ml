@@ -1,0 +1,191 @@
+type crash_mode = Rescue | Discard
+
+type t = {
+  cfg : Config.t;
+  mem : Memory.t;
+  cache : Cache.t;
+  stats : Stats.t;
+  mutable hook : (cost:int -> unit) option;
+  mutable crashed : bool;
+  journal : (int * int64) Queue.t option;
+}
+
+exception Crashed_device
+
+let create ?(journal = false) cfg =
+  (match Config.validate cfg with
+  | Ok () -> ()
+  | Error msg -> Fmt.invalid_arg "Pmem.create: %s" msg);
+  let mem = Memory.create ~size:cfg.Config.region_size in
+  let stats = Stats.create () in
+  let write_back line_addr =
+    stats.Stats.writebacks <- stats.Stats.writebacks + 1;
+    Memory.write_back mem ~line_addr ~len:cfg.Config.line_size
+  in
+  let cache =
+    Cache.create ~sets:(Config.n_sets cfg) ~ways:cfg.Config.cache_ways
+      ~line_size:cfg.Config.line_size ~write_back
+  in
+  {
+    cfg;
+    mem;
+    cache;
+    stats;
+    hook = None;
+    crashed = false;
+    journal = (if journal then Some (Queue.create ()) else None);
+  }
+
+let config t = t.cfg
+let stats t = t.stats
+let set_step_hook t f = t.hook <- Some f
+let clear_step_hook t = t.hook <- None
+
+let step t cost =
+  match t.hook with
+  | Some f -> f ~cost
+  | None -> t.stats.Stats.clock <- t.stats.Stats.clock + cost
+
+let charge t cycles =
+  if cycles > 0 then begin
+    t.stats.Stats.compute_cycles <- t.stats.Stats.compute_cycles + cycles;
+    step t cycles
+  end
+
+let guard t = if t.crashed then raise Crashed_device
+
+let load t addr =
+  guard t;
+  let st = t.stats in
+  st.Stats.loads <- st.Stats.loads + 1;
+  let cost =
+    match Cache.touch t.cache ~addr ~dirty:false with
+    | Cache.Hit ->
+        st.Stats.load_hits <- st.Stats.load_hits + 1;
+        t.cfg.Config.load_hit
+    | Cache.Miss _ ->
+        st.Stats.load_misses <- st.Stats.load_misses + 1;
+        t.cfg.Config.load_miss
+  in
+  st.Stats.load_cycles <- st.Stats.load_cycles + cost;
+  step t cost;
+  Memory.load t.mem addr
+
+let record_store t addr v =
+  match t.journal with
+  | None -> ()
+  | Some q -> Queue.add (addr, v) q
+
+let store t addr v =
+  guard t;
+  let st = t.stats in
+  st.Stats.stores <- st.Stats.stores + 1;
+  let cost =
+    match Cache.touch t.cache ~addr ~dirty:true with
+    | Cache.Hit ->
+        st.Stats.store_hits <- st.Stats.store_hits + 1;
+        t.cfg.Config.store_cost
+    | Cache.Miss _ ->
+        st.Stats.store_misses <- st.Stats.store_misses + 1;
+        t.cfg.Config.store_cost + t.cfg.Config.store_miss_extra
+  in
+  st.Stats.store_cycles <- st.Stats.store_cycles + cost;
+  step t cost;
+  Memory.store t.mem addr v;
+  record_store t addr v
+
+let cas t addr ~expected ~desired =
+  guard t;
+  let st = t.stats in
+  st.Stats.cas_ops <- st.Stats.cas_ops + 1;
+  let base =
+    match Cache.touch t.cache ~addr ~dirty:true with
+    | Cache.Hit -> t.cfg.Config.store_cost
+    | Cache.Miss _ -> t.cfg.Config.store_cost + t.cfg.Config.store_miss_extra
+  in
+  (* The step (and hence any scheduler yield) happens before the
+     read-modify-write, which then executes indivisibly: no other thread
+     can run between the comparison and the write. *)
+  st.Stats.cas_cycles <- st.Stats.cas_cycles + base + t.cfg.Config.cas_extra;
+  step t (base + t.cfg.Config.cas_extra);
+  let actual = Memory.load t.mem addr in
+  if Int64.equal actual expected then begin
+    Memory.store t.mem addr desired;
+    record_store t addr desired;
+    true
+  end
+  else begin
+    st.Stats.cas_failures <- st.Stats.cas_failures + 1;
+    false
+  end
+
+let load_int t addr = Int64.to_int (load t addr)
+let store_int t addr v = store t addr (Int64.of_int v)
+
+let cas_int t addr ~expected ~desired =
+  cas t addr ~expected:(Int64.of_int expected) ~desired:(Int64.of_int desired)
+
+let flush t addr =
+  guard t;
+  t.stats.Stats.flushes <- t.stats.Stats.flushes + 1;
+  t.stats.Stats.flush_cycles <- t.stats.Stats.flush_cycles + t.cfg.Config.flush_cost;
+  step t t.cfg.Config.flush_cost;
+  ignore (Cache.flush_line t.cache ~addr : bool)
+
+let fence t =
+  guard t;
+  t.stats.Stats.fences <- t.stats.Stats.fences + 1;
+  t.stats.Stats.fence_cycles <- t.stats.Stats.fence_cycles + t.cfg.Config.fence_cost;
+  step t t.cfg.Config.fence_cost
+
+let crash t mode =
+  guard t;
+  t.stats.Stats.crashes <- t.stats.Stats.crashes + 1;
+  (match mode with
+  | Rescue ->
+      let n = Cache.write_back_all t.cache in
+      t.stats.Stats.rescued_lines <- t.stats.Stats.rescued_lines + n
+  | Discard ->
+      let n = Cache.drop_all t.cache in
+      t.stats.Stats.dropped_lines <- t.stats.Stats.dropped_lines + n);
+  t.crashed <- true
+
+let recover t =
+  if not t.crashed then invalid_arg "Pmem.recover: device has not crashed";
+  Memory.discard_current t.mem;
+  ignore (Cache.drop_all t.cache : int);
+  Option.iter Queue.clear t.journal;
+  t.crashed <- false
+
+let is_crashed t = t.crashed
+
+let persist_all t =
+  guard t;
+  let dirty = Cache.dirty_lines t.cache in
+  List.iter (fun addr -> flush t addr) dirty;
+  fence t
+let load_durable t addr = Memory.load_durable t.mem addr
+let peek t addr = Memory.load t.mem addr
+let dirty_line_count t = List.length (Cache.dirty_lines t.cache)
+
+let store_history t =
+  match t.journal with
+  | None -> []
+  | Some q -> List.of_seq (Queue.to_seq q)
+
+let last_values t =
+  match t.journal with
+  | None -> invalid_arg "Pmem: device was created without ~journal:true"
+  | Some q ->
+      let last = Hashtbl.create 1024 in
+      Queue.iter (fun (addr, v) -> Hashtbl.replace last addr v) q;
+      last
+
+let lost_store_count t =
+  let last = last_values t in
+  Hashtbl.fold
+    (fun addr v acc ->
+      if Int64.equal (Memory.load_durable t.mem addr) v then acc else acc + 1)
+    last 0
+
+let durable_reflects_all_stores t = lost_store_count t = 0

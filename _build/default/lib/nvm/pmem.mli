@@ -1,0 +1,117 @@
+(** The simulated byte-addressable NVM device.
+
+    Programs manipulate durable data through this interface exactly as the
+    paper's "NVM style" prescribes: word-granularity loads, stores and CAS
+    directly against the persistent region, with explicit [flush]/[fence]
+    persistence primitives available (and, under TSP, unnecessary).
+
+    Every operation reports its cycle cost through the registered step
+    hook — the scheduler uses this to advance the issuing thread's virtual
+    clock and to interleave threads.  When no hook is installed (setup and
+    recovery code), costs accumulate on {!Stats.t}'s [clock].
+
+    Crash semantics (the heart of the reproduction):
+    - [crash t Rescue] models a tolerated failure for which TSP is
+      available: every dirty cache line is written back to the durable
+      image before execution stops, so recovery observes {e all} stores
+      issued so far — a strict prefix of program order (the whole of it).
+    - [crash t Discard] models a failure without TSP (e.g. power loss on
+      plain DRAM): dirty lines are lost and the durable image keeps only
+      what eviction or explicit flushes had already written back. *)
+
+type t
+
+type crash_mode =
+  | Rescue  (** TSP available: dirty lines written back at crash time *)
+  | Discard  (** TSP unavailable: dirty lines lost *)
+
+exception Crashed_device
+(** Raised by every operation between {!crash} and {!recover}. *)
+
+val create : ?journal:bool -> Config.t -> t
+(** Build a device.  [journal] (default [false]) records every store in a
+    history buffer so the recovery-observer check can verify the
+    prefix property; it costs memory, so enable it only in tests. *)
+
+val config : t -> Config.t
+val stats : t -> Stats.t
+
+val set_step_hook : t -> (cost:int -> unit) -> unit
+(** Install the scheduler callback invoked once per operation with that
+    operation's cycle cost.  The callback typically yields. *)
+
+val clear_step_hook : t -> unit
+
+val charge : t -> int -> unit
+(** Account [cycles] of pure computation (hashing, RNG, loop overhead) to
+    the issuing thread.  Models the instruction stream between memory
+    operations without simulating it. *)
+
+(** {1 Memory operations} *)
+
+val load : t -> int -> int64
+val store : t -> int -> int64 -> unit
+
+val cas : t -> int -> expected:int64 -> desired:int64 -> bool
+(** Atomic compare-and-swap on one word: the read and conditional write
+    happen within a single scheduler step, as a hardware CAS would. *)
+
+val load_int : t -> int -> int
+val store_int : t -> int -> int -> unit
+val cas_int : t -> int -> expected:int -> desired:int -> bool
+
+val flush : t -> int -> unit
+(** Write the cache line containing the address back to the durable
+    image (clwb).  A no-op if the line is clean, but the latency is paid
+    regardless, as on real hardware. *)
+
+val fence : t -> unit
+(** Persist fence: orders prior flushes.  In this model write-backs are
+    immediate, so the fence only costs cycles — but callers must still
+    issue it where a real persistence protocol would, and tests assert
+    that they do. *)
+
+(** {1 Crash and recovery} *)
+
+val crash : t -> crash_mode -> unit
+(** Stop the world.  See the module header for the two modes.  After a
+    crash the device is unusable until {!recover}. *)
+
+val recover : t -> unit
+(** Model a restart: the current image is replaced by the durable image
+    and the cache is cold.  The journal (if any) is cleared. *)
+
+val is_crashed : t -> bool
+
+val persist_all : t -> unit
+(** Write every dirty line back to the durable image, paying one flush
+    per line plus a fence.  Recovery code calls this when it finishes, so
+    the repaired state is itself durable. *)
+
+(** {1 Inspection (tests, verification, the recovery observer)} *)
+
+val load_durable : t -> int -> int64
+(** What the persistence domain holds right now, bypassing the cache. *)
+
+val peek : t -> int -> int64
+(** Debug read of the current image with no cost, no statistics and no
+    cache effects.  For assertions and verifiers only — simulated code
+    must use {!load}. *)
+
+val dirty_line_count : t -> int
+
+val store_history : t -> (int * int64) list
+(** Journal of (address, value) stores in issue order, oldest first.
+    Empty unless the device was created with [~journal:true]. *)
+
+val durable_reflects_all_stores : t -> bool
+(** The recovery-observer check of Section 4.1: for every address ever
+    stored to, is the {e last} stored value the one in the durable image?
+    This is exactly the guarantee a TSP [Rescue] crash provides (recovery
+    sees the full prefix of issued stores); after a [Discard] crash it
+    typically fails, which is why non-TSP designs must flush.
+    Precondition: device created with [~journal:true]. *)
+
+val lost_store_count : t -> int
+(** Number of journaled addresses whose last stored value did not reach
+    the durable image (0 after a TSP rescue). *)

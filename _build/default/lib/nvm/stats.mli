@@ -1,0 +1,51 @@
+(** Operation counters and the simulated clock of an NVM device.
+
+    Every primitive operation of {!Pmem} bumps a counter here.  The
+    [clock] field only accumulates cycles for operations performed outside
+    a scheduler (e.g. setup and recovery code); during a multi-threaded
+    simulation the per-thread virtual clocks live in the scheduler and the
+    device merely reports each operation's cost through its step hook. *)
+
+type t = {
+  mutable loads : int;
+  mutable load_hits : int;
+  mutable load_misses : int;
+  mutable stores : int;
+  mutable store_hits : int;
+  mutable store_misses : int;
+  mutable cas_ops : int;
+  mutable cas_failures : int;
+  mutable flushes : int;
+  mutable fences : int;
+  mutable writebacks : int;  (** lines written back by eviction or flush *)
+  mutable crashes : int;
+  mutable rescued_lines : int;  (** dirty lines saved by a TSP rescue *)
+  mutable dropped_lines : int;  (** dirty lines lost in a non-TSP crash *)
+  mutable clock : int;  (** cycles charged outside any scheduler *)
+  mutable load_cycles : int;
+  mutable store_cycles : int;
+  mutable cas_cycles : int;
+  mutable flush_cycles : int;
+  mutable fence_cycles : int;
+  mutable compute_cycles : int;  (** explicit {!Pmem.charge} work *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val total_ops : t -> int
+(** Loads + stores + CAS + flushes + fences. *)
+
+val hit_rate : t -> float
+(** Fraction of loads and stores that hit the cache; [nan] if none. *)
+
+val total_cycles : t -> int
+(** Sum of all per-category cycle counters: everything the device ever
+    charged, wherever the charge landed (thread clocks or [clock]). *)
+
+val pp : t Fmt.t
+
+val pp_breakdown : t Fmt.t
+(** One line per cycle category with its share of {!total_cycles} —
+    the "where did the time go" view used by the overhead-decomposition
+    report. *)

@@ -1,0 +1,1 @@
+lib/pheap/freelist.ml: Hashtbl List Stack

@@ -1,0 +1,1 @@
+lib/pheap/heap.ml: Fmt Freelist Int64 Layout List Nvm

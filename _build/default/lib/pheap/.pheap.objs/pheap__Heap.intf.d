@@ -1,0 +1,1 @@
+lib/pheap/heap.mli: Nvm

@@ -1,0 +1,1 @@
+lib/pheap/heap_gc.ml: Fmt Hashtbl Heap Int64 Kind Layout List Nvm Stack

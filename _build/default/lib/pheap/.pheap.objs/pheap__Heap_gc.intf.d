@@ -1,0 +1,1 @@
+lib/pheap/heap_gc.mli: Fmt Hashtbl Heap

@@ -1,0 +1,1 @@
+lib/pheap/kind.ml: Fmt Hashtbl Int64 Printf String

@@ -1,0 +1,24 @@
+(** Size-segregated free lists for the persistent-heap allocator.
+
+    Purely volatile: the authoritative record of what is free lives in the
+    object headers on NVM (kind 0); this structure is an index over them,
+    rebuilt from scratch by the recovery-time GC.  Blocks are keyed by
+    data-word count; [take] returns an exact-size block when one exists,
+    otherwise the smallest block that can be split without leaving an
+    unrepresentable sliver (a split remainder needs at least a header and
+    one data word). *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+
+val add : t -> addr:int -> words:int -> unit
+(** Record a free block: [addr] is its data address, [words] its size. *)
+
+val take : t -> words:int -> (int * int) option
+(** [take t ~words] removes and returns [(addr, block_words)] with either
+    [block_words = words] or [block_words >= words + 2]. *)
+
+val total_free_words : t -> int
+val block_count : t -> int

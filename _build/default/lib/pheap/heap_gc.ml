@@ -1,0 +1,149 @@
+type stats = {
+  live_objects : int;
+  live_words : int;
+  freed_objects : int;
+  freed_words : int;
+  coalesced_blocks : int;
+  dangling_refs : int;
+}
+
+let strip_tag a = a land lnot 7
+(* Pointer words may carry tag bits in the low three bits (the lock-free
+   skip list uses bit 0 as its deletion mark); heap addresses are always
+   8-byte aligned, so masking recovers the address. *)
+
+let mark heap =
+  let pmem = Heap.pmem heap in
+  let marks : (Heap.addr, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let dangling = ref 0 in
+  let load a = Nvm.Pmem.load pmem a in
+  let stack = Stack.create () in
+  let push a =
+    let a = strip_tag a in
+    if a <> Heap.null && not (Hashtbl.mem marks a) then
+      if Heap.is_object_start heap a then begin
+        Hashtbl.replace marks a ();
+        Stack.push a stack
+      end
+      else incr dangling
+  in
+  push (Heap.get_root heap);
+  while not (Stack.is_empty stack) do
+    let a = Stack.pop stack in
+    let kind = Heap.kind_of heap a in
+    let words = Heap.words_of heap a in
+    let scan = Kind.scan_object ~kind in
+    List.iter push (scan ~load ~addr:a ~words)
+  done;
+  (marks, !dangling)
+
+let collect heap =
+  let marks, dangling_refs = mark heap in
+  let live_objects = ref 0 in
+  let live_words = ref 0 in
+  let freed_objects = ref 0 in
+  let freed_words = ref 0 in
+  let free_blocks = ref [] in
+  (* Accumulate a run of contiguous dead/free blocks, then emit it as one
+     coalesced free block.  [run_start] is the data address the coalesced
+     block will have; its size swallows the headers of all merged blocks
+     except the first. *)
+  let run_start = ref 0 in
+  let run_end = ref 0 in
+  let flush_run () =
+    if !run_start <> 0 then begin
+      let words = (!run_end - !run_start) / Layout.word_size in
+      free_blocks := (!run_start, words) :: !free_blocks;
+      freed_words := !freed_words + words;
+      run_start := 0
+    end
+  in
+  Heap.iter_blocks heap (fun ~addr ~kind ~words ->
+      let dead = kind <> Layout.kind_free && not (Hashtbl.mem marks addr) in
+      if Hashtbl.mem marks addr then begin
+        flush_run ();
+        incr live_objects;
+        live_words := !live_words + words
+      end
+      else begin
+        if dead then incr freed_objects;
+        if !run_start = 0 then run_start := addr;
+        run_end := addr + (words * Layout.word_size)
+      end);
+  flush_run ();
+  Heap.reset_allocator heap ~free:!free_blocks;
+  {
+    live_objects = !live_objects;
+    live_words = !live_words;
+    freed_objects = !freed_objects;
+    freed_words = !freed_words;
+    coalesced_blocks = List.length !free_blocks;
+    dangling_refs;
+  }
+
+let reachable heap = fst (mark heap)
+
+let verify heap =
+  let pmem = Heap.pmem heap in
+  let errors = ref [] in
+  let err fmt = Fmt.kstr (fun s -> errors := s :: !errors) fmt in
+  let peek a = Nvm.Pmem.peek pmem a in
+  (* Pass 1: the block chain must tile the allocated span exactly. *)
+  let objects = Hashtbl.create 1024 in
+  let rec walk header_addr =
+    if header_addr < Heap.end_addr heap then begin
+      let h = peek header_addr in
+      if not (Layout.header_valid h) then
+        err "invalid header at %d: %Lx" header_addr h
+      else begin
+        let words = Layout.header_words h in
+        let kind = Layout.header_kind h in
+        let a = header_addr + Layout.word_size in
+        let next = a + (words * Layout.word_size) in
+        if next > Heap.end_addr heap then
+          err "block at %d overruns heap end" a
+        else begin
+          if kind <> Layout.kind_free then begin
+            if not (Kind.is_registered kind) then
+              err "object at %d has unregistered kind %d" a kind;
+            Hashtbl.replace objects a (kind, words)
+          end;
+          walk next
+        end
+      end
+    end
+  in
+  walk (Heap.start_addr heap);
+  (* Pass 2: pointers from reachable objects must target valid objects. *)
+  if !errors = [] then begin
+    let seen = Hashtbl.create 1024 in
+    let stack = Stack.create () in
+    let push src a =
+      let a = strip_tag a in
+      if a <> Heap.null && not (Hashtbl.mem seen a) then
+        if Hashtbl.mem objects a then begin
+          Hashtbl.replace seen a ();
+          Stack.push a stack
+        end
+        else err "object %d references invalid address %d" src a
+    in
+    let root = Int64.to_int (peek (Heap.base heap + Layout.root_offset)) in
+    push 0 root;
+    while not (Stack.is_empty stack) do
+      let a = Stack.pop stack in
+      match Hashtbl.find_opt objects a with
+      | None -> ()
+      | Some (kind, words) when Kind.is_registered kind ->
+          let scan = Kind.scan_object ~kind in
+          List.iter (push a) (scan ~load:peek ~addr:a ~words)
+      | Some _ -> ()
+    done
+  end;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "live %d objs / %d words; reclaimed %d objs, %d words in %d free blocks; \
+     dangling refs %d"
+    s.live_objects s.live_words s.freed_objects s.freed_words
+    s.coalesced_blocks s.dangling_refs

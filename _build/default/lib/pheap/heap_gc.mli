@@ -1,0 +1,39 @@
+(** Recovery-time mark-sweep garbage collector.
+
+    Crashes can leak persistent memory: an interrupted operation may have
+    allocated objects that never became reachable, and Atlas rollback can
+    orphan objects allocated inside an undone critical section.  Following
+    Atlas's design (Section 4.2 of the paper), leaks are reclaimed by a
+    collector that runs during recovery rather than by making the
+    allocator itself failure-atomic.
+
+    [collect] marks from the heap root using the {!Kind} registry's scan
+    functions, then sweeps the whole span linearly: runs of dead and free
+    blocks are coalesced into single free blocks and handed back to the
+    allocator.  All reads and writes go through the costed device path, so
+    recovery time shows up in the simulated clock — TSP moves work to
+    recovery, and the simulator charges for it honestly. *)
+
+type stats = {
+  live_objects : int;
+  live_words : int;
+  freed_objects : int;  (** dead objects reclaimed (excludes free blocks) *)
+  freed_words : int;  (** total words returned to the free lists *)
+  coalesced_blocks : int;  (** resulting free blocks after coalescing *)
+  dangling_refs : int;
+      (** pointers from live objects that did not refer to a valid object;
+          non-zero indicates heap damage (expected after non-TSP crashes) *)
+}
+
+val collect : Heap.t -> stats
+(** @raise Heap.Corrupt if the heap cannot even be parsed. *)
+
+val reachable : Heap.t -> (Heap.addr, unit) Hashtbl.t
+(** The mark set: every object reachable from the root. *)
+
+val verify : Heap.t -> (unit, string list) result
+(** Cost-free structural audit (used by tests and the fault-injection
+    verdict): block chain parses, kinds are registered, live pointers
+    target valid objects.  Returns all problems found. *)
+
+val pp_stats : stats Fmt.t

@@ -1,0 +1,34 @@
+(** Registry of object kinds.
+
+    The recovery-time garbage collector must know which words of an object
+    hold heap pointers.  Each data structure registers its node layouts
+    here once (at module initialisation); the kind id is stored in every
+    object header, making the heap self-describing across crashes.
+
+    A [scan] function receives a word reader and the object's address and
+    size and returns the addresses the object points to.  It must strip
+    any tag bits it packs into pointer words (e.g. the skip list's mark
+    bit) and must return 0 ([Heap.null]) for empty slots or simply omit
+    them. *)
+
+type scan = load:(int -> int64) -> addr:int -> words:int -> int list
+
+val raw : int
+(** Builtin kind 1: no pointers at all. *)
+
+val all_pointers : int
+(** Builtin kind 2: every word is either null or a heap pointer. *)
+
+val register : ?kind:int -> name:string -> scan:scan -> unit -> int
+(** Register a kind and return its id.  When [kind] is given it is used.
+    Re-registering an id under the same name is an idempotent no-op that
+    keeps the {e original} scanner (a kind cannot be silently neutered
+    once objects of it exist); registering a different name over an
+    existing id raises.  Ids must fit in a byte and not collide with the
+    free-block kind 0. *)
+
+val scan_object : kind:int -> scan
+(** Scanner for [kind]. @raise Invalid_argument for unknown kinds. *)
+
+val name : int -> string
+val is_registered : int -> bool

@@ -1,0 +1,1 @@
+lib/sched/scheduler.ml: Array Effect Fmt List Option Printexc Printf Queue Sim_rng

@@ -1,0 +1,226 @@
+type runnable =
+  | Fresh of (unit -> unit)
+  | Suspended of (unit, unit) Effect.Deep.continuation
+
+type thread_state = Runnable of runnable | Running | Blocked | Done
+
+type thread = {
+  id : int;
+  name : string;
+  mutable vclock : int;
+  mutable state : thread_state;
+}
+
+type t = {
+  mutable threads : thread array;
+  rng : Sim_rng.t;
+  cost_jitter : int;
+  mutable steps : int;
+  mutable crash_at_step : int option;
+  mutable crashed : bool;
+  mutable current : int;  (* -1 when no thread is executing *)
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+  mutable started : bool;
+  mutable next_mutex_id : int;
+}
+
+type outcome =
+  | Completed
+  | Crashed of { at_step : int }
+  | Deadlocked of { blocked : string list }
+
+type mutex = {
+  mid : int;
+  sched : t;
+  mutable owner : int option;
+  waiters : (thread * (unit, unit) Effect.Deep.continuation) Queue.t;
+}
+
+type _ Effect.t +=
+  | Step_eff : int -> unit Effect.t
+  | Block_eff : mutex -> unit Effect.t
+
+let create ?(seed = 42) ?(cost_jitter = 0) () =
+  {
+    threads = [||];
+    rng = Sim_rng.create ~seed;
+    cost_jitter;
+    steps = 0;
+    crash_at_step = None;
+    crashed = false;
+    current = -1;
+    failure = None;
+    started = false;
+    next_mutex_id = 0;
+  }
+
+let thread_count t = Array.length t.threads
+
+let spawn t ?name f =
+  if t.started then invalid_arg "Scheduler.spawn: scheduler already ran";
+  let id = Array.length t.threads in
+  let name = Option.value name ~default:(Printf.sprintf "thread-%d" id) in
+  let th = { id; name; vclock = 0; state = Runnable (Fresh f) } in
+  t.threads <- Array.append t.threads [| th |];
+  id
+
+let current_thread t =
+  if t.current < 0 then
+    invalid_arg "Scheduler: not inside a simulated thread";
+  t.threads.(t.current)
+
+let self t = (current_thread t).id
+
+let step t ~cost =
+  ignore (current_thread t : thread);
+  Effect.perform (Step_eff cost)
+
+let yield t = step t ~cost:0
+
+let elapsed_cycles t =
+  Array.fold_left (fun acc th -> max acc th.vclock) 0 t.threads
+
+let total_steps t = t.steps
+let thread_cycles t id = t.threads.(id).vclock
+let is_crashed t = t.crashed
+
+(* One deep handler is installed per fiber at its first resumption; every
+   later [continue] re-enters it, so the closed-over [th] is always the
+   fiber's own record. *)
+let handler t th =
+  {
+    Effect.Deep.retc = (fun () -> th.state <- Done);
+    exnc =
+      (fun e ->
+        th.state <- Done;
+        if t.failure = None then
+          t.failure <- Some (e, Printexc.get_raw_backtrace ()));
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Step_eff cost ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                let jitter =
+                  if t.cost_jitter > 0 then Sim_rng.int t.rng (t.cost_jitter + 1)
+                  else 0
+                in
+                th.vclock <- th.vclock + cost + jitter;
+                t.steps <- t.steps + 1;
+                match t.crash_at_step with
+                | Some c when t.steps >= c ->
+                    (* Abandon the continuation: the operation that would
+                       have followed this step never executes, and neither
+                       does anything else in any thread. *)
+                    t.crashed <- true
+                | _ -> th.state <- Runnable (Suspended k))
+        | Block_eff m ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                th.state <- Blocked;
+                Queue.add (th, k) m.waiters)
+        | _ -> None);
+  }
+
+let pick t =
+  let best = ref None in
+  let ties = ref 0 in
+  Array.iter
+    (fun th ->
+      match th.state with
+      | Runnable _ -> begin
+          match !best with
+          | None ->
+              best := Some th;
+              ties := 1
+          | Some b ->
+              if th.vclock < b.vclock then begin
+                best := Some th;
+                ties := 1
+              end
+              else if th.vclock = b.vclock then begin
+                (* Reservoir-sample among clock ties so that equal-time
+                   threads interleave differently across seeds. *)
+                incr ties;
+                if Sim_rng.int t.rng !ties = 0 then best := Some th
+              end
+        end
+      | Running | Blocked | Done -> ())
+    t.threads;
+  !best
+
+let run ?crash_at_step t =
+  if t.started then invalid_arg "Scheduler.run: scheduler already ran";
+  t.started <- true;
+  t.crash_at_step <- crash_at_step;
+  let rec loop () =
+    if t.crashed then Crashed { at_step = t.steps }
+    else
+      match t.failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> begin
+          match pick t with
+          | None ->
+              let blocked =
+                Array.to_list t.threads
+                |> List.filter (fun th -> th.state = Blocked)
+                |> List.map (fun th -> th.name)
+              in
+              if blocked = [] then Completed else Deadlocked { blocked }
+          | Some th ->
+              t.current <- th.id;
+              (match th.state with
+              | Runnable r -> begin
+                  th.state <- Running;
+                  match r with
+                  | Fresh f -> Effect.Deep.match_with f () (handler t th)
+                  | Suspended k -> Effect.Deep.continue k ()
+                end
+              | Running | Blocked | Done -> assert false);
+              t.current <- -1;
+              loop ()
+        end
+  in
+  loop ()
+
+module Mutex = struct
+  type nonrec mutex = mutex
+
+  let create t =
+    let mid = t.next_mutex_id in
+    t.next_mutex_id <- mid + 1;
+    { mid; sched = t; owner = None; waiters = Queue.create () }
+
+  let id m = m.mid
+
+  let lock m =
+    let me = current_thread m.sched in
+    match m.owner with
+    | Some o when o = me.id ->
+        Fmt.invalid_arg "Scheduler.Mutex.lock: %s already holds mutex %d"
+          me.name m.mid
+    | None -> m.owner <- Some me.id
+    | Some _ ->
+        (* Suspend; [unlock] hands ownership over before resuming us, so
+           on return the mutex is ours. *)
+        Effect.perform (Block_eff m)
+
+  let unlock m =
+    let me = current_thread m.sched in
+    match m.owner with
+    | Some o when o = me.id -> begin
+        match Queue.take_opt m.waiters with
+        | Some (th, k) ->
+            m.owner <- Some th.id;
+            (* The waiter could not have proceeded before the release, so
+               its clock jumps forward to the release instant. *)
+            th.vclock <- max th.vclock me.vclock;
+            th.state <- Runnable (Suspended k)
+        | None -> m.owner <- None
+      end
+    | Some _ | None ->
+        Fmt.invalid_arg "Scheduler.Mutex.unlock: %s does not hold mutex %d"
+          me.name m.mid
+
+  let owner m = m.owner
+end

@@ -1,0 +1,81 @@
+(** Deterministic discrete-event scheduler for simulated threads.
+
+    Simulated threads are ordinary OCaml functions that run as effect
+    fibers.  Each memory operation of the NVM device reports its cycle
+    cost through {!step}; the scheduler charges it to the issuing thread's
+    virtual clock, then suspends the fiber and resumes whichever runnable
+    thread now has the {e smallest} virtual clock.  This models threads
+    executing in parallel on their own cores: total simulated time is the
+    maximum per-thread clock, and a thread that blocks on a mutex simply
+    stops accumulating time until the owner hands the mutex over.
+
+    Crash injection: [run ~crash_at_step:k] abruptly abandons {e every}
+    thread once the [k]-th step has executed — the simulated analogue of
+    delivering SIGKILL to a multithreaded process, which is exactly the
+    fault-injection methodology of Section 5.1 of the paper.
+
+    Determinism: scheduling decisions depend only on the seed, the spawn
+    order and the costs reported, so a given (program, seed, crash point)
+    triple always produces the same interleaving. *)
+
+type t
+
+type outcome =
+  | Completed  (** every thread ran to completion *)
+  | Crashed of { at_step : int }
+      (** crash injection fired; all threads were abandoned *)
+  | Deadlocked of { blocked : string list }
+      (** no runnable thread, but some are blocked on mutexes *)
+
+val create : ?seed:int -> ?cost_jitter:int -> unit -> t
+(** [cost_jitter] (default 0) adds a uniform random 0..jitter cycles to
+    every step, perturbing interleavings between seeds — useful for
+    fault-injection diversity. *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> int
+(** Register a thread; returns its id (0, 1, ... in spawn order).  Must be
+    called before {!run}. *)
+
+val run : ?crash_at_step:int -> t -> outcome
+(** Execute all spawned threads to completion, deadlock or crash.  An
+    exception escaping a thread aborts the whole run and is re-raised.
+    May be called only once per scheduler. *)
+
+val step : t -> cost:int -> unit
+(** Charge [cost] cycles to the calling thread and yield.  Must be called
+    from inside a simulated thread; this is what gets wired into
+    [Pmem.set_step_hook]. *)
+
+val yield : t -> unit
+(** [step t ~cost:0]. *)
+
+val self : t -> int
+(** Id of the currently executing simulated thread.
+    @raise Invalid_argument outside of {!run}. *)
+
+val elapsed_cycles : t -> int
+(** Simulated duration so far: the maximum per-thread virtual clock. *)
+
+val total_steps : t -> int
+val thread_cycles : t -> int -> int
+val thread_count : t -> int
+val is_crashed : t -> bool
+
+(** Simulated mutexes.  Blocking and hand-off are scheduling events; a
+    direct FIFO hand-off transfers ownership to the longest-waiting
+    thread, whose virtual clock is advanced to the release time (it could
+    not have proceeded earlier). *)
+module Mutex : sig
+  type mutex
+
+  val create : t -> mutex
+  val id : mutex -> int
+
+  val lock : mutex -> unit
+  (** @raise Invalid_argument on recursive acquisition. *)
+
+  val unlock : mutex -> unit
+  (** @raise Invalid_argument if the caller does not hold the mutex. *)
+
+  val owner : mutex -> int option
+end

@@ -1,0 +1,25 @@
+(** Deterministic splitmix64 pseudo-random number generator.
+
+    Every source of randomness in the simulator flows through one of
+    these, seeded explicitly, so a run is a pure function of its seed —
+    which is what makes fault-injection campaigns reproducible. *)
+
+type t
+
+val create : seed:int -> t
+
+val copy : t -> t
+(** Independent clone with the same current state. *)
+
+val split : t -> t
+(** Derive an independent child generator (e.g. one per thread). *)
+
+val next : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. [n] must be positive. *)
+
+val bool : t -> bool
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)

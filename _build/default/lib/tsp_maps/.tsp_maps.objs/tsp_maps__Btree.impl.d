@@ -1,0 +1,1 @@
+lib/tsp_maps/btree.ml: Atlas Fmt Int64 List Map_intf Nvm Pheap

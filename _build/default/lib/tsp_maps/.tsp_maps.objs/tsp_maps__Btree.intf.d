@@ -1,0 +1,1 @@
+lib/tsp_maps/btree.mli: Atlas Map_intf Pheap Sched

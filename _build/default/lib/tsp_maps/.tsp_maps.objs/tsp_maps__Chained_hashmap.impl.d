@@ -1,0 +1,1 @@
+lib/tsp_maps/chained_hashmap.ml: Array Atlas Int64 Map_intf Nvm Option Pheap

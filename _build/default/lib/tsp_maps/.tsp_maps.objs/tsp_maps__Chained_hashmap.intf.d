@@ -1,0 +1,1 @@
+lib/tsp_maps/chained_hashmap.mli: Atlas Map_intf Pheap Sched

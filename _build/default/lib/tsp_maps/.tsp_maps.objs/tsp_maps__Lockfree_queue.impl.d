@@ -1,0 +1,1 @@
+lib/tsp_maps/lockfree_queue.ml: Int64 List Pheap Printf

@@ -1,0 +1,1 @@
+lib/tsp_maps/lockfree_skiplist.ml: Array Fmt Int64 Map_intf Nvm Pheap Printf Sched

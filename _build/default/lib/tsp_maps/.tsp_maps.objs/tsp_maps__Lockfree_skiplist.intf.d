@@ -1,0 +1,1 @@
+lib/tsp_maps/lockfree_skiplist.mli: Map_intf Pheap

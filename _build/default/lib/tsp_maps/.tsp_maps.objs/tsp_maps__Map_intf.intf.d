@@ -1,0 +1,1 @@
+lib/tsp_maps/map_intf.mli: Fmt

@@ -1,0 +1,50 @@
+(** A lock-free FIFO queue (Michael & Scott) over the persistent heap.
+
+    Section 4.1's argument is not about skip lists specifically: {e any}
+    non-blocking structure over a persistent heap is consistently
+    recoverable under TSP with zero runtime overhead and zero recovery
+    code.  This queue is a second, structurally very different witness —
+    a linked list with two moving ends and helping on the lagging tail
+    pointer — used by the test suite to check the claim beyond the map.
+
+    Layout: a 2-word header object (head, tail) is the root-reachable
+    anchor; nodes are 2 words (value, next).  The classic algorithm:
+    enqueue CASes the tail node's next, then swings [tail]; dequeue
+    swings [head] past the dummy node and reads the new dummy's value.
+    Both helping steps (tail swing) can be completed by any thread, so a
+    crash between the two CASes of an enqueue leaves a state every
+    survivor — and the recovery observer — can repair or simply use.
+
+    Memory reclamation: dequeued nodes are {e not} freed in-line (reuse
+    would expose the CAS to ABA); they become unreachable and are
+    reclaimed by the recovery-time GC, the same policy Atlas uses for
+    crash leaks. *)
+
+type t
+
+val create : Pheap.Heap.t -> ?set_root:bool -> unit -> t
+(** Allocate the header and the initial dummy node.  When [set_root]
+    (default true) the heap root is pointed at the header. *)
+
+val attach : Pheap.Heap.t -> Pheap.Heap.addr -> t
+(** Re-attach after recovery — the whole recovery procedure.
+    @raise Invalid_argument if the address is not a queue header. *)
+
+val root : t -> Pheap.Heap.addr
+
+val enqueue : t -> int64 -> unit
+val dequeue : t -> int64 option
+
+val is_empty : t -> bool
+
+val to_list : t -> int64 list
+(** Snapshot front-to-back (single-threaded use: verification). *)
+
+val length : t -> int
+
+val check_plain : Pheap.Heap.t -> root:Pheap.Heap.addr -> (unit, string) result
+(** Structural audit: head reaches tail through valid nodes, and the
+    tail lags the true end by at most one node (the helping invariant). *)
+
+val header_kind : int
+val node_kind : int

@@ -1,0 +1,53 @@
+(** The non-blocking map of Section 5.1: a lock-free skip list after
+    Herlihy & Shavit (The Art of Multiprocessor Programming, pp. 339-349,
+    the algorithm behind the nbds library the paper uses), built directly
+    on persistent-heap words and CAS.
+
+    Non-blocking property: threads never hold locks; a thread suspended
+    or killed at any instruction boundary cannot prevent others from
+    completing operations (they help by snipping marked nodes).  By the
+    argument of Section 4.1 this gives consistent crash recovery {e for
+    free} under TSP — there is no logging, no flushing and no recovery
+    pass; recovery is merely re-attaching to the root.
+
+    Node layout: key, value, level, then [level] next pointers whose low
+    bit is the deletion mark.  Deletion marks top-down and is linearised
+    at the bottom-level mark; traversals physically unlink marked nodes
+    as they pass. *)
+
+type t
+
+val default_max_level : int
+
+val create :
+  Pheap.Heap.t ->
+  ?max_level:int ->
+  ?op_cycles:int ->
+  num_threads:int ->
+  seed:int ->
+  unit ->
+  t
+(** Allocate head and tail sentinels, point the heap root at the head,
+    and build per-thread level generators from [seed]. *)
+
+val attach :
+  Pheap.Heap.t -> ?op_cycles:int -> num_threads:int -> seed:int -> Pheap.Heap.addr -> t
+(** Re-attach after recovery: nothing to repair, by design.
+    @raise Invalid_argument if the root is not a skip-list head. *)
+
+val root : t -> Pheap.Heap.addr
+val max_level : t -> int
+val ops : t -> Map_intf.ops
+
+(** {1 Plain access — setup and verification} *)
+
+val set_plain : t -> key:int -> value:int64 -> unit
+val fold_plain :
+  Pheap.Heap.t -> root:Pheap.Heap.addr -> (int -> int64 -> 'a -> 'a) -> 'a -> 'a
+val size_plain : Pheap.Heap.t -> root:Pheap.Heap.addr -> int
+
+val check_plain : Pheap.Heap.t -> root:Pheap.Heap.addr -> (unit, string) result
+(** Structural sanity: bottom-level keys strictly increase from the head
+    sentinel to the tail sentinel. *)
+
+val node_kind : int

@@ -1,0 +1,1 @@
+lib/workload/fault_injector.ml: Atlas Fmt Invariant List Nvm Option Pheap Runner Sched Tsp_core

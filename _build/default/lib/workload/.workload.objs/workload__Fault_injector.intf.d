@@ -1,0 +1,1 @@
+lib/workload/fault_injector.mli: Fmt Invariant Runner

@@ -1,0 +1,1 @@
+lib/workload/invariant.ml: Array Fmt Int64 Key_space List Printf String

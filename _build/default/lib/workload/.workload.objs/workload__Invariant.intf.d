@@ -1,0 +1,1 @@
+lib/workload/invariant.mli: Fmt

@@ -1,0 +1,1 @@
+lib/workload/report.ml: Array Float Format List Option Printf String

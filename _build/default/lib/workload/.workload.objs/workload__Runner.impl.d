@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Array Atlas Fmt Fun Int64 Invariant Key_space Lazy List Nvm Option Pheap Printexc Printf Sched String Sys Tsp_core Tsp_maps Ycsb

@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Atlas Fmt Invariant Nvm Pheap Tsp_core Ycsb

@@ -1,0 +1,1 @@
+lib/workload/sweeps.ml: Atlas Fmt Format List Nvm Printf Report Runner Tsp_core Ycsb

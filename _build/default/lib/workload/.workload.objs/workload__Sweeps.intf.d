@@ -1,0 +1,1 @@
+lib/workload/sweeps.mli: Fmt Format Ycsb

@@ -1,0 +1,1 @@
+lib/workload/table1.ml: Atlas Float Fmt Format List Nvm Printf Report Runner

@@ -1,0 +1,121 @@
+module Rng = Sched.Sim_rng
+
+type spec = {
+  base : Runner.config;
+  runs : int;
+  min_step : int;
+  max_step : int;
+  campaign_seed : int;
+}
+
+type run_outcome = {
+  seed : int;
+  crash_step : int;
+  crashed : bool;
+  consistent : bool;
+  iterations_done : int;
+  invariants : Invariant.result;
+  observer_prefix_ok : bool option;
+  rolled_back : int;
+  cascaded : int;
+  gc_freed : int;
+  errors : string list;
+}
+
+type summary = {
+  spec : spec;
+  outcomes : run_outcome list;
+  total : int;
+  crashes : int;
+  consistent_recoveries : int;
+  violations : int;
+}
+
+let default_spec base =
+  { base; runs = 100; min_step = 500; max_step = 150_000; campaign_seed = 99 }
+
+let one spec ~seed ~crash_step =
+  let config =
+    { spec.base with Runner.seed; crash_at_step = Some crash_step }
+  in
+  let r = Runner.run config in
+  let crashed = match r.Runner.outcome with Runner.Crashed _ -> true | _ -> false in
+  let observer_prefix_ok =
+    Option.bind r.Runner.crash (fun c ->
+        Option.map
+          (fun o -> o.Tsp_core.Recovery_observer.prefix_ok)
+          c.Runner.observer)
+  in
+  let rolled_back, cascaded =
+    match r.Runner.crash with
+    | Some { Runner.atlas_recovery = Some a; _ } ->
+        (a.Atlas.Recovery.updates_applied, a.Atlas.Recovery.cascaded)
+    | _ -> (0, 0)
+  in
+  let gc_freed =
+    match r.Runner.crash with
+    | Some { Runner.gc = Some g; _ } -> g.Pheap.Heap_gc.freed_objects
+    | _ -> 0
+  in
+  let errors =
+    match r.Runner.crash with
+    | Some c -> c.Runner.recovery_errors
+    | None -> []
+  in
+  {
+    seed;
+    crash_step;
+    crashed;
+    consistent = Runner.consistent r;
+    iterations_done = r.Runner.iterations_done;
+    invariants = r.Runner.invariants;
+    observer_prefix_ok;
+    rolled_back;
+    cascaded;
+    gc_freed;
+    errors;
+  }
+
+let run spec =
+  let rng = Rng.create ~seed:spec.campaign_seed in
+  let outcomes =
+    List.init spec.runs (fun i ->
+        let seed = 10_000 + (13 * i) + Rng.int rng 7 in
+        let crash_step =
+          spec.min_step + Rng.int rng (max 1 (spec.max_step - spec.min_step))
+        in
+        one spec ~seed ~crash_step)
+  in
+  let crashes = List.length (List.filter (fun o -> o.crashed) outcomes) in
+  let consistent_recoveries =
+    List.length (List.filter (fun o -> o.crashed && o.consistent) outcomes)
+  in
+  {
+    spec;
+    outcomes;
+    total = spec.runs;
+    crashes;
+    consistent_recoveries;
+    violations = crashes - consistent_recoveries;
+  }
+
+let all_consistent s = s.violations = 0 && List.for_all (fun o -> o.consistent) s.outcomes
+
+let violation_rate s =
+  if s.crashes = 0 then 0. else float_of_int s.violations /. float_of_int s.crashes
+
+let pp_summary ppf s =
+  let total_rb = List.fold_left (fun a o -> a + o.rolled_back) 0 s.outcomes in
+  let total_casc = List.fold_left (fun a o -> a + o.cascaded) 0 s.outcomes in
+  let total_gc = List.fold_left (fun a o -> a + o.gc_freed) 0 s.outcomes in
+  Fmt.pf ppf
+    "@[<v>campaign: %s, %s vs %s on %s@ %d runs: %d crashed, %d recovered \
+     consistent, %d VIOLATIONS (rate %.1f%%)@ rollback work: %d updates, %d \
+     cascaded sections, %d objects GC'd@]"
+    (Runner.variant_to_string s.spec.base.Runner.variant)
+    (Tsp_core.Failure_class.to_string s.spec.base.Runner.failure)
+    s.spec.base.Runner.hardware.Tsp_core.Hardware.name
+    s.spec.base.Runner.platform.Nvm.Config.name s.total s.crashes
+    s.consistent_recoveries s.violations
+    (100. *. violation_rate s)
+    total_rb total_casc total_gc

@@ -1,0 +1,51 @@
+(** Fault-injection campaigns (experiment E3, plus the E9 negative
+    control).
+
+    The paper's methodology: run the workload, deliver SIGKILL at an
+    arbitrary moment, recover, verify the invariants — hundreds of times.
+    Here the crash point is an explicit step index drawn from a seeded
+    RNG, so every run in a campaign is reproducible in isolation, and the
+    crash can land between {e any} two memory operations, which is finer
+    and more adversarial than wall-clock SIGKILL delivery. *)
+
+type spec = {
+  base : Runner.config;  (** crash point and seed are overridden per run *)
+  runs : int;
+  min_step : int;  (** earliest crash step to draw *)
+  max_step : int;  (** latest crash step to draw *)
+  campaign_seed : int;
+}
+
+type run_outcome = {
+  seed : int;
+  crash_step : int;
+  crashed : bool;  (** false when the run finished before the crash point *)
+  consistent : bool;
+  iterations_done : int;
+  invariants : Invariant.result;
+  observer_prefix_ok : bool option;
+  rolled_back : int;  (** undo updates applied during recovery *)
+  cascaded : int;
+  gc_freed : int;
+  errors : string list;
+}
+
+type summary = {
+  spec : spec;
+  outcomes : run_outcome list;
+  total : int;
+  crashes : int;
+  consistent_recoveries : int;
+  violations : int;  (** crashed runs that failed verification *)
+}
+
+val default_spec : Runner.config -> spec
+(** 100 runs, crash step drawn from [500, 150000]. *)
+
+val run : spec -> summary
+
+val all_consistent : summary -> bool
+(** Every crashed run recovered to a verified-consistent state. *)
+
+val violation_rate : summary -> float
+val pp_summary : summary Fmt.t

@@ -1,0 +1,7 @@
+let c1 ~tid = 2 * tid
+let c2 ~tid = (2 * tid) + 1
+let l_size ~threads = 2 * threads
+let h_start = 1024
+let h_key i = h_start + i
+let is_h k = k >= h_start
+let is_counter ~threads k = k >= 0 && k < l_size ~threads

@@ -1,0 +1,43 @@
+let table ~header ~rows ppf =
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun m r ->
+        match List.nth_opt r c with
+        | Some s -> max m (String.length s)
+        | None -> m)
+      0 all
+  in
+  let widths = List.init cols width in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let render_row r =
+    List.mapi (fun c w -> pad (Option.value (List.nth_opt r c) ~default:"") w) widths
+    |> String.concat "  "
+  in
+  let sep =
+    String.concat "--" (List.map (fun w -> String.make w '-') widths)
+  in
+  Format.fprintf ppf "%s@.%s@." (render_row header) sep;
+  List.iter (fun r -> Format.fprintf ppf "%s@." (render_row r)) rows
+
+let ratio measured base =
+  if base = 0. || Float.is_nan measured || Float.is_nan base then "-"
+  else Printf.sprintf "%.2fx" (measured /. base)
+
+let pct_change ~base v =
+  if base = 0. || Float.is_nan v then "-"
+  else Printf.sprintf "%+.0f%%" ((v -. base) /. base *. 100.)
+
+let percentiles samples qs =
+  if Array.length samples = 0 then []
+  else begin
+    let sorted = Array.copy samples in
+    Array.sort compare sorted;
+    let n = Array.length sorted in
+    List.map
+      (fun q ->
+        let ix = int_of_float (q *. float_of_int (n - 1)) in
+        (q, sorted.(ix)))
+      qs
+  end

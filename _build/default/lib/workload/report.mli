@@ -1,0 +1,15 @@
+(** Plain-text table rendering for experiment output. *)
+
+val table :
+  header:string list -> rows:string list list -> Format.formatter -> unit
+(** Render an aligned ASCII table. *)
+
+val ratio : float -> float -> string
+(** ["0.65x"]-style ratio of measured to baseline; ["-"] if undefined. *)
+
+val pct_change : base:float -> float -> string
+(** Signed percentage change from [base] (e.g. ["-35%"]). *)
+
+val percentiles : int array -> float list -> (float * int) list
+(** [percentiles samples [0.5; 0.99]] returns the requested quantiles of
+    the samples (nearest-rank); empty input gives an empty list. *)

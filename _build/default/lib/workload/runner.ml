@@ -1,0 +1,764 @@
+module Heap = Pheap.Heap
+module Heap_gc = Pheap.Heap_gc
+module Rt = Atlas.Runtime
+module Scheduler = Sched.Scheduler
+module Rng = Sched.Sim_rng
+module Hashmap = Tsp_maps.Chained_hashmap
+module Skiplist = Tsp_maps.Lockfree_skiplist
+module Btree = Tsp_maps.Btree
+
+type variant =
+  | Mutex_map of Atlas.Mode.t
+  | Mutex_btree of Atlas.Mode.t
+  | Nonblocking_map
+
+type workload =
+  | Counters of { h_keys : int; preload : bool }
+  | Mixed of { h_keys : int; read_pct : int }
+  | Wide of { h_keys : int; value_words : int }
+  | Ycsb of { preset : Ycsb.preset; records : int }
+  | Transfers of { accounts : int; initial_balance : int }
+
+type config = {
+  platform : Nvm.Config.t;
+  variant : variant;
+  workload : workload;
+  threads : int;
+  iterations : int;
+  seed : int;
+  crash_at_step : int option;
+  hardware : Tsp_core.Hardware.t;
+  failure : Tsp_core.Failure_class.t;
+  journal : bool;
+  n_buckets : int;
+  log_mib : int;
+  atlas_costs : Atlas.Runtime.costs;
+  cost_jitter : int;
+  iter_cycles : int;
+  hash_op_cycles : int;
+  skip_op_cycles : int;
+  record_latency : bool;
+}
+
+let default_config =
+  {
+    platform = Nvm.Config.desktop;
+    variant = Mutex_map Atlas.Mode.No_log;
+    workload = Counters { h_keys = 65536; preload = true };
+    threads = 8;
+    iterations = 2000;
+    seed = 1;
+    crash_at_step = None;
+    hardware = Tsp_core.Hardware.nvram_machine;
+    failure = Tsp_core.Failure_class.Process_crash;
+    journal = false;
+    n_buckets = 16384;
+    log_mib = 8;
+    atlas_costs = Rt.default_costs;
+    cost_jitter = 3;
+    iter_cycles = 40;
+    hash_op_cycles = 30;
+    skip_op_cycles = 25;
+    record_latency = false;
+  }
+
+(* Per-platform charges solved so the counter workload reproduces the
+   absolute throughput of Table 1 (see EXPERIMENTS.md, "calibration").
+   The qualitative shape — the ordering of the variants and the sign of
+   every overhead — does not depend on these values; they only place the
+   simulated machines at the paper's operating point. *)
+let calibrated_config platform =
+  let name = platform.Nvm.Config.name in
+  let iter_cycles, costs, hash_op_cycles, skip_op_cycles =
+    if String.equal name Nvm.Config.desktop.Nvm.Config.name then
+      ( 3800,
+        { Rt.lock_cycles = 450; unlock_cycles = 300; log_cycles = 310 },
+        180,
+        1250 )
+    else if String.equal name Nvm.Config.server.Nvm.Config.name then
+      ( 5700,
+        { Rt.lock_cycles = 700; unlock_cycles = 450; log_cycles = 310 },
+        180,
+        925 )
+    else
+      ( default_config.iter_cycles,
+        default_config.atlas_costs,
+        default_config.hash_op_cycles,
+        default_config.skip_op_cycles )
+  in
+  {
+    default_config with
+    platform;
+    iter_cycles;
+    atlas_costs = costs;
+    hash_op_cycles;
+    skip_op_cycles;
+  }
+
+type crash_report = {
+  verdict : Tsp_core.Policy.verdict;
+  observer : Tsp_core.Recovery_observer.verdict option;
+  atlas_recovery : Atlas.Recovery.report option;
+  gc : Pheap.Heap_gc.stats option;
+  heap_audit_ok : bool;
+  recovery_errors : string list;
+  recovery_cycles : int;
+  rescued_lines : int;
+  rescue_bill : Tsp_core.Crash_executor.execution;
+}
+
+type outcome = Completed | Crashed of int | Deadlocked of string list
+
+type result = {
+  config : config;
+  outcome : outcome;
+  iterations_done : int;
+  elapsed_cycles : int;
+  miters_per_sec : float;
+  invariants : Invariant.result;
+  crash : crash_report option;
+  entries : (int * int64) list;
+  total_steps : int;
+  wall_seconds : float;
+  device_stats : Nvm.Stats.t;
+  latencies_cycles : int array;
+      (* per-operation latency samples, empty unless record_latency *)
+}
+
+let variant_to_string = function
+  | Mutex_map m -> "mutex/" ^ Atlas.Mode.to_string m
+  | Mutex_btree m -> "btree/" ^ Atlas.Mode.to_string m
+  | Nonblocking_map -> "non-blocking"
+
+let log_base config = config.platform.Nvm.Config.region_size - (config.log_mib * 1024 * 1024)
+
+(* The map under test, dispatched per variant.  [fold_root] dumps the
+   persistent structure with plain loads; it is also what recovery-time
+   verification uses, so it must not depend on any volatile handle. *)
+type map_under_test = {
+  map_ops : Tsp_maps.Map_intf.ops;
+  set_plain : key:int -> value:int64 -> unit;
+  fold_root : Heap.t -> root:Heap.addr -> (int -> int64 -> (int * int64) list -> (int * int64) list) -> (int * int64) list;
+  hashmap : Hashmap.t option;  (* transfers need the richer interface *)
+}
+
+let build_map config heap atlas sched =
+  match config.variant with
+  | Mutex_map _ ->
+      let atlas = Option.get atlas in
+      let value_words =
+        match config.workload with Wide { value_words; _ } -> value_words | _ -> 1
+      in
+      let hm =
+        Hashmap.create heap ~atlas ~sched ~n_buckets:config.n_buckets
+          ~op_cycles:config.hash_op_cycles ~value_words ()
+      in
+      {
+        map_ops = Hashmap.ops hm;
+        set_plain = (fun ~key ~value -> Hashmap.set_plain hm ~key ~value);
+        fold_root = (fun h ~root f -> Hashmap.fold_plain h ~root f []);
+        hashmap = Some hm;
+      }
+  | Mutex_btree _ ->
+      let atlas = Option.get atlas in
+      let bt =
+        Btree.create heap ~atlas ~sched ~op_cycles:config.hash_op_cycles ()
+      in
+      {
+        map_ops = Btree.ops bt;
+        set_plain = (fun ~key ~value -> Btree.set_plain bt ~key ~value);
+        fold_root = (fun h ~root f -> Btree.fold_plain h ~root f []);
+        hashmap = None;
+      }
+  | Nonblocking_map ->
+      let sl =
+        Skiplist.create heap ~num_threads:config.threads
+          ~op_cycles:config.skip_op_cycles ~seed:(config.seed + 7) ()
+      in
+      {
+        map_ops = Skiplist.ops sl;
+        set_plain = (fun ~key ~value -> Skiplist.set_plain sl ~key ~value);
+        fold_root = (fun h ~root f -> Skiplist.fold_plain h ~root f []);
+        hashmap = None;
+      }
+
+let populate config map =
+  (match config.workload with
+  | Mixed { h_keys; _ } | Counters { h_keys; preload = true } ->
+      for tid = 0 to config.threads - 1 do
+        map.set_plain ~key:(Key_space.c1 ~tid) ~value:0L;
+        map.set_plain ~key:(Key_space.c2 ~tid) ~value:0L
+      done;
+      for i = 0 to h_keys - 1 do
+        map.set_plain ~key:(Key_space.h_key i) ~value:0L
+      done
+  | Counters { h_keys = _; preload = false } ->
+      for tid = 0 to config.threads - 1 do
+        map.set_plain ~key:(Key_space.c1 ~tid) ~value:0L;
+        map.set_plain ~key:(Key_space.c2 ~tid) ~value:0L
+      done
+  | Wide { h_keys; _ } ->
+      for i = 0 to h_keys - 1 do
+        map.set_plain ~key:(Key_space.h_key i) ~value:0L
+      done
+  | Ycsb { records; _ } ->
+      (* Records are self-describing: value congruent to key modulo the
+         record count, an invariant every read-back can check. *)
+      for i = 0 to records - 1 do
+        let k = Key_space.h_key i in
+        map.set_plain ~key:k ~value:(Int64.of_int k)
+      done
+  | Transfers { accounts; initial_balance } ->
+      for i = 0 to accounts - 1 do
+        map.set_plain ~key:(Key_space.h_key i)
+          ~value:(Int64.of_int initial_balance)
+      done)
+
+let counter_body config pmem ops ~tid ~rng ~h_keys ~progress () =
+  for i = 1 to config.iterations do
+    Nvm.Pmem.charge pmem config.iter_cycles;
+    ops.Tsp_maps.Map_intf.set ~tid ~key:(Key_space.c1 ~tid)
+      ~value:(Int64.of_int i);
+    let k = Key_space.h_key (Rng.int rng h_keys) in
+    ops.Tsp_maps.Map_intf.incr ~tid ~key:k ~by:1L;
+    ops.Tsp_maps.Map_intf.set ~tid ~key:(Key_space.c2 ~tid)
+      ~value:(Int64.of_int i);
+    progress.(tid) <- i
+  done
+
+(* Mixed read/write iterations: with probability [read_pct]% the
+   iteration only reads (three gets), otherwise it is the usual 3-store
+   iteration.  Reads are never logged, so fortification overhead shrinks
+   as the read share grows — the E12 sweep quantifies it. *)
+let mixed_body config pmem ops ~tid ~rng ~h_keys ~read_pct ~progress () =
+  let write_i = ref 0 in
+  for i = 1 to config.iterations do
+    Nvm.Pmem.charge pmem config.iter_cycles;
+    if Rng.int rng 100 < read_pct then begin
+      ignore (ops.Tsp_maps.Map_intf.get ~tid ~key:(Key_space.c1 ~tid));
+      ignore
+        (ops.Tsp_maps.Map_intf.get ~tid
+           ~key:(Key_space.h_key (Rng.int rng h_keys)));
+      ignore (ops.Tsp_maps.Map_intf.get ~tid ~key:(Key_space.c2 ~tid))
+    end
+    else begin
+      incr write_i;
+      ops.Tsp_maps.Map_intf.set ~tid ~key:(Key_space.c1 ~tid)
+        ~value:(Int64.of_int !write_i);
+      ops.Tsp_maps.Map_intf.incr ~tid
+        ~key:(Key_space.h_key (Rng.int rng h_keys))
+        ~by:1L;
+      ops.Tsp_maps.Map_intf.set ~tid ~key:(Key_space.c2 ~tid)
+        ~value:(Int64.of_int !write_i)
+    end;
+    progress.(tid) <- i
+  done
+
+(* Wide-value iterations: overwrite every word of a random value with
+   the same tag.  Torn values (words disagreeing) witness a non-atomic
+   update — possible without rollback even under TSP (experiment E13). *)
+let wide_body config pmem hm ~tid ~rng ~h_keys ~value_words ~progress () =
+  for i = 1 to config.iterations do
+    Nvm.Pmem.charge pmem config.iter_cycles;
+    let k = Key_space.h_key (Rng.int rng h_keys) in
+    let tag = Int64.of_int ((tid * 1_000_000) + i) in
+    Hashmap.set_wide hm ~tid ~key:k ~values:(Array.make value_words tag);
+    progress.(tid) <- i
+  done
+
+(* YCSB-style mixes over a pre-loaded, Zipfian-accessed record set.
+   RMW adds [records] to the value, preserving the congruence invariant;
+   updates rewrite the canonical value. *)
+let ycsb_body config pmem ops ~tid ~rng ~preset ~records ~zipf ~latencies
+    ~now ~progress () =
+  for i = 1 to config.iterations do
+    Nvm.Pmem.charge pmem config.iter_cycles;
+    let t0 = now () in
+    let k = Key_space.h_key (Ycsb.Zipf.sample zipf rng) in
+    (match Ycsb.pick_op preset rng with
+    | Ycsb.Read -> ignore (ops.Tsp_maps.Map_intf.get ~tid ~key:k)
+    | Ycsb.Update -> ops.Tsp_maps.Map_intf.set ~tid ~key:k ~value:(Int64.of_int k)
+    | Ycsb.Rmw ->
+        ops.Tsp_maps.Map_intf.incr ~tid ~key:k ~by:(Int64.of_int records));
+    (match latencies with
+    | Some store -> store tid (now () - t0)
+    | None -> ());
+    progress.(tid) <- i
+  done
+
+let transfer_body config pmem hm ~tid ~rng ~accounts ~progress () =
+  for i = 1 to config.iterations do
+    Nvm.Pmem.charge pmem config.iter_cycles;
+    let a = Rng.int rng accounts in
+    let b = (a + 1 + Rng.int rng (accounts - 1)) mod accounts in
+    let amount = Int64.of_int (1 + Rng.int rng 10) in
+    ignore
+      (Hashmap.transfer hm ~tid ~debit:(Key_space.h_key a)
+         ~credit:(Key_space.h_key b) ~amount
+        : bool);
+    progress.(tid) <- i
+  done
+
+let check_invariants config ?wide_entries entries =
+  match config.workload with
+  | Counters _ | Mixed _ -> Invariant.counters ~entries ~threads:config.threads
+  | Wide _ ->
+      Invariant.untorn ~wide_entries:(Option.value wide_entries ~default:[])
+  | Ycsb { records; _ } -> Invariant.ycsb ~entries ~records
+  | Transfers { accounts; initial_balance } ->
+      Invariant.transfers ~entries
+        ~expected_total:(Int64.of_int (accounts * initial_balance))
+
+(* Post-crash pipeline: device-level crash semantics, then recovery,
+   then audit.  Every step can fail when the crash was not TSP-covered;
+   failures are reported, not raised. *)
+let recover_and_audit config pmem =
+  let errors = ref [] in
+  let err fmt = Fmt.kstr (fun s -> errors := s :: !errors) fmt in
+  let observer =
+    if config.journal then Some (Tsp_core.Recovery_observer.observe pmem)
+    else None
+  in
+  Nvm.Pmem.recover pmem;
+  let heap_size = log_base config in
+  let heap =
+    try Some (Heap.attach pmem ~base:0 ~size:heap_size)
+    with Heap.Corrupt msg ->
+      err "heap attach failed: %s" msg;
+      None
+  in
+  let atlas_recovery =
+    match (heap, config.variant) with
+    | Some heap, (Mutex_map _ | Mutex_btree _) -> begin
+        try Some (Atlas.Recovery.run ~heap ~log_base:(log_base config))
+        with exn ->
+          err "atlas recovery failed: %s" (Printexc.to_string exn);
+          None
+      end
+    | _ -> None
+  in
+  let gc =
+    match heap with
+    | None -> None
+    | Some heap -> begin
+        try Some (Heap_gc.collect heap)
+        with Heap.Corrupt msg ->
+          err "recovery GC failed: %s" msg;
+          None
+      end
+  in
+  let heap_audit_ok =
+    match heap with
+    | None -> false
+    | Some heap -> begin
+        match Heap_gc.verify heap with
+        | Ok () -> true
+        | Error es ->
+            List.iter (fun e -> err "audit: %s" e) es;
+            false
+      end
+  in
+  (heap, observer, atlas_recovery, gc, heap_audit_ok, List.rev !errors)
+
+let crash_report_of config pmem ~verdict ~observer ~atlas_recovery ~gc
+    ~heap_audit_ok ~recovery_errors ~clock_before ~rescue_bill =
+  ignore config;
+  {
+    verdict;
+    observer;
+    atlas_recovery;
+    gc;
+    heap_audit_ok;
+    recovery_errors;
+    recovery_cycles = (Nvm.Pmem.stats pmem).Nvm.Stats.clock - clock_before;
+    rescued_lines = (Nvm.Pmem.stats pmem).Nvm.Stats.rescued_lines;
+    rescue_bill;
+  }
+
+let run_full config =
+  let t0 = Sys.time () in
+  let pmem = Nvm.Pmem.create ~journal:config.journal config.platform in
+  let heap_size = log_base config in
+  let heap = Heap.create pmem ~base:0 ~size:heap_size in
+  let sched = Scheduler.create ~seed:config.seed ~cost_jitter:config.cost_jitter () in
+  let atlas =
+    match config.variant with
+    | Mutex_map mode | Mutex_btree mode ->
+        Some
+          (Rt.create ~costs:config.atlas_costs ~mode ~heap
+             ~log_base:(log_base config)
+             ~log_size:(config.log_mib * 1024 * 1024)
+             ~num_threads:config.threads ())
+    | Nonblocking_map -> None
+  in
+  let map = build_map config heap atlas sched in
+  populate config map;
+  Nvm.Pmem.persist_all pmem;
+  let progress = Array.make config.threads 0 in
+  let zipf =
+    lazy
+      (match config.workload with
+      | Ycsb { records; _ } -> Ycsb.Zipf.create ~n:records ()
+      | Counters _ | Mixed _ | Wide _ | Transfers _ ->
+          invalid_arg "zipf: not a YCSB workload")
+  in
+  let latency_buf = ref [] in
+  let latencies =
+    if config.record_latency then
+      Some (fun _tid d -> latency_buf := d :: !latency_buf)
+    else None
+  in
+  let spawn_worker tid =
+    let rng = Rng.create ~seed:(config.seed + (1000 * (tid + 1))) in
+    let body =
+      match config.workload with
+      | Counters { h_keys; _ } ->
+          counter_body config pmem map.map_ops ~tid ~rng ~h_keys ~progress
+      | Mixed { h_keys; read_pct } ->
+          mixed_body config pmem map.map_ops ~tid ~rng ~h_keys ~read_pct
+            ~progress
+      | Wide { h_keys; value_words } -> begin
+          match map.hashmap with
+          | Some hm ->
+              wide_body config pmem hm ~tid ~rng ~h_keys ~value_words ~progress
+          | None ->
+              invalid_arg
+                "Runner: the wide-value workload requires the mutex-based map"
+        end
+      | Ycsb { preset; records } ->
+          let zipf = Lazy.force zipf in
+          ycsb_body config pmem map.map_ops ~tid ~rng ~preset ~records ~zipf
+            ~latencies ~now:(fun () -> Scheduler.thread_cycles sched tid)
+            ~progress
+      | Transfers { accounts; _ } -> begin
+          match map.hashmap with
+          | Some hm -> transfer_body config pmem hm ~tid ~rng ~accounts ~progress
+          | None ->
+              invalid_arg
+                "Runner: the transfer workload requires a mutex-based map"
+        end
+    in
+    ignore (Scheduler.spawn sched ~name:(Printf.sprintf "worker-%d" tid) body : int)
+  in
+  for tid = 0 to config.threads - 1 do
+    spawn_worker tid
+  done;
+  Nvm.Pmem.set_step_hook pmem (fun ~cost -> Scheduler.step sched ~cost);
+  let sched_outcome =
+    Fun.protect
+      ~finally:(fun () -> Nvm.Pmem.clear_step_hook pmem)
+      (fun () -> Scheduler.run ?crash_at_step:config.crash_at_step sched)
+  in
+  let iterations_done = Array.fold_left ( + ) 0 progress in
+  let elapsed_cycles = Scheduler.elapsed_cycles sched in
+  let miters =
+    Nvm.Cost_model.miter_per_sec config.platform ~iterations:iterations_done
+      ~cycles:elapsed_cycles
+  in
+  let finish outcome invariants crash entries =
+    {
+      config;
+      outcome;
+      iterations_done;
+      elapsed_cycles;
+      miters_per_sec = miters;
+      invariants;
+      crash;
+      entries;
+      total_steps = Scheduler.total_steps sched;
+      wall_seconds = Sys.time () -. t0;
+      device_stats = Nvm.Pmem.stats pmem;
+      latencies_cycles = Array.of_list !latency_buf;
+    }
+  in
+  let wide_dump h root =
+    match config.workload with
+    | Wide _ ->
+        Some (Hashmap.fold_wide_plain h ~root (fun k vs acc -> (k, vs) :: acc) [])
+    | Counters _ | Mixed _ | Ycsb _ | Transfers _ -> None
+  in
+  match sched_outcome with
+  | Scheduler.Completed ->
+      let root = Heap.get_root heap in
+      let entries = map.fold_root heap ~root (fun k v acc -> (k, v) :: acc) in
+      let wide_entries = wide_dump heap root in
+      ( finish Completed (check_invariants config ?wide_entries entries) None entries,
+        pmem,
+        Some heap )
+  | Scheduler.Deadlocked { blocked } ->
+      (finish (Deadlocked blocked) (Invariant.failed "deadlocked") None [], pmem, None)
+  | Scheduler.Crashed { at_step } ->
+      let clock_before = (Nvm.Pmem.stats pmem).Nvm.Stats.clock in
+      let rescue_bill =
+        Tsp_core.Crash_executor.execute pmem ~hardware:config.hardware
+          ~failure:config.failure
+      in
+      let verdict = rescue_bill.Tsp_core.Crash_executor.verdict in
+      let rheap, observer, atlas_recovery, gc, heap_audit_ok, recovery_errors =
+        recover_and_audit config pmem
+      in
+      let entries, invariants =
+        match rheap with
+        | Some rheap when heap_audit_ok -> begin
+            try
+              let root = Heap.get_root rheap in
+              (match config.variant with
+              | Mutex_btree _ -> begin
+                  match Btree.check_plain rheap ~root with
+                  | Ok () -> ()
+                  | Error e -> raise (Heap.Corrupt ("btree audit: " ^ e))
+                end
+              | Mutex_map _ | Nonblocking_map -> ());
+              let entries =
+                map.fold_root rheap ~root (fun k v acc -> (k, v) :: acc)
+              in
+              let wide_entries = wide_dump rheap root in
+              (entries, check_invariants config ?wide_entries entries)
+            with Heap.Corrupt msg | Invalid_argument msg ->
+              ([], Invariant.failed ("map traversal failed: " ^ msg))
+          end
+        | Some _ -> ([], Invariant.failed "heap audit failed")
+        | None -> ([], Invariant.failed "heap unrecoverable")
+      in
+      let crash =
+        Some
+          (crash_report_of config pmem ~verdict ~observer ~atlas_recovery ~gc
+             ~heap_audit_ok ~recovery_errors ~clock_before ~rescue_bill)
+      in
+      (finish (Crashed at_step) invariants crash entries, pmem, rheap)
+
+let run config =
+  let r, _, _ = run_full config in
+  r
+
+let consistent r =
+  r.invariants.Invariant.ok
+  &&
+  match r.crash with
+  | None -> true
+  | Some c -> c.heap_audit_ok && c.recovery_errors = []
+
+let pp_result ppf r =
+  let pp_outcome ppf = function
+    | Completed -> Fmt.string ppf "completed"
+    | Crashed s -> Fmt.pf ppf "crashed at step %d" s
+    | Deadlocked l ->
+        Fmt.pf ppf "DEADLOCK (%a)" Fmt.(list ~sep:comma string) l
+  in
+  Fmt.pf ppf
+    "@[<v>%s / %s on %s: %a@ %d iterations in %a cycles = %.2f M iter/s \
+     (sim); %d steps, %.2fs wall@ %a%a@]"
+    (variant_to_string r.config.variant)
+    (match r.config.workload with
+    | Counters _ -> "counters"
+    | Mixed { read_pct; _ } -> Printf.sprintf "mixed(%d%% reads)" read_pct
+    | Wide { value_words; _ } -> Printf.sprintf "wide(%d words)" value_words
+    | Ycsb { preset; _ } -> "ycsb-" ^ Ycsb.preset_to_string preset
+    | Transfers _ -> "transfers")
+    r.config.platform.Nvm.Config.name pp_outcome r.outcome r.iterations_done
+    Nvm.Cost_model.pp_cycles r.elapsed_cycles r.miters_per_sec r.total_steps
+    r.wall_seconds Invariant.pp r.invariants
+    (fun ppf -> function
+      | None -> ()
+      | Some c ->
+          Fmt.pf ppf "@ crash: %a" Tsp_core.Policy.pp_verdict c.verdict;
+          Option.iter
+            (fun o -> Fmt.pf ppf "@ %a" Tsp_core.Recovery_observer.pp o)
+            c.observer;
+          Option.iter
+            (fun a -> Fmt.pf ppf "@ %a" Atlas.Recovery.pp_report a)
+            c.atlas_recovery;
+          Option.iter
+            (fun g -> Fmt.pf ppf "@ gc: %a" Heap_gc.pp_stats g)
+            c.gc;
+          if c.recovery_errors <> [] then
+            Fmt.pf ppf "@ recovery errors: %a"
+              Fmt.(list ~sep:comma string)
+              c.recovery_errors)
+    r.crash
+
+(* --- Restart: resume execution from the recovered state ---
+
+   The paper's recovery contract (Section 4.1): "application code
+   resume[s] execution from a consistent state of the persistent heap".
+   This driver exercises it end to end: crash, recover, then run fresh
+   workers against the same device until the workload completes.
+
+   For the counter workload the recovered state itself tells each thread
+   where to pick up: its c2 counter holds the last finished iteration.
+   Because the three steps of an iteration are three separate atomic
+   operations (not one), a thread killed between its data increment and
+   its c2 update will redo that increment on resume — at-least-once
+   semantics, with the duplication bounded by one increment per thread.
+   The report measures that bound; making the whole iteration one
+   failure-atomic section would need a single OCS spanning all three
+   operations (cf. the transfer workload, which is exactly that). *)
+
+type resume_report = {
+  first : result;  (** the crashed phase, fully verified *)
+  resumed : bool;  (** a resume phase actually ran *)
+  resume_iterations : int;
+  final_entries : (int * int64) list;
+  final_invariants : Invariant.result;
+  completion_ok : bool;
+      (** every thread reached [iterations], and for counters the H-range
+          total matches T x iterations up to the at-least-once bound *)
+  duplicated_increments : int;  (** counters: 0 <= duplicates <= T *)
+}
+
+let resume_counters config pmem heap ~h_keys ~max_seq =
+  let sched =
+    Scheduler.create ~seed:(config.seed + 101) ~cost_jitter:config.cost_jitter ()
+  in
+  let atlas =
+    match config.variant with
+    | Mutex_map mode | Mutex_btree mode ->
+        Some
+          (Rt.create ~costs:config.atlas_costs ~mode ~heap
+             ~log_base:(log_base config)
+             ~log_size:(config.log_mib * 1024 * 1024)
+             ~num_threads:config.threads ~first_seq:(max_seq + 1) ())
+    | Nonblocking_map -> None
+  in
+  let root = Heap.get_root heap in
+  let map_ops, fold_root =
+    match config.variant with
+    | Mutex_map _ ->
+        let hm =
+          Hashmap.attach heap ~atlas:(Option.get atlas) ~sched
+            ~op_cycles:config.hash_op_cycles root
+        in
+        (Hashmap.ops hm, fun f -> Hashmap.fold_plain heap ~root f [])
+    | Mutex_btree _ ->
+        let bt =
+          Btree.attach heap ~atlas:(Option.get atlas) ~sched
+            ~op_cycles:config.hash_op_cycles root
+        in
+        (Btree.ops bt, fun f -> Btree.fold_plain heap ~root f [])
+    | Nonblocking_map ->
+        let sl =
+          Skiplist.attach heap ~op_cycles:config.skip_op_cycles
+            ~num_threads:config.threads ~seed:(config.seed + 7) root
+        in
+        (Skiplist.ops sl, fun f -> Skiplist.fold_plain heap ~root f [])
+  in
+  (* Each thread derives its restart point from the persistent heap. *)
+  let entries = fold_root (fun k v acc -> (k, v) :: acc) in
+  let resume_from tid =
+    match List.assoc_opt (Key_space.c2 ~tid) entries with
+    | Some v -> Int64.to_int v + 1
+    | None -> 1
+  in
+  let resumed_iters = ref 0 in
+  for tid = 0 to config.threads - 1 do
+    let start = resume_from tid in
+    let rng = Rng.create ~seed:(config.seed + 555 + (1000 * tid)) in
+    ignore
+      (Scheduler.spawn sched
+         ~name:(Printf.sprintf "resumed-%d" tid)
+         (fun () ->
+           for i = start to config.iterations do
+             Nvm.Pmem.charge pmem config.iter_cycles;
+             map_ops.Tsp_maps.Map_intf.set ~tid ~key:(Key_space.c1 ~tid)
+               ~value:(Int64.of_int i);
+             let k = Key_space.h_key (Rng.int rng h_keys) in
+             map_ops.Tsp_maps.Map_intf.incr ~tid ~key:k ~by:1L;
+             map_ops.Tsp_maps.Map_intf.set ~tid ~key:(Key_space.c2 ~tid)
+               ~value:(Int64.of_int i);
+             incr resumed_iters
+           done)
+        : int)
+  done;
+  Nvm.Pmem.set_step_hook pmem (fun ~cost -> Scheduler.step sched ~cost);
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> Nvm.Pmem.clear_step_hook pmem)
+      (fun () -> Scheduler.run sched)
+  in
+  (outcome, !resumed_iters, fold_root)
+
+let run_with_resume config =
+  (match config.workload with
+  | Counters _ -> ()
+  | Mixed _ | Wide _ | Ycsb _ | Transfers _ ->
+      invalid_arg
+        "Runner.run_with_resume: transfers resume trivially (any number of \
+         further transfers preserves conservation); use the counter \
+         workload, whose completion target makes resumption observable");
+  let first, pmem, rheap = run_full config in
+  let h_keys =
+    match config.workload with
+    | Counters { h_keys; _ } -> h_keys
+    | Mixed _ | Wide _ | Ycsb _ | Transfers _ -> assert false
+  in
+  let no_resume completion_ok =
+    {
+      first;
+      resumed = false;
+      resume_iterations = 0;
+      final_entries = first.entries;
+      final_invariants = first.invariants;
+      completion_ok;
+      duplicated_increments = 0;
+    }
+  in
+  match (first.outcome, rheap) with
+  | Completed, _ -> no_resume (consistent first)
+  | (Crashed _ | Deadlocked _), None -> no_resume false
+  | Deadlocked _, Some _ -> no_resume false
+  | Crashed _, Some heap ->
+      if not (consistent first) then no_resume false
+      else begin
+        let max_seq =
+          match first.crash with
+          | Some { atlas_recovery = Some a; _ } -> a.Atlas.Recovery.max_seq
+          | _ -> 0
+        in
+        let outcome, resume_iterations, fold_root =
+          resume_counters config pmem heap ~h_keys ~max_seq
+        in
+        let final_entries = fold_root (fun k v acc -> (k, v) :: acc) in
+        let final_invariants =
+          Invariant.counters_resumed ~entries:final_entries
+            ~threads:config.threads
+        in
+        let sum_h =
+          List.fold_left
+            (fun acc (k, v) -> if Key_space.is_h k then Int64.add acc v else acc)
+            0L final_entries
+        in
+        let expected = config.threads * config.iterations in
+        let duplicated = Int64.to_int sum_h - expected in
+        let counters_done =
+          List.for_all
+            (fun tid ->
+              List.assoc_opt (Key_space.c2 ~tid) final_entries
+              = Some (Int64.of_int config.iterations))
+            (List.init config.threads (fun t -> t))
+        in
+        let completion_ok =
+          outcome = Scheduler.Completed
+          && counters_done
+          && duplicated >= 0
+          && duplicated <= config.threads
+          && final_invariants.Invariant.ok
+        in
+        {
+          first;
+          resumed = true;
+          resume_iterations;
+          final_entries;
+          final_invariants;
+          completion_ok;
+          duplicated_increments = max 0 duplicated;
+        }
+      end
+
+let pp_resume_report ppf r =
+  Fmt.pf ppf
+    "@[<v>phase 1: %a@ resumed: %b (%d iterations replayed to completion)@ \
+     final: %a@ completion %s; duplicated increments %d (bound %d)@]"
+    pp_result r.first r.resumed r.resume_iterations Invariant.pp
+    r.final_invariants
+    (if r.completion_ok then "OK" else "FAILED")
+    r.duplicated_increments r.first.config.threads

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Fun List Nvm Pheap Printf QCheck2 QCheck_alcotest Sched

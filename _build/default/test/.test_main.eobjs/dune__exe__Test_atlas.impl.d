@@ -1,0 +1,1 @@
+test/test_atlas.ml: Alcotest Array Atlas Config Format Heap Helpers Int64 List Nvm Option Pheap Pmem Printf QCheck2 Result Scheduler

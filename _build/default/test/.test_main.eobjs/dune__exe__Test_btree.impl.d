@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Atlas Config Fun Heap Helpers Int Int64 List Map Option Pheap Pmem QCheck2 Rng Scheduler Tsp_maps

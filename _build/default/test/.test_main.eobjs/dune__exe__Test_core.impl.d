@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Helpers Int64 List Pmem Tsp_core

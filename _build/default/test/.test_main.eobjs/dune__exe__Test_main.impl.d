@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_atlas Test_btree Test_core Test_maps Test_nvm Test_pheap Test_queue Test_sched Test_workload

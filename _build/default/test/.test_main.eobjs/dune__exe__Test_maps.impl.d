@@ -1,0 +1,1 @@
+test/test_maps.ml: Alcotest Atlas Config Fun Hashtbl Heap Helpers Int Int64 List Map Option Pheap Pmem Printf QCheck2 Scheduler Tsp_maps

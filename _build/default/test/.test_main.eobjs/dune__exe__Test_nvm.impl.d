@@ -1,0 +1,1 @@
+test/test_nvm.ml: Alcotest Config Float Format Helpers Int64 List Nvm Pmem Printf QCheck2

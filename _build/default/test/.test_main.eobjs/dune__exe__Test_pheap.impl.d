@@ -1,0 +1,1 @@
+test/test_pheap.ml: Alcotest Array Config Fun Hashtbl Heap Helpers Int64 List Pheap Pmem QCheck2 String

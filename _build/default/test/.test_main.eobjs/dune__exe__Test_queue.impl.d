@@ -1,0 +1,1 @@
+test/test_queue.ml: Alcotest Config Heap Helpers Int64 List Pheap Pmem Printf QCheck2 Queue Scheduler Tsp_maps

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Helpers Int64 List Printf QCheck2 Rng Scheduler String

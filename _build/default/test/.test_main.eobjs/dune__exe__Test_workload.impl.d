@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Atlas Format Helpers List Nvm Printf Sched String Tsp_core Workload

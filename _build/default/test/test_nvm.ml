@@ -1,0 +1,414 @@
+(* Tests for the NVM device model: configuration, the two memory images,
+   the cache model, the device itself, and the crash semantics that the
+   whole reproduction rests on. *)
+
+open Helpers
+module Cache = Nvm.Cache
+module Memory = Nvm.Memory
+module Stats = Nvm.Stats
+module Cost_model = Nvm.Cost_model
+
+(* --- Config --- *)
+
+let test_presets_valid () =
+  List.iter
+    (fun cfg ->
+      match Config.validate cfg with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s invalid: %s" cfg.Config.name e)
+    [ Config.desktop; Config.server; Config.test_small ]
+
+let test_validate_rejects () =
+  let bad f = { Config.test_small with Config.name = "bad" } |> f in
+  let expect_error cfg =
+    match Config.validate cfg with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail "expected validation error"
+  in
+  expect_error (bad (fun c -> { c with Config.line_size = 48 }));
+  expect_error (bad (fun c -> { c with Config.region_size = 100 }));
+  expect_error (bad (fun c -> { c with Config.cache_ways = 0 }));
+  expect_error (bad (fun c -> { c with Config.cache_lines = 17 }));
+  expect_error (bad (fun c -> { c with Config.ghz = 0. }));
+  expect_error (bad (fun c -> { c with Config.flush_cost = -1 }))
+
+let test_with_region_size () =
+  let c = Config.with_region_size Config.test_small 100 in
+  Alcotest.(check int) "rounded to line" 128 c.Config.region_size;
+  let c = Config.with_region_size Config.test_small 4096 in
+  Alcotest.(check int) "exact multiple kept" 4096 c.Config.region_size
+
+let test_n_sets () =
+  Alcotest.(check int) "test_small sets" 8 (Config.n_sets Config.test_small);
+  Alcotest.(check int) "desktop sets" 1024 (Config.n_sets Config.desktop)
+
+(* --- Memory --- *)
+
+let test_memory_roundtrip () =
+  let m = Memory.create ~size:1024 in
+  Memory.store m 64 0x1122334455667788L;
+  Alcotest.check int64 "load back" 0x1122334455667788L (Memory.load m 64);
+  Alcotest.check int64 "durable still zero" 0L (Memory.load_durable m 64)
+
+let test_memory_alignment () =
+  let m = Memory.create ~size:1024 in
+  check_raises_invalid "misaligned" (fun () -> ignore (Memory.load m 12));
+  check_raises_invalid "negative" (fun () -> ignore (Memory.load m (-8)));
+  check_raises_invalid "past end" (fun () -> ignore (Memory.load m 1020))
+
+let test_memory_write_back () =
+  let m = Memory.create ~size:1024 in
+  Memory.store m 64 7L;
+  Memory.store m 72 8L;
+  Memory.write_back m ~line_addr:64 ~len:64;
+  Alcotest.check int64 "durable after wb" 7L (Memory.load_durable m 64);
+  Alcotest.check int64 "same line too" 8L (Memory.load_durable m 72)
+
+let test_memory_discard () =
+  let m = Memory.create ~size:1024 in
+  Memory.store m 0 1L;
+  Memory.store m 64 2L;
+  Memory.write_back m ~line_addr:0 ~len:64;
+  Memory.discard_current m;
+  Alcotest.check int64 "written-back survives" 1L (Memory.load m 0);
+  Alcotest.check int64 "unwritten lost" 0L (Memory.load m 64)
+
+let test_memory_diff_lines () =
+  let m = Memory.create ~size:256 in
+  Alcotest.(check (list int)) "clean" [] (Memory.diff_lines m ~line_size:64);
+  Memory.store m 0 1L;
+  Memory.store m 128 1L;
+  Alcotest.(check (list int))
+    "two dirty lines" [ 0; 128 ]
+    (Memory.diff_lines m ~line_size:64);
+  Memory.promote_all m;
+  Alcotest.(check (list int)) "promoted" [] (Memory.diff_lines m ~line_size:64)
+
+let test_memory_blit_string () =
+  let m = Memory.create ~size:256 in
+  Memory.blit_string m 64 "\x01\x00\x00\x00\x00\x00\x00\x00";
+  Alcotest.check int64 "current" 1L (Memory.load m 64);
+  Alcotest.check int64 "durable too" 1L (Memory.load_durable m 64)
+
+(* --- Cache --- *)
+
+let make_cache ?(sets = 2) ?(ways = 2) () =
+  let wb = ref [] in
+  let c =
+    Cache.create ~sets ~ways ~line_size:64 ~write_back:(fun a -> wb := a :: !wb)
+  in
+  (c, wb)
+
+let test_cache_hit_miss () =
+  let c, _ = make_cache () in
+  (match Cache.touch c ~addr:0 ~dirty:false with
+  | Cache.Miss _ -> ()
+  | Cache.Hit -> Alcotest.fail "cold access should miss");
+  match Cache.touch c ~addr:8 ~dirty:false with
+  | Cache.Hit -> ()
+  | Cache.Miss _ -> Alcotest.fail "same line should hit"
+
+let test_cache_dirty_tracking () =
+  let c, _ = make_cache () in
+  ignore (Cache.touch c ~addr:0 ~dirty:false);
+  Alcotest.(check bool) "clean after load" false (Cache.is_dirty c ~addr:0);
+  ignore (Cache.touch c ~addr:0 ~dirty:true);
+  Alcotest.(check bool) "dirty after store" true (Cache.is_dirty c ~addr:0);
+  Alcotest.(check (list int)) "dirty list" [ 0 ] (Cache.dirty_lines c)
+
+let test_cache_eviction_writes_back () =
+  let c, wb = make_cache ~sets:1 ~ways:2 () in
+  ignore (Cache.touch c ~addr:0 ~dirty:true);
+  ignore (Cache.touch c ~addr:64 ~dirty:true);
+  Alcotest.(check (list int)) "no wb yet" [] !wb;
+  (* Third distinct line in a 2-way set evicts the LRU (line 0). *)
+  (match Cache.touch c ~addr:128 ~dirty:false with
+  | Cache.Miss { evicted_dirty = true } -> ()
+  | _ -> Alcotest.fail "expected dirty eviction");
+  Alcotest.(check (list int)) "line 0 written back" [ 0 ] !wb;
+  Alcotest.(check bool) "line 0 gone" false (Cache.cached c ~addr:0)
+
+let test_cache_lru_order () =
+  let c, wb = make_cache ~sets:1 ~ways:2 () in
+  ignore (Cache.touch c ~addr:0 ~dirty:true);
+  ignore (Cache.touch c ~addr:64 ~dirty:true);
+  (* Touch line 0 again: line 64 becomes LRU. *)
+  ignore (Cache.touch c ~addr:0 ~dirty:false);
+  ignore (Cache.touch c ~addr:128 ~dirty:false);
+  Alcotest.(check (list int)) "LRU line 64 evicted" [ 64 ] !wb
+
+let test_cache_flush_line () =
+  let c, wb = make_cache () in
+  ignore (Cache.touch c ~addr:0 ~dirty:true);
+  Alcotest.(check bool) "flush writes back" true (Cache.flush_line c ~addr:0);
+  Alcotest.(check (list int)) "callback fired" [ 0 ] !wb;
+  Alcotest.(check bool) "now clean" false (Cache.is_dirty c ~addr:0);
+  Alcotest.(check bool) "still cached (clwb)" true (Cache.cached c ~addr:0);
+  Alcotest.(check bool) "second flush no-op" false (Cache.flush_line c ~addr:0);
+  Alcotest.(check bool) "uncached flush no-op" false
+    (Cache.flush_line c ~addr:4096)
+
+let test_cache_write_back_all () =
+  let c, wb = make_cache ~sets:4 ~ways:2 () in
+  ignore (Cache.touch c ~addr:0 ~dirty:true);
+  ignore (Cache.touch c ~addr:64 ~dirty:true);
+  ignore (Cache.touch c ~addr:128 ~dirty:false);
+  Alcotest.(check int) "two dirty rescued" 2 (Cache.write_back_all c);
+  Alcotest.(check int) "both written" 2 (List.length !wb);
+  Alcotest.(check (list int)) "nothing dirty" [] (Cache.dirty_lines c)
+
+let test_cache_drop_all () =
+  let c, wb = make_cache ~sets:4 ~ways:2 () in
+  ignore (Cache.touch c ~addr:0 ~dirty:true);
+  ignore (Cache.touch c ~addr:64 ~dirty:false);
+  Alcotest.(check int) "one dirty lost" 1 (Cache.drop_all c);
+  Alcotest.(check (list int)) "no write-back on drop" [] !wb;
+  Alcotest.(check bool) "cache empty" false (Cache.cached c ~addr:64)
+
+let test_cache_set_isolation () =
+  (* Lines in different sets never evict each other. *)
+  let c, wb = make_cache ~sets:2 ~ways:1 () in
+  ignore (Cache.touch c ~addr:0 ~dirty:true) (* set 0 *);
+  ignore (Cache.touch c ~addr:64 ~dirty:true) (* set 1 *);
+  Alcotest.(check (list int)) "both resident" [] !wb;
+  ignore (Cache.touch c ~addr:128 ~dirty:false) (* set 0 again *);
+  Alcotest.(check (list int)) "only set-0 line evicted" [ 0 ] !wb;
+  Alcotest.(check bool) "set-1 line untouched" true (Cache.cached c ~addr:64)
+
+(* --- Pmem --- *)
+
+let test_pmem_store_load () =
+  let p = small_pmem () in
+  Pmem.store p 128 42L;
+  Alcotest.check int64 "load" 42L (Pmem.load p 128);
+  Pmem.store_int p 136 7;
+  Alcotest.(check int) "int helpers" 7 (Pmem.load_int p 136)
+
+let test_pmem_cas () =
+  let p = small_pmem ~journal:true () in
+  Pmem.store p 0 5L;
+  Alcotest.(check bool) "cas ok" true
+    (Pmem.cas p 0 ~expected:5L ~desired:6L);
+  Alcotest.check int64 "updated" 6L (Pmem.load p 0);
+  Alcotest.(check bool) "cas fail" false
+    (Pmem.cas p 0 ~expected:5L ~desired:9L);
+  Alcotest.check int64 "unchanged" 6L (Pmem.load p 0);
+  let st = Pmem.stats p in
+  Alcotest.(check int) "cas count" 2 st.Stats.cas_ops;
+  Alcotest.(check int) "cas failures" 1 st.Stats.cas_failures;
+  Alcotest.(check bool) "cas_int" true
+    (Pmem.cas_int p 0 ~expected:6 ~desired:7)
+
+let test_pmem_flush_durability () =
+  let p = small_pmem () in
+  Pmem.store p 64 9L;
+  Alcotest.check int64 "not durable yet" 0L (Pmem.load_durable p 64);
+  Pmem.flush p 64;
+  Pmem.fence p;
+  Alcotest.check int64 "durable after flush" 9L (Pmem.load_durable p 64)
+
+let test_pmem_crash_rescue () =
+  let p = small_pmem ~journal:true () in
+  for i = 0 to 63 do
+    Pmem.store p (i * 8) (Int64.of_int i)
+  done;
+  Pmem.crash p Pmem.Rescue;
+  Alcotest.(check bool) "all stores durable" true
+    (Pmem.durable_reflects_all_stores p);
+  Alcotest.(check int) "no losses" 0 (Pmem.lost_store_count p)
+
+let test_pmem_crash_discard () =
+  let p = small_pmem ~journal:true () in
+  (* One store, never evicted (nothing else touches its set): must die. *)
+  Pmem.store p 0 123L;
+  Pmem.crash p Pmem.Discard;
+  Alcotest.(check bool) "store lost" false (Pmem.durable_reflects_all_stores p);
+  Alcotest.check int64 "durable stale" 0L (Pmem.load_durable p 0)
+
+let test_pmem_crash_then_ops_fail () =
+  let p = small_pmem () in
+  Pmem.store p 0 1L;
+  Pmem.crash p Pmem.Rescue;
+  Alcotest.check_raises "store after crash" Pmem.Crashed_device (fun () ->
+      Pmem.store p 0 2L);
+  Alcotest.check_raises "load after crash" Pmem.Crashed_device (fun () ->
+      ignore (Pmem.load p 0));
+  Alcotest.(check bool) "is_crashed" true (Pmem.is_crashed p)
+
+let test_pmem_recover () =
+  let p = small_pmem ~journal:true () in
+  Pmem.store p 0 11L;
+  Pmem.crash p Pmem.Rescue;
+  Pmem.recover p;
+  Alcotest.(check bool) "usable again" false (Pmem.is_crashed p);
+  Alcotest.check int64 "rescued value visible" 11L (Pmem.load p 0);
+  Alcotest.(check (list (pair int int64))) "journal cleared" []
+    (Pmem.store_history p)
+
+let test_pmem_recover_discard_installs_durable () =
+  let p = small_pmem () in
+  Pmem.store p 0 5L;
+  Pmem.flush p 0;
+  Pmem.store p 0 6L (* dirty again, will be dropped *);
+  Pmem.crash p Pmem.Discard;
+  Pmem.recover p;
+  Alcotest.check int64 "current = durable after recover" 5L (Pmem.load p 0)
+
+let test_pmem_recover_requires_crash () =
+  let p = small_pmem () in
+  check_raises_invalid "recover uncrashed" (fun () -> Pmem.recover p)
+
+let test_pmem_persist_all () =
+  let p = small_pmem () in
+  for i = 0 to 9 do
+    Pmem.store p (i * 8) 1L
+  done;
+  Pmem.persist_all p;
+  Alcotest.(check int) "nothing dirty" 0 (Pmem.dirty_line_count p);
+  Pmem.crash p Pmem.Discard;
+  Alcotest.check int64 "persisted survives discard" 1L (Pmem.load_durable p 0)
+
+let test_pmem_step_hook () =
+  let p = small_pmem () in
+  let costs = ref [] in
+  Pmem.set_step_hook p (fun ~cost -> costs := cost :: !costs);
+  Pmem.store p 0 1L (* miss: store_cost + store_miss_extra = 6 *);
+  Pmem.store p 0 2L (* hit: 1 *);
+  ignore (Pmem.load p 0) (* hit: 1 *);
+  Pmem.flush p 0 (* 20 *);
+  Pmem.fence p (* 5 *);
+  Pmem.charge p 100;
+  Pmem.clear_step_hook p;
+  Pmem.charge p 50 (* goes to the stats clock instead *);
+  Alcotest.(check (list int)) "costs seen by hook" [ 100; 5; 20; 1; 1; 6 ]
+    !costs;
+  Alcotest.(check int) "clock without hook" 50 (Pmem.stats p).Stats.clock
+
+let test_pmem_peek_costless () =
+  let p = small_pmem () in
+  Pmem.store p 0 3L;
+  let before = Stats.total_ops (Pmem.stats p) in
+  Alcotest.check int64 "peek value" 3L (Pmem.peek p 0);
+  Alcotest.(check int) "no ops recorded" before (Stats.total_ops (Pmem.stats p))
+
+let test_pmem_journal_history () =
+  let p = small_pmem ~journal:true () in
+  Pmem.store p 0 1L;
+  Pmem.store p 8 2L;
+  Pmem.store p 0 3L;
+  Alcotest.(check (list (pair int int64)))
+    "history in order"
+    [ (0, 1L); (8, 2L); (0, 3L) ]
+    (Pmem.store_history p)
+
+let test_pmem_eviction_preserves_data () =
+  (* Write more distinct lines than the cache holds: evictions must land
+     in the durable image, so a Discard crash keeps the evicted ones. *)
+  let p = small_pmem ~journal:true () in
+  let lines = Config.test_small.Config.cache_lines * 4 in
+  for i = 0 to lines - 1 do
+    Pmem.store p (i * 64) (Int64.of_int (i + 1))
+  done;
+  let st = Pmem.stats p in
+  Alcotest.(check bool) "evictions happened" true (st.Stats.writebacks > 0);
+  Pmem.crash p Pmem.Discard;
+  let survived = lines - Pmem.lost_store_count p in
+  Alcotest.(check bool)
+    (Printf.sprintf "most lines survived via eviction (%d/%d)" survived lines)
+    true
+    (survived >= lines - Config.test_small.Config.cache_lines)
+
+let test_stats_reset_and_hit_rate () =
+  let p = small_pmem () in
+  Pmem.store p 0 1L;
+  ignore (Pmem.load p 0);
+  let st = Pmem.stats p in
+  Alcotest.(check bool) "hit rate 0.5" true (abs_float (Stats.hit_rate st -. 0.5) < 1e-9);
+  Stats.reset st;
+  Alcotest.(check int) "reset" 0 (Stats.total_ops st);
+  Alcotest.(check bool) "hit rate nan" true (Float.is_nan (Stats.hit_rate st))
+
+let test_cost_model () =
+  Alcotest.(check bool) "seconds" true
+    (abs_float (Cost_model.seconds Config.desktop ~cycles:3_400_000_000 -. 1.0)
+     < 1e-9);
+  let m =
+    Cost_model.miter_per_sec Config.desktop ~iterations:3_660_000
+      ~cycles:3_400_000_000
+  in
+  Alcotest.(check bool) "miter" true (abs_float (m -. 3.66) < 1e-6);
+  Alcotest.(check string) "pp kcy" "1.50 kcy"
+    (Format.asprintf "%a" Cost_model.pp_cycles 1500)
+
+(* --- properties --- *)
+
+let prop_rescue_preserves_everything =
+  qcheck ~count:100 "crash Rescue preserves every store"
+    QCheck2.Gen.(list_size (int_range 1 200) (pair (int_range 0 255) (int_range 0 10_000)))
+    (fun ops ->
+      let p = small_pmem ~journal:true () in
+      List.iter (fun (slot, v) -> Pmem.store p (slot * 8) (Int64.of_int v)) ops;
+      Pmem.crash p Pmem.Rescue;
+      Pmem.durable_reflects_all_stores p)
+
+let prop_discard_is_per_word_prefix =
+  qcheck ~count:100 "crash Discard leaves each word at some prior value"
+    QCheck2.Gen.(list_size (int_range 1 300) (pair (int_range 0 63) (int_range 1 10_000)))
+    (fun ops ->
+      let p = small_pmem ~journal:true () in
+      List.iter (fun (slot, v) -> Pmem.store p (slot * 8) (Int64.of_int v)) ops;
+      Pmem.crash p Pmem.Discard;
+      (* For every touched word, the durable value is either the initial
+         zero or one of the values stored to that word. *)
+      List.for_all
+        (fun (slot, _) ->
+          let durable = Pmem.load_durable p (slot * 8) in
+          Int64.equal durable 0L
+          || List.exists
+               (fun (s, v) -> s = slot && Int64.equal durable (Int64.of_int v))
+               ops)
+        ops)
+
+let suite =
+  ( "nvm",
+    [
+      case "config: presets valid" test_presets_valid;
+      case "config: validate rejects bad geometry" test_validate_rejects;
+      case "config: with_region_size rounds up" test_with_region_size;
+      case "config: n_sets" test_n_sets;
+      case "memory: store/load roundtrip" test_memory_roundtrip;
+      case "memory: alignment and bounds" test_memory_alignment;
+      case "memory: write_back copies a line" test_memory_write_back;
+      case "memory: discard_current drops unsaved data" test_memory_discard;
+      case "memory: diff_lines and promote_all" test_memory_diff_lines;
+      case "memory: blit_string writes both images" test_memory_blit_string;
+      case "cache: hit after miss" test_cache_hit_miss;
+      case "cache: dirty bit tracking" test_cache_dirty_tracking;
+      case "cache: eviction writes dirty victim back"
+        test_cache_eviction_writes_back;
+      case "cache: LRU victim selection" test_cache_lru_order;
+      case "cache: flush_line clwb semantics" test_cache_flush_line;
+      case "cache: write_back_all rescues all dirty" test_cache_write_back_all;
+      case "cache: drop_all loses dirty silently" test_cache_drop_all;
+      case "cache: sets are independent" test_cache_set_isolation;
+      case "pmem: store/load" test_pmem_store_load;
+      case "pmem: cas atomically succeeds/fails" test_pmem_cas;
+      case "pmem: flush makes a line durable" test_pmem_flush_durability;
+      case "pmem: Rescue crash keeps all stores" test_pmem_crash_rescue;
+      case "pmem: Discard crash loses cached stores" test_pmem_crash_discard;
+      case "pmem: operations fail after crash" test_pmem_crash_then_ops_fail;
+      case "pmem: recover restores service" test_pmem_recover;
+      case "pmem: recover installs the durable image"
+        test_pmem_recover_discard_installs_durable;
+      case "pmem: recover requires a crash" test_pmem_recover_requires_crash;
+      case "pmem: persist_all empties the cache" test_pmem_persist_all;
+      case "pmem: step hook sees per-op costs" test_pmem_step_hook;
+      case "pmem: peek is free" test_pmem_peek_costless;
+      case "pmem: journal records history in order" test_pmem_journal_history;
+      case "pmem: natural eviction preserves data across Discard"
+        test_pmem_eviction_preserves_data;
+      case "stats: reset and hit rate" test_stats_reset_and_hit_rate;
+      case "cost model conversions" test_cost_model;
+      prop_rescue_preserves_everything;
+      prop_discard_is_per_word_prefix;
+    ] )

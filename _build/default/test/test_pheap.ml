@@ -1,0 +1,424 @@
+(* Tests for the persistent heap: layout codec, kind registry, free
+   lists, the allocator, and the recovery-time GC. *)
+
+open Helpers
+module Layout = Pheap.Layout
+module Kind = Pheap.Kind
+module Freelist = Pheap.Freelist
+module Heap_gc = Pheap.Heap_gc
+
+(* A test kind whose every word is a pointer, distinct from the builtin
+   so kind dispatch is exercised. *)
+let pair_kind =
+  Kind.register ~name:"test_pair"
+    ~scan:(fun ~load ~addr ~words ->
+      List.filter_map
+        (fun i ->
+          let v = Int64.to_int (load (addr + (8 * i))) in
+          if v <> 0 then Some v else None)
+        (List.init words (fun i -> i)))
+    ()
+
+(* --- Layout --- *)
+
+let test_header_roundtrip () =
+  let h = Layout.encode_header ~kind:7 ~words:12345 in
+  Alcotest.(check bool) "valid" true (Layout.header_valid h);
+  Alcotest.(check int) "kind" 7 (Layout.header_kind h);
+  Alcotest.(check int) "words" 12345 (Layout.header_words h)
+
+let test_header_validity () =
+  Alcotest.(check bool) "zero invalid" false (Layout.header_valid 0L);
+  Alcotest.(check bool) "random invalid" false
+    (Layout.header_valid 0x123456789ABCDEFL);
+  check_raises_invalid "kind too big" (fun () ->
+      ignore (Layout.encode_header ~kind:256 ~words:1));
+  check_raises_invalid "zero words" (fun () ->
+      ignore (Layout.encode_header ~kind:1 ~words:0))
+
+let test_obj_addresses () =
+  Alcotest.(check int) "header below data" 92 (Layout.obj_header_addr 100);
+  Alcotest.(check int) "total bytes" 32 (Layout.obj_total_bytes ~words:3)
+
+(* --- Kind --- *)
+
+let test_kind_builtins () =
+  let load _ = 0L in
+  Alcotest.(check (list int)) "raw scans nothing" []
+    (Kind.scan_object ~kind:Kind.raw ~load ~addr:0 ~words:5);
+  let load a = if a = 8 then 128L else 0L in
+  Alcotest.(check (list int)) "all_pointers finds non-null" [ 128 ]
+    (Kind.scan_object ~kind:Kind.all_pointers ~load ~addr:0 ~words:3)
+
+let test_kind_registry () =
+  Alcotest.(check bool) "registered" true (Kind.is_registered pair_kind);
+  Alcotest.(check string) "name" "test_pair" (Kind.name pair_kind);
+  Alcotest.(check bool) "free not registered" false
+    (Kind.is_registered Layout.kind_free);
+  (* Re-registering the same id with the same name is idempotent. *)
+  let again = Kind.register ~kind:pair_kind ~name:"test_pair"
+      ~scan:(fun ~load:_ ~addr:_ ~words:_ -> []) () in
+  Alcotest.(check int) "same id" pair_kind again;
+  check_raises_invalid "conflicting rebind" (fun () ->
+      ignore (Kind.register ~kind:pair_kind ~name:"other" ~scan:(fun ~load:_ ~addr:_ ~words:_ -> []) ()));
+  check_raises_invalid "unknown kind" (fun () ->
+      ignore (Kind.scan_object ~kind:250 ~load:(fun _ -> 0L) ~addr:0 ~words:1))
+
+(* --- Freelist --- *)
+
+let test_freelist_exact () =
+  let f = Freelist.create () in
+  Freelist.add f ~addr:100 ~words:4;
+  Alcotest.(check int) "free words" 4 (Freelist.total_free_words f);
+  Alcotest.(check (option (pair int int))) "exact hit" (Some (100, 4))
+    (Freelist.take f ~words:4);
+  Alcotest.(check (option (pair int int))) "empty" None (Freelist.take f ~words:4);
+  Alcotest.(check int) "drained" 0 (Freelist.total_free_words f)
+
+let test_freelist_split_rule () =
+  let f = Freelist.create () in
+  Freelist.add f ~addr:100 ~words:5;
+  (* A 5-word block cannot serve a 4-word request: the 1-word remainder
+     has no room for a header+payload. *)
+  Alcotest.(check (option (pair int int))) "unsplittable" None
+    (Freelist.take f ~words:4);
+  Freelist.add f ~addr:300 ~words:6;
+  Alcotest.(check (option (pair int int))) "smallest splittable" (Some (300, 6))
+    (Freelist.take f ~words:4)
+
+let test_freelist_prefers_exact () =
+  let f = Freelist.create () in
+  Freelist.add f ~addr:100 ~words:10;
+  Freelist.add f ~addr:200 ~words:4;
+  Alcotest.(check (option (pair int int))) "exact beats larger" (Some (200, 4))
+    (Freelist.take f ~words:4);
+  Alcotest.(check int) "count" 1 (Freelist.block_count f);
+  Freelist.clear f;
+  Alcotest.(check int) "cleared" 0 (Freelist.block_count f)
+
+(* --- Heap --- *)
+
+let test_heap_create_attach () =
+  let pmem, heap = small_heap () in
+  let size = Config.test_small.Config.region_size in
+  let a = Heap.alloc heap ~kind:Kind.raw ~words:2 in
+  Heap.store_field heap a 0 77L;
+  Heap.set_root heap a;
+  let heap2 = Heap.attach pmem ~base:0 ~size in
+  Alcotest.(check int) "root preserved" a (Heap.get_root heap2);
+  Alcotest.check int64 "data readable" 77L (Heap.load_field heap2 a 0);
+  Alcotest.(check int) "heap_end agrees" (Heap.end_addr heap) (Heap.end_addr heap2)
+
+let test_heap_attach_bad_magic () =
+  let pmem = small_pmem () in
+  check_raises_corrupt "no heap formatted" (fun () ->
+      Heap.attach pmem ~base:0 ~size:4096)
+
+let test_heap_alloc_properties () =
+  let _, heap = small_heap () in
+  let a = Heap.alloc heap ~kind:pair_kind ~words:3 in
+  Alcotest.(check int) "aligned" 0 (a land 7);
+  Alcotest.(check int) "kind" pair_kind (Heap.kind_of heap a);
+  Alcotest.(check int) "words" 3 (Heap.words_of heap a);
+  Alcotest.(check bool) "object start" true (Heap.is_object_start heap a);
+  Alcotest.(check bool) "middle is not" false
+    (Heap.is_object_start heap (a + 8));
+  let b = Heap.alloc heap ~kind:Kind.raw ~words:1 in
+  Alcotest.(check bool) "disjoint" true (b >= a + 32);
+  check_raises_invalid "zero words" (fun () ->
+      ignore (Heap.alloc heap ~kind:Kind.raw ~words:0));
+  check_raises_invalid "free kind" (fun () ->
+      ignore (Heap.alloc heap ~kind:Layout.kind_free ~words:1))
+
+let expect_oom f =
+  match f () with
+  | _ -> Alcotest.fail "expected Out_of_memory"
+  | exception Heap.Out_of_memory -> ()
+
+let test_heap_oom () =
+  let _, heap = small_heap () in
+  expect_oom (fun () ->
+      (* The region is 64 KiB; this cannot fit. *)
+      ignore (Heap.alloc heap ~kind:Kind.raw ~words:100_000))
+
+let test_heap_free_reuse () =
+  let _, heap = small_heap () in
+  let a = Heap.alloc heap ~kind:Kind.raw ~words:4 in
+  let end_before = Heap.end_addr heap in
+  Heap.free heap a;
+  Alcotest.(check int) "free words tracked" 4 (Heap.free_words heap);
+  let b = Heap.alloc heap ~kind:Kind.raw ~words:4 in
+  Alcotest.(check int) "same block reused" a b;
+  Alcotest.(check int) "no bump growth" end_before (Heap.end_addr heap)
+
+let test_heap_free_split () =
+  let _, heap = small_heap () in
+  let a = Heap.alloc heap ~kind:Kind.raw ~words:10 in
+  Heap.free heap a;
+  let b = Heap.alloc heap ~kind:Kind.raw ~words:4 in
+  Alcotest.(check int) "front of old block" a b;
+  (* Remainder: 10 - 4 - 1 header = 5 words, immediately reusable. *)
+  let c = Heap.alloc heap ~kind:Kind.raw ~words:5 in
+  Alcotest.(check int) "remainder reused" (a + (5 * 8)) c
+
+let test_heap_double_free () =
+  let _, heap = small_heap () in
+  let a = Heap.alloc heap ~kind:Kind.raw ~words:2 in
+  Heap.free heap a;
+  check_raises_invalid "double free" (fun () -> Heap.free heap a);
+  check_raises_invalid "free bad addr" (fun () -> Heap.free heap 24)
+
+let test_heap_fields () =
+  let _, heap = small_heap () in
+  let a = Heap.alloc heap ~kind:Kind.raw ~words:3 in
+  Heap.store_field heap a 0 1L;
+  Heap.store_field_int heap a 1 2;
+  Alcotest.check int64 "field 0" 1L (Heap.load_field heap a 0);
+  Alcotest.(check int) "field 1" 2 (Heap.load_field_int heap a 1);
+  Alcotest.(check bool) "cas ok" true
+    (Heap.cas_field heap a 0 ~expected:1L ~desired:5L);
+  Alcotest.(check bool) "cas stale" false
+    (Heap.cas_field heap a 0 ~expected:1L ~desired:6L);
+  Alcotest.(check bool) "cas_int" true
+    (Heap.cas_field_int heap a 1 ~expected:2 ~desired:9)
+
+let test_heap_debug_checks () =
+  let _, heap = small_heap () in
+  let a = Heap.alloc heap ~kind:Kind.raw ~words:2 in
+  Heap.set_debug_checks true;
+  Fun.protect
+    ~finally:(fun () -> Heap.set_debug_checks false)
+    (fun () ->
+      Heap.store_field heap a 1 1L (* in bounds: fine *);
+      check_raises_invalid "index out of bounds" (fun () ->
+          Heap.store_field heap a 2 1L);
+      check_raises_corrupt "not an object" (fun () ->
+          Heap.load_field heap (a + 800) 0))
+
+let test_heap_iter_blocks () =
+  let _, heap = small_heap () in
+  let a = Heap.alloc heap ~kind:Kind.raw ~words:2 in
+  let b = Heap.alloc heap ~kind:pair_kind ~words:3 in
+  Heap.free heap a;
+  let seen = ref [] in
+  Heap.iter_blocks heap (fun ~addr ~kind ~words ->
+      seen := (addr, kind, words) :: !seen);
+  Alcotest.(check (list (triple int int int)))
+    "all blocks in address order"
+    [ (a, Layout.kind_free, 2); (b, pair_kind, 3) ]
+    (List.rev !seen)
+
+let test_heap_root_defaults_null () =
+  let _, heap = small_heap () in
+  Alcotest.(check int) "null root" Heap.null (Heap.get_root heap)
+
+(* --- GC --- *)
+
+let alloc_cell heap next =
+  let c = Heap.alloc heap ~kind:pair_kind ~words:2 in
+  Heap.store_field heap c 0 0L;
+  Heap.store_field_int heap c 1 next;
+  c
+
+let test_gc_reclaims_garbage () =
+  let _, heap = small_heap () in
+  let live = alloc_cell heap Heap.null in
+  let _garbage = alloc_cell heap Heap.null in
+  let _garbage2 = Heap.alloc heap ~kind:Kind.raw ~words:5 in
+  Heap.set_root heap live;
+  let stats = Heap_gc.collect heap in
+  Alcotest.(check int) "one live" 1 stats.Heap_gc.live_objects;
+  Alcotest.(check int) "two freed" 2 stats.Heap_gc.freed_objects;
+  Alcotest.(check int) "no dangling" 0 stats.Heap_gc.dangling_refs;
+  (* The two adjacent dead blocks coalesce into one free block. *)
+  Alcotest.(check int) "coalesced" 1 stats.Heap_gc.coalesced_blocks;
+  Alcotest.(check bool) "free space reusable" true (Heap.free_words heap > 0)
+
+let test_gc_preserves_reachable_chain () =
+  let _, heap = small_heap () in
+  let c3 = alloc_cell heap Heap.null in
+  let c2 = alloc_cell heap c3 in
+  let c1 = alloc_cell heap c2 in
+  Heap.set_root heap c1;
+  let stats = Heap_gc.collect heap in
+  Alcotest.(check int) "chain live" 3 stats.Heap_gc.live_objects;
+  Alcotest.(check int) "nothing freed" 0 stats.Heap_gc.freed_objects;
+  Alcotest.check int64 "chain intact" (Int64.of_int c3)
+    (Heap.load_field heap c2 1)
+
+let test_gc_handles_cycles () =
+  let _, heap = small_heap () in
+  let a = alloc_cell heap Heap.null in
+  let b = alloc_cell heap a in
+  Heap.store_field_int heap a 1 b (* a <-> b *);
+  Heap.set_root heap a;
+  let stats = Heap_gc.collect heap in
+  Alcotest.(check int) "cycle live" 2 stats.Heap_gc.live_objects
+
+let test_gc_null_root_frees_all () =
+  let _, heap = small_heap () in
+  ignore (alloc_cell heap Heap.null);
+  ignore (alloc_cell heap Heap.null);
+  let stats = Heap_gc.collect heap in
+  Alcotest.(check int) "none live" 0 stats.Heap_gc.live_objects;
+  Alcotest.(check int) "all freed" 2 stats.Heap_gc.freed_objects
+
+let test_gc_counts_dangling () =
+  let _, heap = small_heap () in
+  let a = alloc_cell heap Heap.null in
+  Heap.store_field_int heap a 1 (Heap.end_addr heap + 64) (* wild pointer *);
+  Heap.set_root heap a;
+  let stats = Heap_gc.collect heap in
+  Alcotest.(check int) "dangling counted" 1 stats.Heap_gc.dangling_refs
+
+let test_gc_marked_pointers_followed () =
+  (* The GC must strip skip-list-style low tag bits before chasing. *)
+  let _, heap = small_heap () in
+  let target = alloc_cell heap Heap.null in
+  let a = Heap.alloc heap ~kind:pair_kind ~words:2 in
+  Heap.store_field_int heap a 0 (target lor 1) (* marked pointer *);
+  Heap.store_field heap a 1 0L;
+  Heap.set_root heap a;
+  let stats = Heap_gc.collect heap in
+  Alcotest.(check int) "both live" 2 stats.Heap_gc.live_objects;
+  Alcotest.(check int) "no dangling" 0 stats.Heap_gc.dangling_refs
+
+let test_gc_rebuilds_allocator () =
+  let _, heap = small_heap () in
+  let keep = alloc_cell heap Heap.null in
+  let dead = Heap.alloc heap ~kind:Kind.raw ~words:6 in
+  ignore (dead : int);
+  Heap.set_root heap keep;
+  ignore (Heap_gc.collect heap);
+  (* The swept space must satisfy an allocation without bump growth. *)
+  let end_before = Heap.end_addr heap in
+  let b = Heap.alloc heap ~kind:Kind.raw ~words:6 in
+  Alcotest.(check int) "reused swept block" dead b;
+  Alcotest.(check int) "no growth" end_before (Heap.end_addr heap)
+
+let test_verify_clean_heap () =
+  let _, heap = small_heap () in
+  let a = alloc_cell heap Heap.null in
+  Heap.set_root heap a;
+  match Heap_gc.verify heap with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "unexpected: %s" (String.concat "; " es)
+
+let test_verify_detects_smashed_header () =
+  let pmem, heap = small_heap () in
+  let a = alloc_cell heap Heap.null in
+  Heap.set_root heap a;
+  (* Corrupt the header word directly through the device. *)
+  Pmem.store pmem (Layout.obj_header_addr a) 0xDEADL;
+  (match Heap_gc.verify heap with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "verify accepted a smashed header");
+  check_raises_corrupt "iter_blocks also rejects" (fun () ->
+      Heap.iter_blocks heap (fun ~addr:_ ~kind:_ ~words:_ -> ()))
+
+let test_verify_detects_wild_pointer () =
+  let _, heap = small_heap () in
+  let a = alloc_cell heap Heap.null in
+  Heap.store_field_int heap a 1 (a + 8) (* interior pointer: invalid *);
+  Heap.set_root heap a;
+  match Heap_gc.verify heap with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "verify accepted a wild pointer"
+
+let test_reachable_set () =
+  let _, heap = small_heap () in
+  let c2 = alloc_cell heap Heap.null in
+  let c1 = alloc_cell heap c2 in
+  let orphan = alloc_cell heap Heap.null in
+  Heap.set_root heap c1;
+  let marks = Heap_gc.reachable heap in
+  Alcotest.(check bool) "c1" true (Hashtbl.mem marks c1);
+  Alcotest.(check bool) "c2" true (Hashtbl.mem marks c2);
+  Alcotest.(check bool) "orphan" false (Hashtbl.mem marks orphan)
+
+(* --- properties --- *)
+
+let prop_blocks_tile_heap =
+  qcheck ~count:100 "blocks tile the allocated span exactly"
+    QCheck2.Gen.(list_size (int_range 1 60) (int_range 1 12))
+    (fun sizes ->
+      let _, heap = small_heap () in
+      let addrs = List.map (fun w -> Heap.alloc heap ~kind:Kind.raw ~words:w) sizes in
+      (* Free every other allocation to mix live and free blocks. *)
+      List.iteri (fun i a -> if i mod 2 = 0 then Heap.free heap a) addrs;
+      let covered = ref (Heap.start_addr heap) in
+      let ok = ref true in
+      Heap.iter_blocks heap (fun ~addr ~kind:_ ~words ->
+          if addr <> !covered + 8 then ok := false;
+          covered := addr + (8 * words));
+      !ok && !covered = Heap.end_addr heap)
+
+let prop_gc_preserves_exactly_reachable =
+  qcheck ~count:60 "GC frees exactly the unreachable objects"
+    QCheck2.Gen.(list_size (int_range 1 30) (pair bool (int_range 0 29)))
+    (fun spec ->
+      let _, heap = small_heap () in
+      (* Build a pool of cells; each optionally points at an earlier cell. *)
+      let cells =
+        List.mapi
+          (fun i (linked, target) ->
+            let next = if linked && target < i then target else -1 in
+            (i, next))
+          spec
+      in
+      let addrs = Array.make (List.length cells) 0 in
+      List.iter
+        (fun (i, next) ->
+          let next_addr = if next >= 0 then addrs.(next) else Heap.null in
+          addrs.(i) <- alloc_cell heap next_addr)
+        cells;
+      (* Root at the last cell; reachability = transitive next chain. *)
+      let n = Array.length addrs in
+      Heap.set_root heap addrs.(n - 1);
+      let rec chain i acc =
+        let acc = i :: acc in
+        match List.assoc i cells with
+        | next when next >= 0 -> chain next acc
+        | _ -> acc
+      in
+      let live = chain (n - 1) [] in
+      let stats = Heap_gc.collect heap in
+      stats.Heap_gc.live_objects = List.length (List.sort_uniq compare live)
+      && stats.Heap_gc.freed_objects = n - List.length (List.sort_uniq compare live))
+
+let suite =
+  ( "pheap",
+    [
+      case "layout: header roundtrip" test_header_roundtrip;
+      case "layout: validity and limits" test_header_validity;
+      case "layout: address helpers" test_obj_addresses;
+      case "kind: builtins" test_kind_builtins;
+      case "kind: registry discipline" test_kind_registry;
+      case "freelist: exact take" test_freelist_exact;
+      case "freelist: split rule" test_freelist_split_rule;
+      case "freelist: prefers exact size" test_freelist_prefers_exact;
+      case "heap: create/attach roundtrip" test_heap_create_attach;
+      case "heap: attach rejects bad magic" test_heap_attach_bad_magic;
+      case "heap: alloc invariants" test_heap_alloc_properties;
+      case "heap: out of memory" test_heap_oom;
+      case "heap: free and reuse" test_heap_free_reuse;
+      case "heap: split on reuse" test_heap_free_split;
+      case "heap: double free rejected" test_heap_double_free;
+      case "heap: field access and CAS" test_heap_fields;
+      case "heap: debug checks" test_heap_debug_checks;
+      case "heap: iter_blocks" test_heap_iter_blocks;
+      case "heap: fresh root is null" test_heap_root_defaults_null;
+      case "gc: reclaims garbage and coalesces" test_gc_reclaims_garbage;
+      case "gc: preserves reachable chain" test_gc_preserves_reachable_chain;
+      case "gc: handles cycles" test_gc_handles_cycles;
+      case "gc: null root frees everything" test_gc_null_root_frees_all;
+      case "gc: counts dangling references" test_gc_counts_dangling;
+      case "gc: strips pointer tag bits" test_gc_marked_pointers_followed;
+      case "gc: rebuilds the allocator" test_gc_rebuilds_allocator;
+      case "verify: accepts a clean heap" test_verify_clean_heap;
+      case "verify: rejects a smashed header" test_verify_detects_smashed_header;
+      case "verify: rejects wild pointers" test_verify_detects_wild_pointer;
+      case "gc: reachable set" test_reachable_set;
+      prop_blocks_tile_heap;
+      prop_gc_preserves_exactly_reachable;
+    ] )

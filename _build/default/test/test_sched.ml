@@ -1,0 +1,331 @@
+(* Tests for the deterministic discrete-event scheduler: virtual-time
+   semantics, mutex hand-off, crash injection, determinism. *)
+
+open Helpers
+module Mutex = Scheduler.Mutex
+
+let test_single_thread () =
+  let s = Scheduler.create () in
+  let ran = ref false in
+  ignore (Scheduler.spawn s (fun () -> ran := true) : int);
+  (match Scheduler.run s with
+  | Scheduler.Completed -> ()
+  | _ -> Alcotest.fail "expected completion");
+  Alcotest.(check bool) "body ran" true !ran
+
+let test_spawn_ids_in_order () =
+  let s = Scheduler.create () in
+  let a = Scheduler.spawn s (fun () -> ()) in
+  let b = Scheduler.spawn s (fun () -> ()) in
+  Alcotest.(check (pair int int)) "ids" (0, 1) (a, b);
+  Alcotest.(check int) "count" 2 (Scheduler.thread_count s)
+
+let test_self () =
+  let s = Scheduler.create () in
+  let seen = ref (-1) in
+  ignore (Scheduler.spawn s (fun () -> seen := Scheduler.self s) : int);
+  ignore (Scheduler.run s);
+  Alcotest.(check int) "self id" 0 !seen;
+  check_raises_invalid "self outside" (fun () -> ignore (Scheduler.self s))
+
+let test_elapsed_is_max_vclock () =
+  let s = Scheduler.create () in
+  ignore (Scheduler.spawn s (fun () -> Scheduler.step s ~cost:100) : int);
+  ignore
+    (Scheduler.spawn s (fun () ->
+         Scheduler.step s ~cost:30;
+         Scheduler.step s ~cost:40)
+      : int);
+  ignore (Scheduler.run s);
+  (* Threads run on their own virtual cores: total time is the max. *)
+  Alcotest.(check int) "elapsed" 100 (Scheduler.elapsed_cycles s);
+  Alcotest.(check int) "thread 0" 100 (Scheduler.thread_cycles s 0);
+  Alcotest.(check int) "thread 1" 70 (Scheduler.thread_cycles s 1);
+  Alcotest.(check int) "steps" 3 (Scheduler.total_steps s)
+
+let test_min_clock_scheduling () =
+  (* The cheap-stepping thread runs many steps while the expensive one
+     advances once: order follows virtual time, not spawn order. *)
+  let s = Scheduler.create () in
+  let trace = ref [] in
+  let log tag = trace := tag :: !trace in
+  ignore
+    (Scheduler.spawn s (fun () ->
+         log "A1";
+         Scheduler.step s ~cost:1000;
+         log "A2")
+      : int);
+  ignore
+    (Scheduler.spawn s (fun () ->
+         for i = 1 to 3 do
+           log (Printf.sprintf "B%d" i);
+           Scheduler.step s ~cost:10
+         done)
+      : int);
+  ignore (Scheduler.run s);
+  (* The initial tie at virtual time 0 may order A1 and B1 either way,
+     but A's 1000-cycle step must outlast all three of B's 10-cycle
+     steps: A2 comes last. *)
+  let t = List.rev !trace in
+  Alcotest.(check int) "five events" 5 (List.length t);
+  Alcotest.(check string) "A2 last" "A2" (List.nth t 4);
+  let b_indices =
+    List.filteri (fun _ tag -> String.length tag = 2 && tag.[0] = 'B') t
+  in
+  Alcotest.(check (list string)) "B in order" [ "B1"; "B2"; "B3" ] b_indices
+
+let test_determinism () =
+  let run seed =
+    let s = Scheduler.create ~seed ~cost_jitter:5 () in
+    let trace = ref [] in
+    for t = 0 to 3 do
+      ignore
+        (Scheduler.spawn s (fun () ->
+             for _ = 1 to 20 do
+               trace := t :: !trace;
+               Scheduler.step s ~cost:3
+             done)
+          : int)
+    done;
+    ignore (Scheduler.run s);
+    (!trace, Scheduler.elapsed_cycles s)
+  in
+  Alcotest.(check bool) "same seed, same trace" true (run 5 = run 5);
+  Alcotest.(check bool) "different seed, different trace" true
+    (run 5 <> run 6)
+
+let test_crash_abandons_everything () =
+  let s = Scheduler.create () in
+  let completed = ref 0 in
+  for _ = 0 to 3 do
+    ignore
+      (Scheduler.spawn s (fun () ->
+           for _ = 1 to 100 do
+             Scheduler.step s ~cost:1
+           done;
+           incr completed)
+        : int)
+  done;
+  (match Scheduler.run ~crash_at_step:50 s with
+  | Scheduler.Crashed { at_step } -> Alcotest.(check int) "step" 50 at_step
+  | _ -> Alcotest.fail "expected crash");
+  Alcotest.(check int) "nobody finished" 0 !completed;
+  Alcotest.(check bool) "flag" true (Scheduler.is_crashed s);
+  Alcotest.(check int) "no steps after crash" 50 (Scheduler.total_steps s)
+
+let test_crash_beyond_end_is_completion () =
+  let s = Scheduler.create () in
+  ignore (Scheduler.spawn s (fun () -> Scheduler.step s ~cost:1) : int);
+  match Scheduler.run ~crash_at_step:1_000_000 s with
+  | Scheduler.Completed -> ()
+  | _ -> Alcotest.fail "crash point never reached: run completes"
+
+let test_mutex_exclusion () =
+  let s = Scheduler.create ~seed:3 () in
+  let m = Mutex.create s in
+  let inside = ref 0 and max_inside = ref 0 and total = ref 0 in
+  for _ = 0 to 7 do
+    ignore
+      (Scheduler.spawn s (fun () ->
+           for _ = 1 to 25 do
+             Mutex.lock m;
+             incr inside;
+             if !inside > !max_inside then max_inside := !inside;
+             Scheduler.step s ~cost:7;
+             incr total;
+             decr inside;
+             Mutex.unlock m
+           done)
+        : int)
+  done;
+  ignore (Scheduler.run s);
+  Alcotest.(check int) "never two holders" 1 !max_inside;
+  Alcotest.(check int) "all sections ran" 200 !total
+
+let test_mutex_handoff_advances_clock () =
+  let s = Scheduler.create () in
+  let m = Mutex.create s in
+  ignore
+    (Scheduler.spawn s (fun () ->
+         Mutex.lock m;
+         Scheduler.step s ~cost:500;
+         Mutex.unlock m)
+      : int);
+  ignore
+    (Scheduler.spawn s (fun () ->
+         Scheduler.step s ~cost:1 (* arrive second *);
+         Mutex.lock m;
+         Scheduler.step s ~cost:10;
+         Mutex.unlock m)
+      : int);
+  ignore (Scheduler.run s);
+  (* The waiter resumed at the release time (>= 500) and then did 10. *)
+  Alcotest.(check bool) "waiter clock jumped" true
+    (Scheduler.thread_cycles s 1 >= 510)
+
+let test_mutex_errors () =
+  let s = Scheduler.create () in
+  let m = Mutex.create s in
+  let errors = ref [] in
+  ignore
+    (Scheduler.spawn s (fun () ->
+         Mutex.lock m;
+         (try Mutex.lock m
+          with Invalid_argument e -> errors := e :: !errors);
+         Mutex.unlock m;
+         try Mutex.unlock m with Invalid_argument e -> errors := e :: !errors)
+      : int);
+  ignore (Scheduler.run s);
+  Alcotest.(check int) "recursive lock and bad unlock rejected" 2
+    (List.length !errors)
+
+let test_mutex_owner () =
+  let s = Scheduler.create () in
+  let m = Mutex.create s in
+  let observed = ref None in
+  ignore
+    (Scheduler.spawn s (fun () ->
+         Mutex.lock m;
+         observed := Mutex.owner m;
+         Mutex.unlock m)
+      : int);
+  ignore (Scheduler.run s);
+  Alcotest.(check (option int)) "owner while held" (Some 0) !observed;
+  Alcotest.(check (option int)) "free after" None (Mutex.owner m)
+
+let test_deadlock_detection () =
+  let s = Scheduler.create () in
+  let m1 = Mutex.create s and m2 = Mutex.create s in
+  ignore
+    (Scheduler.spawn s (fun () ->
+         Mutex.lock m1;
+         Scheduler.step s ~cost:10;
+         Mutex.lock m2;
+         Mutex.unlock m2;
+         Mutex.unlock m1)
+      : int);
+  ignore
+    (Scheduler.spawn s (fun () ->
+         Mutex.lock m2;
+         Scheduler.step s ~cost:10;
+         Mutex.lock m1;
+         Mutex.unlock m1;
+         Mutex.unlock m2)
+      : int);
+  match Scheduler.run s with
+  | Scheduler.Deadlocked { blocked } ->
+      Alcotest.(check int) "both stuck" 2 (List.length blocked)
+  | _ -> Alcotest.fail "expected deadlock"
+
+let test_exception_propagates () =
+  let s = Scheduler.create () in
+  ignore (Scheduler.spawn s (fun () -> failwith "boom") : int);
+  Alcotest.check_raises "thread failure surfaces" (Failure "boom") (fun () ->
+      ignore (Scheduler.run s))
+
+let test_run_once_only () =
+  let s = Scheduler.create () in
+  ignore (Scheduler.spawn s (fun () -> ()) : int);
+  ignore (Scheduler.run s);
+  check_raises_invalid "second run" (fun () -> ignore (Scheduler.run s));
+  check_raises_invalid "spawn after run" (fun () ->
+      ignore (Scheduler.spawn s (fun () -> ())))
+
+let test_fifo_handoff () =
+  let s = Scheduler.create () in
+  let m = Mutex.create s in
+  let order = ref [] in
+  ignore
+    (Scheduler.spawn s (fun () ->
+         Mutex.lock m;
+         Scheduler.step s ~cost:100;
+         Mutex.unlock m)
+      : int);
+  for t = 1 to 3 do
+    ignore
+      (Scheduler.spawn s (fun () ->
+           Scheduler.step s ~cost:t (* stagger arrival: 1, 2, 3 *);
+           Mutex.lock m;
+           order := t :: !order;
+           Mutex.unlock m)
+        : int)
+  done;
+  ignore (Scheduler.run s);
+  Alcotest.(check (list int)) "waiters served in arrival order" [ 1; 2; 3 ]
+    (List.rev !order)
+
+let test_rng_basics () =
+  let r = Rng.create ~seed:1 in
+  let a = Rng.next r and b = Rng.next r in
+  Alcotest.(check bool) "progresses" true (not (Int64.equal a b));
+  let r1 = Rng.create ~seed:1 in
+  Alcotest.check int64 "deterministic" a (Rng.next r1);
+  let c = Rng.copy r in
+  Alcotest.check int64 "copy tracks state" (Rng.next r) (Rng.next c);
+  let bounded = List.init 1000 (fun _ -> Rng.int r 7) in
+  Alcotest.(check bool) "int in range" true
+    (List.for_all (fun x -> x >= 0 && x < 7) bounded);
+  let f = Rng.float r 2.0 in
+  Alcotest.(check bool) "float in range" true (f >= 0. && f < 2.);
+  check_raises_invalid "bad bound" (fun () -> ignore (Rng.int r 0))
+
+let prop_elapsed_is_max_of_sums =
+  qcheck ~count:100 "elapsed = max over threads of cost sums"
+    QCheck2.Gen.(list_size (int_range 1 6) (list_size (int_range 1 30) (int_range 0 50)))
+    (fun costs_per_thread ->
+      let s = Scheduler.create () in
+      List.iter
+        (fun costs ->
+          ignore
+            (Scheduler.spawn s (fun () ->
+                 List.iter (fun c -> Scheduler.step s ~cost:c) costs)
+              : int))
+        costs_per_thread;
+      ignore (Scheduler.run s);
+      let expect =
+        List.fold_left
+          (fun m costs -> max m (List.fold_left ( + ) 0 costs))
+          0 costs_per_thread
+      in
+      Scheduler.elapsed_cycles s = expect)
+
+let prop_crash_step_bounds_steps =
+  qcheck ~count:100 "a crash at k executes exactly min(k, total) steps"
+    QCheck2.Gen.(pair (int_range 1 120) (int_range 1 4))
+    (fun (k, threads) ->
+      let s = Scheduler.create () in
+      for _ = 1 to threads do
+        ignore
+          (Scheduler.spawn s (fun () ->
+               for _ = 1 to 25 do
+                 Scheduler.step s ~cost:1
+               done)
+            : int)
+      done;
+      ignore (Scheduler.run ~crash_at_step:k s);
+      Scheduler.total_steps s = min k (threads * 25))
+
+let suite =
+  ( "sched",
+    [
+      case "single thread completes" test_single_thread;
+      case "spawn ids in order" test_spawn_ids_in_order;
+      case "self inside and outside" test_self;
+      case "elapsed is max virtual clock" test_elapsed_is_max_vclock;
+      case "min-clock scheduling order" test_min_clock_scheduling;
+      case "determinism under seed" test_determinism;
+      case "crash abandons all threads" test_crash_abandons_everything;
+      case "crash point beyond end completes" test_crash_beyond_end_is_completion;
+      case "mutex: mutual exclusion" test_mutex_exclusion;
+      case "mutex: handoff advances waiter clock"
+        test_mutex_handoff_advances_clock;
+      case "mutex: recursive lock / foreign unlock rejected" test_mutex_errors;
+      case "mutex: owner reporting" test_mutex_owner;
+      case "mutex: FIFO handoff" test_fifo_handoff;
+      case "deadlock detection" test_deadlock_detection;
+      case "thread exception propagates" test_exception_propagates;
+      case "run-once discipline" test_run_once_only;
+      case "rng basics" test_rng_basics;
+      prop_elapsed_is_max_of_sums;
+      prop_crash_step_bounds_steps;
+    ] )
