@@ -1,0 +1,152 @@
+(* Smoke check for the quick-bench snapshot: parse the file as JSON and
+   fail loudly if it is malformed.  Deliberately a minimal recursive
+   descent parser (RFC 8259 grammar, no number semantics) so the bench
+   pipeline needs no JSON dependency; it validates structure only —
+   values are never interpreted. *)
+
+exception Bad of int * string
+
+let check (s : string) =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal w =
+    if !pos + String.length w <= n && String.sub s !pos (String.length w) = w
+    then pos := !pos + String.length w
+    else fail (Printf.sprintf "expected %S" w)
+  in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> begin
+          advance ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+              advance ();
+              go ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad \\u escape"
+              done;
+              go ()
+          | _ -> fail "bad escape"
+        end
+      | Some c when Char.code c < 0x20 -> fail "control char in string"
+      | Some _ ->
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let number () =
+    let digits () =
+      let start = !pos in
+      let rec go () =
+        match peek () with Some '0' .. '9' -> advance (); go () | _ -> ()
+      in
+      go ();
+      if !pos = start then fail "expected digit"
+    in
+    (match peek () with Some '-' -> advance () | _ -> ());
+    digits ();
+    (match peek () with
+    | Some '.' ->
+        advance ();
+        digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail "expected a JSON value"
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then advance ()
+    else begin
+      let rec members () =
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            advance ();
+            members ()
+        | Some '}' -> advance ()
+        | _ -> fail "expected ',' or '}'"
+      in
+      members ()
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then advance ()
+    else begin
+      let rec elems () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            advance ();
+            elems ()
+        | Some ']' -> advance ()
+        | _ -> fail "expected ',' or ']'"
+      in
+      elems ()
+    end
+  in
+  value ();
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage"
+
+let () =
+  if Array.length Sys.argv <> 2 then begin
+    prerr_endline "usage: check_json FILE";
+    exit 2
+  end;
+  let file = Sys.argv.(1) in
+  let ic = open_in_bin file in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  match check contents with
+  | () -> Printf.printf "%s: well-formed JSON (%d bytes)\n" file len
+  | exception Bad (pos, msg) ->
+      Printf.eprintf "%s: malformed JSON at byte %d: %s\n" file pos msg;
+      exit 1

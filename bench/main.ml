@@ -15,40 +15,40 @@ open Toolkit
 
 (* --- Part 1: the paper's numbers --- *)
 
-let reproduce_table1 () =
+let reproduce_table1 ?jobs () =
   Fmt.pr "==================================================================@.";
   Fmt.pr "Part 1a: Table 1 reproduction (simulated time)@.";
   Fmt.pr "==================================================================@.@.";
-  let rows = Workload.Table1.run ~iterations:2500 ~repeats:3 () in
+  let rows = Workload.Table1.run ~iterations:2500 ~repeats:3 ?jobs () in
   Workload.Table1.render rows Format.std_formatter;
   (match rows with
   | desktop :: _ -> Workload.Table1.render_breakdown desktop Format.std_formatter
   | [] -> ());
   Fmt.pr "@."
 
-let reproduce_sweeps () =
+let reproduce_sweeps ?jobs () =
   Fmt.pr "==================================================================@.";
   Fmt.pr "Part 1b: sweep series (E4, E7, E8, E11, E12, cache ablation)@.";
   Fmt.pr "==================================================================@.@.";
   let render t = Workload.Sweeps.render t Format.std_formatter; Fmt.pr "@." in
-  render (Workload.Sweeps.flush_latency ~iterations:600 ());
-  render (Workload.Sweeps.thread_scaling ~iterations:600 ());
-  render (Workload.Sweeps.log_cost_ablation ~iterations:600 ());
-  render (Workload.Sweeps.cache_ablation ~iterations:600 ());
-  render (Workload.Sweeps.read_ratio ~iterations:600 ());
+  render (Workload.Sweeps.flush_latency ~iterations:600 ?jobs ());
+  render (Workload.Sweeps.thread_scaling ~iterations:600 ?jobs ());
+  render (Workload.Sweeps.log_cost_ablation ~iterations:600 ?jobs ());
+  render (Workload.Sweeps.cache_ablation ~iterations:600 ?jobs ());
+  render (Workload.Sweeps.read_ratio ~iterations:600 ?jobs ());
   Fmt.pr "%a@.@." Workload.Sweeps.pp_ledger
     (Workload.Sweeps.procrastination_ledger ~iterations:600
-       ~crash_step:60_000 ());
+       ~crash_step:60_000 ?jobs ());
   Workload.Sweeps.render_ycsb
-    (Workload.Sweeps.ycsb_table ~iterations:600 Workload.Ycsb.A)
+    (Workload.Sweeps.ycsb_table ~iterations:600 ?jobs Workload.Ycsb.A)
     Format.std_formatter;
   Fmt.pr "@.";
   Workload.Sweeps.render_ycsb
-    (Workload.Sweeps.ycsb_table ~iterations:600 Workload.Ycsb.B)
+    (Workload.Sweeps.ycsb_table ~iterations:600 ?jobs Workload.Ycsb.B)
     Format.std_formatter;
-  Fmt.pr "@." 
+  Fmt.pr "@."
 
-let reproduce_fault_summary () =
+let reproduce_fault_summary ?jobs () =
   Fmt.pr "==================================================================@.";
   Fmt.pr "Part 1c: fault-injection spot check (E3/E9)@.";
   Fmt.pr "==================================================================@.@.";
@@ -67,7 +67,7 @@ let reproduce_fault_summary () =
         max_step = 60_000;
       }
     in
-    let s = Workload.Fault_injector.run spec in
+    let s = Workload.Fault_injector.run ?jobs spec in
     Fmt.pr "%-46s %d/%d consistent@." name s.Workload.Fault_injector.consistent_recoveries
       s.Workload.Fault_injector.crashes
   in
@@ -220,13 +220,215 @@ let run_bechamel tests =
   Workload.Report.table ~header:[ "benchmark"; "ns/run (host)" ] ~rows
     Format.std_formatter
 
+(* --- Part 3: the quick perf-trajectory snapshot (--quick) ---
+
+   A reduced cell set measured for host wall time and simulated cycles,
+   written as JSON so successive PRs can diff the simulator's speed
+   (cf. machine-readable perf trajectories in CI).  Keys are normalized
+   to [a-z0-9_] so they survive renames of the pretty printers.  The
+   snapshot also measures two A/B pairs on the same binary:
+   - the scheduler fast path on (default slice) vs off (slice 0), the
+     hot-path optimisation this file exists to track; and
+   - the reduced sweep suite at --jobs 1 vs --jobs N, the multicore
+     fan-out.  On a single-core host the latter ratio is ~1 by nature;
+     [host_cores] is recorded so readers can tell. *)
+
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let time_ns f =
+  let t0 = now_ns () in
+  let r = f () in
+  (r, Int64.to_int (Int64.sub (now_ns ()) t0))
+
+let normalize_key s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' | '_' -> c
+      | 'A' .. 'Z' -> Char.lowercase_ascii c
+      | _ -> '_')
+    s
+
+(* The hot path in isolation: one simulated thread hammering the device
+   through the scheduler step hook, with the fast path enabled (default
+   slice) or disabled (slice 0, the historical suspend-per-step path).
+   Identical simulated results are asserted; only host time differs. *)
+let hot_path_cell ~ops ~slice =
+  let cfg = Nvm.Config.with_region_size Nvm.Config.desktop (1024 * 1024) in
+  let pmem = Nvm.Pmem.create cfg in
+  let sched =
+    Sched.Scheduler.create ~seed:7 ~cost_jitter:3 ~deterministic_slice:slice ()
+  in
+  ignore
+    (Sched.Scheduler.spawn sched ~name:"hot" (fun () ->
+         for i = 1 to ops do
+           let addr = i * 8 land 0xFFF8 in
+           Nvm.Pmem.store pmem addr (Int64.of_int i);
+           ignore (Nvm.Pmem.load pmem addr);
+           if i land 255 = 0 then begin
+             Nvm.Pmem.flush pmem addr;
+             Nvm.Pmem.fence pmem
+           end
+         done)
+      : int);
+  Nvm.Pmem.set_step_hook pmem (fun ~cost -> Sched.Scheduler.step sched ~cost);
+  (match Sched.Scheduler.run sched with
+  | Sched.Scheduler.Completed -> ()
+  | _ -> failwith "hot-path cell did not complete");
+  Sched.Scheduler.elapsed_cycles sched
+
+let quick_table1_config platform variant =
+  {
+    (Workload.Runner.calibrated_config platform) with
+    Workload.Runner.variant;
+    iterations = 150;
+    workload = Workload.Runner.Counters { h_keys = 2048; preload = true };
+    n_buckets = 1024;
+    log_mib = 2;
+  }
+
+let quick_sweep_suite ~jobs () =
+  ignore
+    (Workload.Sweeps.flush_latency ~iterations:120 ~latencies:[ 100; 500 ]
+       ~jobs ()
+      : Workload.Sweeps.series_table);
+  ignore
+    (Workload.Sweeps.thread_scaling ~iterations:120 ~thread_counts:[ 1; 4; 8 ]
+       ~jobs ()
+      : Workload.Sweeps.series_table);
+  ignore
+    (Workload.Sweeps.read_ratio ~iterations:120 ~read_pcts:[ 0; 50 ] ~jobs ()
+      : Workload.Sweeps.series_table)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let run_quick ~jobs ~out =
+  let jobs = match jobs with Some j -> j | None -> Workload.Parallel.default_jobs () in
+  (* Per-cell measurements: the Table 1 grid plus a single-thread cell
+     that isolates the scheduler/cache hot path. *)
+  let cells =
+    List.map
+      (fun (name, config) ->
+        let r, host_ns = time_ns (fun () -> Workload.Runner.run config) in
+        if not (Workload.Runner.consistent r) then
+          Fmt.failwith "quick bench: %s inconsistent" name;
+        (normalize_key name, r.Workload.Runner.elapsed_cycles, host_ns))
+      (List.concat_map
+         (fun (pname, platform) ->
+           List.map
+             (fun variant ->
+               ( Printf.sprintf "table1_%s_%s" pname
+                   (Workload.Runner.variant_to_string variant),
+                 quick_table1_config platform variant ))
+             Workload.Table1.variants)
+         [ ("desktop", Nvm.Config.desktop); ("server", Nvm.Config.server) ]
+      @ [
+          ( "hot_path_log_only_1thread",
+            {
+              (Workload.Runner.calibrated_config Nvm.Config.desktop) with
+              Workload.Runner.variant =
+                Workload.Runner.Mutex_map Atlas.Mode.Log_only;
+              threads = 1;
+              iterations = 4000;
+              workload =
+                Workload.Runner.Counters { h_keys = 2048; preload = true };
+              n_buckets = 1024;
+              log_mib = 2;
+            } );
+        ])
+  in
+  (* A/B 1: scheduler fast path on vs off, same simulated results. *)
+  let ops = 400_000 in
+  let cy_on, fast_on_ns = time_ns (fun () -> hot_path_cell ~ops ~slice:Sched.Scheduler.default_slice) in
+  let cy_off, fast_off_ns = time_ns (fun () -> hot_path_cell ~ops ~slice:0) in
+  if cy_on <> cy_off then
+    Fmt.failwith "quick bench: fast path changed simulated cycles (%d vs %d)"
+      cy_on cy_off;
+  (* A/B 2: the reduced sweep suite, sequential vs fanned out. *)
+  let (), suite_j1_ns = time_ns (fun () -> quick_sweep_suite ~jobs:1 ()) in
+  let (), suite_jn_ns = time_ns (fun () -> quick_sweep_suite ~jobs ()) in
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "{\n";
+  pf "  \"schema\": \"tsp-bench-v1\",\n";
+  pf "  \"host_cores\": %d,\n" (Workload.Parallel.default_jobs ());
+  pf "  \"jobs\": %d,\n" jobs;
+  pf "  \"cells\": {\n";
+  List.iteri
+    (fun i (name, sim_cycles, host_ns) ->
+      pf "    \"%s\": { \"sim_cycles\": %d, \"host_ns\": %d }%s\n"
+        (json_escape name) sim_cycles host_ns
+        (if i = List.length cells - 1 then "" else ","))
+    cells;
+  pf "  },\n";
+  pf "  \"ab\": {\n";
+  pf "    \"sched_fast_path\": { \"sim_cycles\": %d, \"on_host_ns\": %d, \
+       \"off_host_ns\": %d, \"speedup\": %.2f },\n"
+    cy_on fast_on_ns fast_off_ns
+    (float_of_int fast_off_ns /. float_of_int (max 1 fast_on_ns));
+  pf "    \"sweep_suite_jobs\": { \"jobs\": %d, \"jobs1_host_ns\": %d, \
+       \"jobsn_host_ns\": %d, \"speedup\": %.2f }\n"
+    jobs suite_j1_ns suite_jn_ns
+    (float_of_int suite_j1_ns /. float_of_int (max 1 suite_jn_ns));
+  pf "  }\n";
+  pf "}\n";
+  let oc = open_out out in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Fmt.pr "quick bench: %d cells -> %s@." (List.length cells) out;
+  Fmt.pr "  sched fast path: %.2fx host speedup (identical sim cycles)@."
+    (float_of_int fast_off_ns /. float_of_int (max 1 fast_on_ns));
+  Fmt.pr "  sweep suite --jobs %d vs --jobs 1: %.2fx (host has %d cores)@."
+    jobs
+    (float_of_int suite_j1_ns /. float_of_int (max 1 suite_jn_ns))
+    (Workload.Parallel.default_jobs ())
+
+(* --- Entry point --- *)
+
+let usage () =
+  prerr_endline
+    "usage: bench [--quick] [--jobs N] [--out FILE]\n\
+     \  (no flags)  full run: paper reproduction + Bechamel microbenchmarks\n\
+     \  --quick     reduced cell set; writes a BENCH JSON snapshot and exits\n\
+     \  --jobs N    fan independent cells across N domains (default: cores)\n\
+     \  --out FILE  where --quick writes its JSON (default BENCH_1.json)";
+  exit 2
+
 let () =
-  reproduce_table1 ();
-  reproduce_sweeps ();
-  reproduce_fault_summary ();
-  Fmt.pr "==================================================================@.";
-  Fmt.pr "Part 2: Bechamel microbenchmarks (host wall time of the simulator)@.";
-  Fmt.pr "==================================================================@.@.";
-  run_bechamel
-    (bench_pmem_ops () @ bench_heap_ops () @ bench_skiplist_ops ()
-   @ bench_undo_log () @ bench_table1_cells ())
+  let quick = ref false and jobs = ref None and out = ref "BENCH_1.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest -> quick := true; parse rest
+    | "--jobs" :: n :: rest -> begin
+        match int_of_string_opt n with
+        | Some n when n >= 1 -> jobs := Some n; parse rest
+        | _ -> usage ()
+      end
+    | "--out" :: f :: rest -> out := f; parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !quick then run_quick ~jobs:!jobs ~out:!out
+  else begin
+    reproduce_table1 ?jobs:!jobs ();
+    reproduce_sweeps ?jobs:!jobs ();
+    reproduce_fault_summary ?jobs:!jobs ();
+    Fmt.pr "==================================================================@.";
+    Fmt.pr "Part 2: Bechamel microbenchmarks (host wall time of the simulator)@.";
+    Fmt.pr "==================================================================@.@.";
+    run_bechamel
+      (bench_pmem_ops () @ bench_heap_ops () @ bench_skiplist_ops ()
+     @ bench_undo_log () @ bench_table1_cells ())
+  end

@@ -75,11 +75,19 @@ let seed_arg =
   Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED"
          ~doc:"Deterministic seed; a run is a pure function of it.")
 
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Fan the independent simulation cells across N domains \
+                 (default: the host core count).  Cells are deterministic \
+                 and collected in order, so results are identical for any \
+                 N; $(b,--jobs 1) additionally spawns no domains at all.")
+
 (* table1 *)
 
 let table1_cmd =
-  let run () iterations threads seed repeats breakdown =
-    let rows = Workload.Table1.run ~iterations ~threads ~seed ~repeats () in
+  let run () iterations threads seed repeats breakdown jobs =
+    let rows = Workload.Table1.run ~iterations ~threads ~seed ~repeats ?jobs () in
     Workload.Table1.render rows Format.std_formatter;
     if breakdown then
       List.iter
@@ -99,12 +107,14 @@ let table1_cmd =
                        and half-spread.")
       $ Arg.(value & flag
              & info [ "breakdown" ]
-                 ~doc:"Also print the per-variant cycle decomposition."))
+                 ~doc:"Also print the per-variant cycle decomposition.")
+      $ jobs_arg)
 
 (* faults *)
 
 let faults_cmd =
-  let run () variant hardware failure runs iterations transfers wide journal =
+  let run () variant hardware failure runs iterations transfers wide journal
+      jobs =
     let base = Workload.Runner.calibrated_config Nvm.Config.desktop in
     let workload =
       if transfers then
@@ -128,7 +138,7 @@ let faults_cmd =
       { (Workload.Fault_injector.default_spec base) with
         Workload.Fault_injector.runs }
     in
-    let summary = Workload.Fault_injector.run spec in
+    let summary = Workload.Fault_injector.run ?jobs spec in
     Fmt.pr "%a@." Workload.Fault_injector.pp_summary summary;
     if not (Workload.Fault_injector.all_consistent summary) then begin
       Fmt.pr
@@ -186,21 +196,21 @@ let faults_cmd =
           conventional-server --failure power-outage --variant log-only it \
           becomes the E9 negative control).")
     Term.(const run $ logs_term $ variant $ hardware $ failure $ runs
-          $ iterations_arg 800 $ transfers $ wide $ journal)
+          $ iterations_arg 800 $ transfers $ wide $ journal $ jobs_arg)
 
 (* sweeps *)
 
 let sweeps_cmd =
-  let run () which iterations =
+  let run () which iterations jobs =
     let t =
       match which with
-      | "flush-latency" -> Workload.Sweeps.flush_latency ~iterations ()
-      | "threads" -> Workload.Sweeps.thread_scaling ~iterations ()
-      | "log-cost" -> Workload.Sweeps.log_cost_ablation ~iterations ()
-      | "cache" -> Workload.Sweeps.cache_ablation ~iterations ()
-      | "read-ratio" -> Workload.Sweeps.read_ratio ~iterations ()
+      | "flush-latency" -> Workload.Sweeps.flush_latency ~iterations ?jobs ()
+      | "threads" -> Workload.Sweeps.thread_scaling ~iterations ?jobs ()
+      | "log-cost" -> Workload.Sweeps.log_cost_ablation ~iterations ?jobs ()
+      | "cache" -> Workload.Sweeps.cache_ablation ~iterations ?jobs ()
+      | "read-ratio" -> Workload.Sweeps.read_ratio ~iterations ?jobs ()
       | "ledger" ->
-          let l = Workload.Sweeps.procrastination_ledger ~iterations () in
+          let l = Workload.Sweeps.procrastination_ledger ~iterations ?jobs () in
           Fmt.pr "%a@." Workload.Sweeps.pp_ledger l;
           exit 0
       | s -> Fmt.failwith "unknown sweep %S" s
@@ -216,7 +226,7 @@ let sweeps_cmd =
   in
   Cmd.v
     (Cmd.info "sweeps" ~doc:"Parameter sweeps and ablations (E4, E7, E8).")
-    Term.(const run $ logs_term $ which $ iterations_arg 1500)
+    Term.(const run $ logs_term $ which $ iterations_arg 1500 $ jobs_arg)
 
 (* policy *)
 
@@ -345,12 +355,12 @@ let run_cmd =
 (* ycsb *)
 
 let ycsb_cmd =
-  let run () preset iterations records =
+  let run () preset iterations records jobs =
     match Workload.Ycsb.preset_of_string preset with
     | Error e -> Fmt.failwith "%s" e
     | Ok p ->
         Workload.Sweeps.render_ycsb
-          (Workload.Sweeps.ycsb_table ~iterations ~records p)
+          (Workload.Sweeps.ycsb_table ~iterations ~records ?jobs p)
           Format.std_formatter
   in
   let preset =
@@ -366,7 +376,8 @@ let ycsb_cmd =
        ~doc:
          "YCSB-style workload mixes (Zipfian requests) across all map \
           variants, with latency percentiles.")
-    Term.(const run $ logs_term $ preset $ iterations_arg 1500 $ records)
+    Term.(const run $ logs_term $ preset $ iterations_arg 1500 $ records
+          $ jobs_arg)
 
 let main_cmd =
   let doc =

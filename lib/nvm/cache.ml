@@ -5,27 +5,45 @@ type way = { mutable tag : int; mutable dirty : bool; mutable stamp : int }
 type t = {
   sets : way array array;
   line_size : int;
+  line_shift : int;  (* log2 line_size: addr lsr line_shift = line *)
   n_sets : int;
+  set_mask : int;  (* n_sets - 1: line land set_mask = set index *)
   write_back : int -> unit;
   mutable tick : int;
+  mutable n_dirty : int;
+      (* incremental count of dirty ways; every dirty-bit transition
+         below must keep it in sync so [dirty_count] stays O(1) *)
 }
 
 type access = Hit | Miss of { evicted_dirty : bool }
 
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2_exact n =
+  let rec go shift = if 1 lsl shift >= n then shift else go (shift + 1) in
+  go 0
+
 let create ~sets ~ways ~line_size ~write_back =
+  if not (is_power_of_two line_size) then
+    Fmt.invalid_arg "Cache.create: line_size %d not a power of two" line_size;
+  if not (is_power_of_two sets) then
+    Fmt.invalid_arg "Cache.create: set count %d not a power of two" sets;
   let make_set _ =
     Array.init ways (fun _ -> { tag = -1; dirty = false; stamp = 0 })
   in
   {
     sets = Array.init sets make_set;
     line_size;
+    line_shift = log2_exact line_size;
     n_sets = sets;
+    set_mask = sets - 1;
     write_back;
     tick = 0;
+    n_dirty = 0;
   }
 
-let line_of t addr = addr / t.line_size
-let set_of t line = line mod t.n_sets
+let line_of t addr = addr lsr t.line_shift
+let set_of t line = line land t.set_mask
 
 let find_way t line =
   let set = t.sets.(set_of t line) in
@@ -50,15 +68,22 @@ let touch t ~addr ~dirty =
   match find_way t line with
   | Some w ->
       w.stamp <- next_stamp t;
-      if dirty then w.dirty <- true;
+      if dirty && not w.dirty then begin
+        w.dirty <- true;
+        t.n_dirty <- t.n_dirty + 1
+      end;
       Hit
   | None ->
       let set = t.sets.(set_of t line) in
       let victim = lru_way set in
       let evicted_dirty = victim.tag >= 0 && victim.dirty in
-      if evicted_dirty then t.write_back (victim.tag * t.line_size);
+      if evicted_dirty then begin
+        t.write_back (victim.tag lsl t.line_shift);
+        t.n_dirty <- t.n_dirty - 1
+      end;
       victim.tag <- line;
       victim.dirty <- dirty;
+      if dirty then t.n_dirty <- t.n_dirty + 1;
       victim.stamp <- next_stamp t;
       Miss { evicted_dirty }
 
@@ -66,17 +91,21 @@ let flush_line t ~addr =
   let line = line_of t addr in
   match find_way t line with
   | Some w when w.dirty ->
-      t.write_back (line * t.line_size);
+      t.write_back (line lsl t.line_shift);
       w.dirty <- false;
+      t.n_dirty <- t.n_dirty - 1;
       true
   | Some _ | None -> false
+
+let dirty_count t = t.n_dirty
 
 let dirty_lines t =
   let acc = ref [] in
   Array.iter
     (fun set ->
       Array.iter
-        (fun w -> if w.tag >= 0 && w.dirty then acc := (w.tag * t.line_size) :: !acc)
+        (fun w ->
+          if w.tag >= 0 && w.dirty then acc := (w.tag lsl t.line_shift) :: !acc)
         set)
     t.sets;
   List.sort compare !acc
@@ -88,12 +117,13 @@ let write_back_all t =
       Array.iter
         (fun w ->
           if w.tag >= 0 && w.dirty then begin
-            t.write_back (w.tag * t.line_size);
+            t.write_back (w.tag lsl t.line_shift);
             w.dirty <- false;
             incr n
           end)
         set)
     t.sets;
+  t.n_dirty <- 0;
   !n
 
 let drop_all t =
@@ -108,6 +138,7 @@ let drop_all t =
           w.stamp <- 0)
         set)
     t.sets;
+  t.n_dirty <- 0;
   !lost
 
 let cached t ~addr = Option.is_some (find_way t (line_of t addr))

@@ -14,7 +14,11 @@ type access = Hit | Miss of { evicted_dirty : bool }
 val create :
   sets:int -> ways:int -> line_size:int -> write_back:(int -> unit) -> t
 (** [write_back line_addr] is called with the byte address of the first
-    byte of each line the cache evicts or flushes while dirty. *)
+    byte of each line the cache evicts or flushes while dirty.
+
+    [sets] and [line_size] must both be powers of two so that line and
+    set indexing reduce to shift/mask on the access hot path.
+    @raise Invalid_argument otherwise. *)
 
 val touch : t -> addr:int -> dirty:bool -> access
 (** Record an access to the line containing [addr].  [dirty] marks the
@@ -29,6 +33,10 @@ val flush_line : t -> addr:int -> bool
 
 val dirty_lines : t -> int list
 (** Byte addresses of all currently dirty lines. *)
+
+val dirty_count : t -> int
+(** Number of currently dirty lines, maintained incrementally — O(1),
+    unlike [List.length (dirty_lines t)] which scans every way. *)
 
 val write_back_all : t -> int
 (** Flush every dirty line (the crash-time TSP rescue, or a full cache

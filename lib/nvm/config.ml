@@ -100,6 +100,8 @@ let validate t =
       ((fun () -> t.cache_ways > 0), "cache_ways must be positive");
       ((fun () -> t.cache_lines mod t.cache_ways = 0),
        "cache_lines must be a multiple of cache_ways");
+      ((fun () -> is_power_of_two (t.cache_lines / t.cache_ways)),
+       "cache_lines / cache_ways (the set count) must be a power of two");
       ((fun () -> t.ghz > 0.), "ghz must be positive");
       ((fun () ->
          t.load_hit >= 0 && t.load_miss >= 0 && t.store_cost >= 0

@@ -42,7 +42,10 @@ val with_region_size : t -> int -> t
     to a whole number of cache lines. *)
 
 val validate : t -> (unit, string) result
-(** Check internal consistency (powers of two, divisibility, positivity). *)
+(** Check internal consistency (powers of two, divisibility, positivity).
+    [line_size] and the set count [cache_lines / cache_ways] must be
+    powers of two: the cache model indexes lines and sets with
+    shift/mask instead of division on the per-access hot path. *)
 
 val n_sets : t -> int
 (** Number of cache sets, [cache_lines / cache_ways]. *)

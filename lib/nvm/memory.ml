@@ -34,14 +34,39 @@ let blit_string t addr s =
   Bytes.blit_string s 0 t.current addr (String.length s);
   Bytes.blit_string s 0 t.durable addr (String.length s)
 
+let durable_snapshot t = Bytes.to_string t.durable
+
+(* Compare word-at-a-time where alignment allows, byte-at-a-time
+   otherwise; no intermediate substrings are allocated either way. *)
 let diff_lines t ~line_size =
-  let n = t.size / line_size in
-  let differs i =
-    let off = i * line_size in
-    not
-      (String.equal
-         (Bytes.sub_string t.current off line_size)
-         (Bytes.sub_string t.durable off line_size))
+  let line_differs off =
+    let stop = off + line_size in
+    if off land 7 = 0 && line_size land 7 = 0 then begin
+      let rec go_words o =
+        o < stop
+        && (not
+              (Int64.equal
+                 (Bytes.get_int64_le t.current o)
+                 (Bytes.get_int64_le t.durable o))
+           || go_words (o + 8))
+      in
+      go_words off
+    end
+    else begin
+      let rec go_bytes o =
+        o < stop
+        && (not
+              (Char.equal (Bytes.unsafe_get t.current o)
+                 (Bytes.unsafe_get t.durable o))
+           || go_bytes (o + 1))
+      in
+      go_bytes off
+    end
   in
-  List.filter differs (List.init n (fun i -> i))
-  |> List.map (fun i -> i * line_size)
+  let acc = ref [] in
+  let off = ref (t.size / line_size * line_size - line_size) in
+  while !off >= 0 do
+    if line_differs !off then acc := !off :: !acc;
+    off := !off - line_size
+  done;
+  !acc

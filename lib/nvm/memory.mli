@@ -47,5 +47,10 @@ val blit_string : t -> int -> string -> unit
     durable). *)
 
 val diff_lines : t -> line_size:int -> int list
-(** Byte offsets of the lines whose current and durable contents differ;
-    a debugging and verification aid. *)
+(** Byte offsets of the lines whose current and durable contents differ,
+    in ascending order; a debugging and verification aid.  Comparison is
+    done in place over the two images — no per-line copies. *)
+
+val durable_snapshot : t -> string
+(** A copy of the entire durable image, for bit-exact comparisons in
+    determinism tests. *)

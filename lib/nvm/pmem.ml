@@ -166,18 +166,25 @@ let persist_all t =
   fence t
 let load_durable t addr = Memory.load_durable t.mem addr
 let peek t addr = Memory.load t.mem addr
-let dirty_line_count t = List.length (Cache.dirty_lines t.cache)
+let durable_snapshot t = Memory.durable_snapshot t.mem
+let dirty_line_count t = Cache.dirty_count t.cache
 
 let store_history t =
   match t.journal with
   | None -> []
   | Some q -> List.of_seq (Queue.to_seq q)
 
+let journal_length t =
+  match t.journal with None -> 0 | Some q -> Queue.length q
+
 let last_values t =
   match t.journal with
   | None -> invalid_arg "Pmem: device was created without ~journal:true"
   | Some q ->
-      let last = Hashtbl.create 1024 in
+      (* Distinct addresses <= journal entries; sizing from the journal
+         avoids rehash-on-grow for long histories and over-allocation
+         for short ones. *)
+      let last = Hashtbl.create (max 16 (Queue.length q)) in
       Queue.iter (fun (addr, v) -> Hashtbl.replace last addr v) q;
       last
 

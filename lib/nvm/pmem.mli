@@ -31,7 +31,13 @@ exception Crashed_device
 val create : ?journal:bool -> Config.t -> t
 (** Build a device.  [journal] (default [false]) records every store in a
     history buffer so the recovery-observer check can verify the
-    prefix property; it costs memory, so enable it only in tests. *)
+    prefix property.
+
+    {b The journal grows without bound}: one entry per store for the
+    lifetime of the device (cleared only by {!recover}).  A workload
+    issuing millions of stores with [~journal:true] will hold all of
+    them in memory — enable it only for tests and fault-injection runs
+    of bounded length, and use {!journal_length} to monitor growth. *)
 
 val config : t -> Config.t
 val stats : t -> Stats.t
@@ -99,10 +105,21 @@ val peek : t -> int -> int64
     must use {!load}. *)
 
 val dirty_line_count : t -> int
+(** Number of dirty lines in the simulated cache right now.  O(1): the
+    cache maintains the count incrementally. *)
+
+val durable_snapshot : t -> string
+(** A copy of the durable image, for bit-exact comparisons in
+    determinism tests. *)
 
 val store_history : t -> (int * int64) list
 (** Journal of (address, value) stores in issue order, oldest first.
     Empty unless the device was created with [~journal:true]. *)
+
+val journal_length : t -> int
+(** Entries currently held in the store journal; 0 when the device was
+    created without [~journal:true].  The journal is unbounded (see
+    {!create}), so long-running journalled workloads should watch this. *)
 
 val durable_reflects_all_stores : t -> bool
 (** The recovery-observer check of Section 4.1: for every address ever

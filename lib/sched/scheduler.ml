@@ -13,8 +13,21 @@ type thread = {
 
 type t = {
   mutable threads : thread array;
+  mutable pending_rev : thread list;
+      (* threads spawned but not yet frozen into [threads]; newest
+         first.  Buffering here makes N spawns O(N) total instead of the
+         O(N^2) of repeated [Array.append]. *)
+  mutable n_threads : int;
   rng : Sim_rng.t;
   cost_jitter : int;
+  deterministic_slice : int;
+  mutable fast_budget : int;
+      (* remaining steps the current thread may charge inline before the
+         next forced suspension; refilled to [deterministic_slice] each
+         time the scheduler resumes a thread *)
+  mutable runnable_count : int;
+      (* threads in state [Runnable] or [Running]; the step fast path is
+         legal exactly when this is 1 (the caller itself) *)
   mutable steps : int;
   mutable crash_at_step : int option;
   mutable crashed : bool;
@@ -40,11 +53,21 @@ type _ Effect.t +=
   | Step_eff : int -> unit Effect.t
   | Block_eff : mutex -> unit Effect.t
 
-let create ?(seed = 42) ?(cost_jitter = 0) () =
+let default_slice = 4096
+
+let create ?(seed = 42) ?(cost_jitter = 0) ?(deterministic_slice = default_slice)
+    () =
+  if deterministic_slice < 0 then
+    invalid_arg "Scheduler.create: deterministic_slice must be >= 0";
   {
     threads = [||];
+    pending_rev = [];
+    n_threads = 0;
     rng = Sim_rng.create ~seed;
     cost_jitter;
+    deterministic_slice;
+    fast_budget = 0;
+    runnable_count = 0;
     steps = 0;
     crash_at_step = None;
     crashed = false;
@@ -54,14 +77,23 @@ let create ?(seed = 42) ?(cost_jitter = 0) () =
     next_mutex_id = 0;
   }
 
-let thread_count t = Array.length t.threads
+let freeze t =
+  if t.pending_rev <> [] then begin
+    t.threads <-
+      Array.append t.threads (Array.of_list (List.rev t.pending_rev));
+    t.pending_rev <- []
+  end
+
+let thread_count t = t.n_threads
 
 let spawn t ?name f =
   if t.started then invalid_arg "Scheduler.spawn: scheduler already ran";
-  let id = Array.length t.threads in
+  let id = t.n_threads in
   let name = Option.value name ~default:(Printf.sprintf "thread-%d" id) in
   let th = { id; name; vclock = 0; state = Runnable (Fresh f) } in
-  t.threads <- Array.append t.threads [| th |];
+  t.pending_rev <- th :: t.pending_rev;
+  t.n_threads <- t.n_threads + 1;
+  t.runnable_count <- t.runnable_count + 1;
   id
 
 let current_thread t =
@@ -71,17 +103,45 @@ let current_thread t =
 
 let self t = (current_thread t).id
 
+(* The hot path of the whole simulator: one call per simulated memory
+   access.  When the calling thread is the only runnable one — every
+   single-thread cell, and the tail of every multi-thread run — going
+   through [Effect.perform] buys nothing: the handler would charge the
+   cost and the scheduler loop would immediately re-pick the same thread
+   (with no RNG draw, since there is no tie to break).  So in that case
+   the accounting is done inline, with exactly the state updates and RNG
+   draws the handler would have made, and the fiber never suspends.
+
+   The fast path is skipped when the next step could trigger the crash
+   window, so crash injection always goes through the handler, which
+   abandons the continuation — observable crash states are unchanged. *)
 let step t ~cost =
-  ignore (current_thread t : thread);
-  Effect.perform (Step_eff cost)
+  let th = current_thread t in
+  let crash_imminent =
+    match t.crash_at_step with Some c -> t.steps + 1 >= c | None -> false
+  in
+  if t.runnable_count = 1 && t.fast_budget > 0 && not crash_imminent then begin
+    let jitter =
+      if t.cost_jitter > 0 then Sim_rng.int t.rng (t.cost_jitter + 1) else 0
+    in
+    th.vclock <- th.vclock + cost + jitter;
+    t.steps <- t.steps + 1;
+    t.fast_budget <- t.fast_budget - 1
+  end
+  else Effect.perform (Step_eff cost)
 
 let yield t = step t ~cost:0
 
 let elapsed_cycles t =
+  freeze t;
   Array.fold_left (fun acc th -> max acc th.vclock) 0 t.threads
 
 let total_steps t = t.steps
-let thread_cycles t id = t.threads.(id).vclock
+
+let thread_cycles t id =
+  freeze t;
+  t.threads.(id).vclock
+
 let is_crashed t = t.crashed
 
 (* One deep handler is installed per fiber at its first resumption; every
@@ -89,10 +149,14 @@ let is_crashed t = t.crashed
    fiber's own record. *)
 let handler t th =
   {
-    Effect.Deep.retc = (fun () -> th.state <- Done);
+    Effect.Deep.retc =
+      (fun () ->
+        th.state <- Done;
+        t.runnable_count <- t.runnable_count - 1);
     exnc =
       (fun e ->
         th.state <- Done;
+        t.runnable_count <- t.runnable_count - 1;
         if t.failure = None then
           t.failure <- Some (e, Printexc.get_raw_backtrace ()));
     effc =
@@ -118,6 +182,7 @@ let handler t th =
             Some
               (fun (k : (a, unit) Effect.Deep.continuation) ->
                 th.state <- Blocked;
+                t.runnable_count <- t.runnable_count - 1;
                 Queue.add (th, k) m.waiters)
         | _ -> None);
   }
@@ -152,6 +217,7 @@ let pick t =
 let run ?crash_at_step t =
   if t.started then invalid_arg "Scheduler.run: scheduler already ran";
   t.started <- true;
+  freeze t;
   t.crash_at_step <- crash_at_step;
   let rec loop () =
     if t.crashed then Crashed { at_step = t.steps }
@@ -169,6 +235,7 @@ let run ?crash_at_step t =
               if blocked = [] then Completed else Deadlocked { blocked }
           | Some th ->
               t.current <- th.id;
+              t.fast_budget <- t.deterministic_slice;
               (match th.state with
               | Runnable r -> begin
                   th.state <- Running;
@@ -215,7 +282,8 @@ module Mutex = struct
             (* The waiter could not have proceeded before the release, so
                its clock jumps forward to the release instant. *)
             th.vclock <- max th.vclock me.vclock;
-            th.state <- Runnable (Suspended k)
+            th.state <- Runnable (Suspended k);
+            m.sched.runnable_count <- m.sched.runnable_count + 1
         | None -> m.owner <- None
       end
     | Some _ | None ->

@@ -16,7 +16,17 @@
 
     Determinism: scheduling decisions depend only on the seed, the spawn
     order and the costs reported, so a given (program, seed, crash point)
-    triple always produces the same interleaving. *)
+    triple always produces the same interleaving.
+
+    Uncontended fast path: when exactly one thread is runnable — every
+    single-thread run, and the tail of any run whose other threads have
+    finished or blocked — {!step} charges the thread's virtual clock
+    inline instead of suspending the fiber and re-entering the pick
+    loop.  The fast path performs the same state updates and the same
+    RNG draws the suspending path would (and is bypassed entirely when
+    the next step could open the crash window), so every observable —
+    step counts, clocks, interleavings, crash states — is bit-identical
+    with it on or off; see DESIGN.md, "Scheduler fast path". *)
 
 type t
 
@@ -27,10 +37,21 @@ type outcome =
   | Deadlocked of { blocked : string list }
       (** no runnable thread, but some are blocked on mutexes *)
 
-val create : ?seed:int -> ?cost_jitter:int -> unit -> t
+val default_slice : int
+(** Default [deterministic_slice]: 4096 inline steps per resumption. *)
+
+val create :
+  ?seed:int -> ?cost_jitter:int -> ?deterministic_slice:int -> unit -> t
 (** [cost_jitter] (default 0) adds a uniform random 0..jitter cycles to
     every step, perturbing interleavings between seeds — useful for
-    fault-injection diversity. *)
+    fault-injection diversity.
+
+    [deterministic_slice] (default 4096) bounds how many consecutive
+    steps a lone runnable thread may charge inline before control is
+    forced back through the scheduler loop.  [0] disables the fast path
+    altogether, reproducing the historical suspend-per-step execution.
+    The value never changes simulated results — only how often the
+    host-level loop runs. *)
 
 val spawn : t -> ?name:string -> (unit -> unit) -> int
 (** Register a thread; returns its id (0, 1, ... in spawn order).  Must be

@@ -76,15 +76,23 @@ let one spec ~seed ~crash_step =
     errors;
   }
 
-let run spec =
+let run ?jobs spec =
   let rng = Rng.create ~seed:spec.campaign_seed in
-  let outcomes =
+  (* Draw every run's parameters from the campaign RNG sequentially so
+     the schedule is a pure function of the campaign seed, then fan the
+     (independent, deterministic) runs across domains. *)
+  let params =
     List.init spec.runs (fun i ->
         let seed = 10_000 + (13 * i) + Rng.int rng 7 in
         let crash_step =
           spec.min_step + Rng.int rng (max 1 (spec.max_step - spec.min_step))
         in
-        one spec ~seed ~crash_step)
+        (seed, crash_step))
+  in
+  let outcomes =
+    Parallel.map ?jobs
+      (fun (seed, crash_step) -> one spec ~seed ~crash_step)
+      params
   in
   let crashes = List.length (List.filter (fun o -> o.crashed) outcomes) in
   let consistent_recoveries =

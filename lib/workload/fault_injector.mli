@@ -42,7 +42,11 @@ type summary = {
 val default_spec : Runner.config -> spec
 (** 100 runs, crash step drawn from [500, 150000]. *)
 
-val run : spec -> summary
+val run : ?jobs:int -> spec -> summary
+(** Execute the campaign.  Crash points and per-run seeds are drawn from
+    the campaign RNG up front, so the schedule — and every outcome — is
+    a pure function of [spec] regardless of [jobs] (default: host core
+    count), which only fans the independent runs across domains. *)
 
 val all_consistent : summary -> bool
 (** Every crashed run recovered to a verified-consistent state. *)

@@ -1,0 +1,53 @@
+(* Multicore fan-out for independent simulation cells.
+
+   Every cell the harness runs — a Table 1 (variant, seed) pair, one
+   sweep point, one fault-campaign crash — is a pure function of its
+   config: it builds its own Pmem, Scheduler and RNGs and shares no
+   mutable state with any other cell.  That makes the sweep suites
+   embarrassingly parallel, and [map] fans them across OCaml 5 domains
+   with a bounded worker pool.  Results are collected positionally, so
+   the output list is always in input order: [map ~jobs:n f xs] returns
+   the same value for every [n], and [~jobs:1] does not spawn domains at
+   all — it is literally [List.map]. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ?jobs f xs =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let r =
+            try Ok (f items.(i))
+            with e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some r;
+          go ()
+        end
+      in
+      go ()
+    in
+    (* The calling domain is one of the workers, so [jobs] bounds the
+       total concurrency, not the number of extra domains. *)
+    let helpers =
+      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join helpers;
+    (* Ordered collection; like List.map, the first failing item (in
+       input order, not completion order) determines the exception. *)
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false)
+  end
+
+let run_all ?jobs thunks = map ?jobs (fun f -> f ()) thunks

@@ -1,0 +1,23 @@
+(** Multicore fan-out for independent, deterministic simulation cells.
+
+    Each cell (a Table 1 variant x seed pair, a sweep point, a
+    fault-campaign crash) is a pure function of its configuration, so
+    cells may run on separate OCaml 5 domains without changing any
+    simulated result.  Results are collected in input order; the number
+    of jobs affects wall-clock time only. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: one job per available core. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] applies [f] to every element of [xs] using at most
+    [jobs] domains (the calling domain included) and returns the results
+    in input order.  [jobs] defaults to {!default_jobs}; with [~jobs:1]
+    (or a singleton list) no domain is spawned and the call is exactly
+    [List.map f xs].  If any application raises, the exception of the
+    earliest failing {e input} is re-raised with its backtrace after all
+    workers drain. *)
+
+val run_all : ?jobs:int -> (unit -> 'a) list -> 'a list
+(** [run_all thunks = map (fun f -> f ()) thunks]: run heterogeneous
+    cells concurrently, results in order. *)

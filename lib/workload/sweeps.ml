@@ -17,7 +17,7 @@ let run_config config =
 let miters config = (run_config config).Runner.miters_per_sec
 
 let flush_latency ?(iterations = 1500)
-    ?(latencies = [ 50; 100; 250; 500; 750; 1000 ]) () =
+    ?(latencies = [ 50; 100; 250; 500; 750; 1000 ]) ?jobs () =
   let base = { (Runner.calibrated_config Nvm.Config.desktop) with Runner.iterations } in
   let point lat =
     let platform = { base.Runner.platform with Nvm.Config.flush_cost = lat } in
@@ -46,11 +46,11 @@ let flush_latency ?(iterations = 1500)
         "deferred (no TSP)";
         "TSP speedup";
       ];
-    points = List.map point latencies;
+    points = Parallel.map ?jobs point latencies;
   }
 
 let thread_scaling ?(iterations = 1500) ?(thread_counts = [ 1; 2; 4; 8; 16 ])
-    () =
+    ?jobs () =
   let point threads =
     let cfg variant =
       {
@@ -76,11 +76,11 @@ let thread_scaling ?(iterations = 1500) ?(thread_counts = [ 1; 2; 4; 8; 16 ])
     title = "E8: throughput scaling with worker threads (desktop)";
     x_label = "threads";
     series_names = [ "no Atlas"; "log only"; "log+flush"; "non-blocking" ];
-    points = List.map point thread_counts;
+    points = Parallel.map ?jobs point thread_counts;
   }
 
 let log_cost_ablation ?(iterations = 1500)
-    ?(log_cycles = [ 45; 150; 310; 600; 1200 ]) () =
+    ?(log_cycles = [ 45; 150; 310; 600; 1200 ]) ?jobs () =
   let point lc =
     let base = Runner.calibrated_config Nvm.Config.desktop in
     let costs =
@@ -107,11 +107,11 @@ let log_cost_ablation ?(iterations = 1500)
        application study regime: ~3x log, ~5x log+flush)";
     x_label = "log entry cost (cycles)";
     series_names = [ "overhead log-only"; "overhead log+flush" ];
-    points = List.map point log_cycles;
+    points = Parallel.map ?jobs point log_cycles;
   }
 
 let cache_ablation ?(iterations = 1500)
-    ?(cache_lines = [ 512; 2048; 8192; 32768 ]) () =
+    ?(cache_lines = [ 512; 2048; 8192; 32768 ]) ?jobs () =
   let point lines =
     let base = Runner.calibrated_config Nvm.Config.desktop in
     let platform =
@@ -156,7 +156,7 @@ let cache_ablation ?(iterations = 1500)
     x_label = "cache lines";
     series_names =
       [ "log-only Miter/s"; "hit rate %"; "dirty lines lost at crash" ];
-    points = List.map point cache_lines;
+    points = Parallel.map ?jobs point cache_lines;
   }
 
 let render t ppf =
@@ -176,7 +176,8 @@ let render t ppf =
   Format.fprintf ppf "%s@.@." t.title;
   Report.table ~header ~rows ppf
 
-let read_ratio ?(iterations = 1500) ?(read_pcts = [ 0; 25; 50; 75; 90 ]) () =
+let read_ratio ?(iterations = 1500) ?(read_pcts = [ 0; 25; 50; 75; 90 ]) ?jobs
+    () =
   let point read_pct =
     let base = Runner.calibrated_config Nvm.Config.desktop in
     let cfg variant =
@@ -215,7 +216,7 @@ let read_ratio ?(iterations = 1500) ?(read_pcts = [ 0; 25; 50; 75; 90 ]) () =
         "overhead log-only";
         "overhead log+flush";
       ];
-    points = List.map point read_pcts;
+    points = Parallel.map ?jobs point read_pcts;
   }
 
 (* E11: the procrastinator's ledger.  TSP trades failure-free flushes
@@ -232,7 +233,8 @@ type ledger = {
   flushes_avoided_per_rescued_line : float;
 }
 
-let procrastination_ledger ?(iterations = 1200) ?(crash_step = 100_000) () =
+let procrastination_ledger ?(iterations = 1200) ?(crash_step = 100_000) ?jobs
+    () =
   let base =
     {
       (Runner.calibrated_config Nvm.Config.desktop) with
@@ -246,24 +248,29 @@ let procrastination_ledger ?(iterations = 1200) ?(crash_step = 100_000) () =
     | Runner.Crashed _, Some c -> (r, c)
     | _ -> Fmt.failwith "ledger: crash point %d not reached" crash_step
   in
-  let _, tsp_crash =
-    crashed
-      {
-        base with
-        Runner.variant = Runner.Mutex_map Atlas.Mode.Log_only;
-        hardware = Tsp_core.Hardware.nvram_machine;
-        failure = Tsp_core.Failure_class.Power_outage;
-      }
+  let tsp_side, no_tsp_side =
+    match
+      Parallel.map ?jobs crashed
+        [
+          {
+            base with
+            Runner.variant = Runner.Mutex_map Atlas.Mode.Log_only;
+            hardware = Tsp_core.Hardware.nvram_machine;
+            failure = Tsp_core.Failure_class.Power_outage;
+          };
+          {
+            base with
+            Runner.variant = Runner.Mutex_map Atlas.Mode.Log_flush;
+            hardware = Tsp_core.Hardware.conventional_server;
+            failure = Tsp_core.Failure_class.Power_outage;
+          };
+        ]
+    with
+    | [ a; b ] -> (a, b)
+    | _ -> assert false
   in
-  let no_tsp_run, no_tsp_crash =
-    crashed
-      {
-        base with
-        Runner.variant = Runner.Mutex_map Atlas.Mode.Log_flush;
-        hardware = Tsp_core.Hardware.conventional_server;
-        failure = Tsp_core.Failure_class.Power_outage;
-      }
-  in
+  let _, tsp_crash = tsp_side in
+  let no_tsp_run, no_tsp_crash = no_tsp_side in
   let runtime_flushes = no_tsp_run.Runner.device_stats.Nvm.Stats.flushes in
   let rescued = tsp_crash.Runner.rescued_lines in
   {
@@ -292,7 +299,7 @@ let pp_ledger ppf l =
 
 (* YCSB comparison: one preset across the map variants, with throughput
    and per-operation latency percentiles (simulated cycles). *)
-let ycsb_table ?(iterations = 1500) ?(records = 16384) preset =
+let ycsb_table ?(iterations = 1500) ?(records = 16384) ?jobs preset =
   let variants =
     [
       Runner.Mutex_map Atlas.Mode.No_log;
@@ -303,7 +310,7 @@ let ycsb_table ?(iterations = 1500) ?(records = 16384) preset =
     ]
   in
   let rows =
-    List.map
+    Parallel.map ?jobs
       (fun variant ->
         let cfg =
           {

@@ -12,25 +12,30 @@ type series_table = {
   points : point list;
 }
 
+(** Every sweep below accepts [?jobs]: its points are independent
+    deterministic cells, fanned across that many domains via
+    {!Parallel.map} (default: host core count).  The resulting series is
+    identical for any job count; only wall-clock time changes. *)
+
 val flush_latency :
-  ?iterations:int -> ?latencies:int list -> unit -> series_table
+  ?iterations:int -> ?latencies:int list -> ?jobs:int -> unit -> series_table
 (** E7: throughput of Atlas log-only (TSP) vs log+flush (no TSP) as the
     NVM flush latency grows.  TSP's advantage is the flush count times
     this latency, so the gap must widen — quantifying "emerging
     architectures sometimes reward procrastination handsomely". *)
 
 val thread_scaling :
-  ?iterations:int -> ?thread_counts:int list -> unit -> series_table
+  ?iterations:int -> ?thread_counts:int list -> ?jobs:int -> unit -> series_table
 (** E8: all four Table 1 variants from 1 to 16 threads. *)
 
 val log_cost_ablation :
-  ?iterations:int -> ?log_cycles:int list -> unit -> series_table
+  ?iterations:int -> ?log_cycles:int list -> ?jobs:int -> unit -> series_table
 (** E4: overhead factor (native / fortified) of log-only and log+flush as
     the per-entry logging cost grows.  Locates the regime in which the
     paper's earlier application study saw 3x (log) and 5x (log+flush). *)
 
 val cache_ablation :
-  ?iterations:int -> ?cache_lines:int list -> unit -> series_table
+  ?iterations:int -> ?cache_lines:int list -> ?jobs:int -> unit -> series_table
 (** Design ablation: a smaller cache evicts (and thus writes back) dirty
     lines sooner, narrowing the window TSP must rescue — but also raising
     miss costs.  Reports log-only throughput and the dirty lines left at
@@ -38,7 +43,8 @@ val cache_ablation :
 
 val render : series_table -> Format.formatter -> unit
 
-val read_ratio : ?iterations:int -> ?read_pcts:int list -> unit -> series_table
+val read_ratio :
+  ?iterations:int -> ?read_pcts:int list -> ?jobs:int -> unit -> series_table
 (** E12: fortification overhead vs the share of read-only iterations.
     Undo logging and flushing act only on stores, so both overheads must
     fall monotonically as reads dominate. *)
@@ -60,13 +66,14 @@ type ledger = {
 }
 
 val procrastination_ledger :
-  ?iterations:int -> ?crash_step:int -> unit -> ledger
+  ?iterations:int -> ?crash_step:int -> ?jobs:int -> unit -> ledger
 
 val pp_ledger : ledger Fmt.t
 
 val ycsb_table :
   ?iterations:int ->
   ?records:int ->
+  ?jobs:int ->
   Ycsb.preset ->
   Ycsb.preset * int * string list list
 (** Run one YCSB preset across the map variants (hash map in three Atlas

@@ -20,26 +20,41 @@ let variants =
   ]
 
 let run_row ?(threads = 8) ?(iterations = 4000) ?(seed = 11) ?(repeats = 1)
-    platform paper =
-  let cell variant paper_miters =
-    let one seed =
-      let config =
-        {
-          (Runner.calibrated_config platform) with
-          Runner.variant;
-          threads;
-          iterations;
-          seed;
-        }
-      in
-      let result = Runner.run config in
-      if not (Runner.consistent result) then
-        Fmt.failwith "Table 1 run inconsistent for %s on %s"
-          (Runner.variant_to_string variant)
-          platform.Nvm.Config.name;
-      result
+    ?jobs platform paper =
+  let repeats = max 1 repeats in
+  (* Every (variant, seed) pair is an independent deterministic cell;
+     flatten them all and fan out.  Collection is positional, so the
+     per-cell results (and hence the printed table) are identical for
+     any job count. *)
+  let cell_configs =
+    List.concat_map
+      (fun variant ->
+        List.init repeats (fun i ->
+            ( variant,
+              {
+                (Runner.calibrated_config platform) with
+                Runner.variant;
+                threads;
+                iterations;
+                seed = seed + (31 * i);
+              } )))
+      variants
+  in
+  let results =
+    Parallel.map ?jobs
+      (fun (variant, config) ->
+        let result = Runner.run config in
+        if not (Runner.consistent result) then
+          Fmt.failwith "Table 1 run inconsistent for %s on %s"
+            (Runner.variant_to_string variant)
+            platform.Nvm.Config.name;
+        result)
+      cell_configs
+  in
+  let cell i variant paper_miters =
+    let results =
+      List.filteri (fun j _ -> j / repeats = i) results
     in
-    let results = List.init (max 1 repeats) (fun i -> one (seed + (31 * i))) in
     let ms = List.map (fun r -> r.Runner.miters_per_sec) results in
     let mean = List.fold_left ( +. ) 0. ms /. float_of_int (List.length ms) in
     let spread =
@@ -54,12 +69,15 @@ let run_row ?(threads = 8) ?(iterations = 4000) ?(seed = 11) ?(repeats = 1)
       result = List.hd results;
     }
   in
-  { platform; cells = List.map2 cell variants paper }
+  { platform; cells = List.mapi (fun i (v, p) -> cell i v p)
+        (List.combine variants paper) }
 
-let run ?threads ?iterations ?seed ?repeats () =
+let run ?threads ?iterations ?seed ?repeats ?jobs () =
   [
-    run_row ?threads ?iterations ?seed ?repeats Nvm.Config.desktop paper_desktop;
-    run_row ?threads ?iterations ?seed ?repeats Nvm.Config.server paper_server;
+    run_row ?threads ?iterations ?seed ?repeats ?jobs Nvm.Config.desktop
+      paper_desktop;
+    run_row ?threads ?iterations ?seed ?repeats ?jobs Nvm.Config.server
+      paper_server;
   ]
 
 let nth_meas row i = (List.nth row.cells i).measured_miters

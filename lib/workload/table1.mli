@@ -26,15 +26,24 @@ val run_row :
   ?iterations:int ->
   ?seed:int ->
   ?repeats:int ->
+  ?jobs:int ->
   Nvm.Config.t ->
   float list ->
   row
 
 val run :
-  ?threads:int -> ?iterations:int -> ?seed:int -> ?repeats:int -> unit -> row list
+  ?threads:int ->
+  ?iterations:int ->
+  ?seed:int ->
+  ?repeats:int ->
+  ?jobs:int ->
+  unit ->
+  row list
 (** Both platforms; defaults: 8 threads, 4000 iterations per thread, one
     seed.  [repeats > 1] reruns each cell with distinct seeds and reports
-    the mean with the half-spread. *)
+    the mean with the half-spread.  [jobs] fans the independent cells
+    across that many domains (default: the host core count); every cell
+    is deterministic, so the table is identical for any [jobs]. *)
 
 val shape_ok : row -> bool
 (** The qualitative claims of Section 5.2 hold: [no-Atlas > log-only >
