@@ -84,6 +84,45 @@ let reproduce_fault_summary ?jobs () =
       hardware = Tsp_core.Hardware.conventional_server;
       failure = Tsp_core.Failure_class.Power_outage;
     };
+  Fmt.pr "@.";
+  (* E16: the adversarial spectrum, on a cache small enough to evict
+     (on the stock cache nothing is dirty-evicted and discard-class
+     faults revert to a clean snapshot). *)
+  Fmt.pr "adversarial spectrum (E16), mutex+log-only, 32 KiB cache:@.";
+  let adv_base =
+    {
+      (Workload.Runner.calibrated_config
+         { Nvm.Config.desktop with Nvm.Config.cache_lines = 512 })
+      with
+      Workload.Runner.variant = Workload.Runner.Mutex_map Atlas.Mode.Log_only;
+      workload = Workload.Runner.Counters { h_keys = 256; preload = true };
+      threads = 4;
+      iterations = 200;
+      n_buckets = 512;
+      log_mib = 1;
+    }
+  in
+  let spec =
+    {
+      (Workload.Fault_injector.default_spec adv_base) with
+      Workload.Fault_injector.fault_models =
+        List.map Option.some Nvm.Fault_model.reference;
+      exhaustive =
+        Some
+          { Workload.Fault_injector.from_step = 40_000; window = 200; stride = 40 };
+    }
+  in
+  let s = Workload.Fault_injector.run ?jobs spec in
+  List.iter
+    (fun (t : Workload.Fault_injector.model_tally) ->
+      Fmt.pr "  %-22s %d/%d consistent, verdicts %d/%d/%d, %d violations (%d unexpected)@."
+        (Workload.Fault_injector.model_label t.Workload.Fault_injector.model)
+        t.Workload.Fault_injector.m_consistent t.Workload.Fault_injector.m_runs
+        t.Workload.Fault_injector.m_clean t.Workload.Fault_injector.m_degraded
+        t.Workload.Fault_injector.m_unrecoverable
+        t.Workload.Fault_injector.m_violations
+        t.Workload.Fault_injector.m_unexpected)
+    s.Workload.Fault_injector.per_model;
   Fmt.pr "@."
 
 (* --- Part 2: Bechamel microbenchmarks --- *)

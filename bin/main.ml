@@ -112,15 +112,34 @@ let table1_cmd =
 
 (* faults *)
 
+let fault_models_conv =
+  let parse s =
+    Result.map_error (fun m -> `Msg m) (Nvm.Fault_model.of_string_list s)
+  in
+  Arg.conv (parse, Fmt.(list ~sep:comma Nvm.Fault_model.pp))
+
 let faults_cmd =
-  let run () variant hardware failure runs iterations transfers wide journal
-      jobs =
-    let base = Workload.Runner.calibrated_config Nvm.Config.desktop in
+  let run () variant hardware failure platform runs iterations threads
+      transfers wide journal fault_models exhaustive from_step window stride
+      run_seed campaign_seed shrink smoke smoke_base jobs =
+    let module FI = Workload.Fault_injector in
+    let smoke_base = smoke || smoke_base in
+    let platform =
+      (* The smoke workload's footprint fits the desktop cache entirely,
+         which would make discard-class faults revert to a clean snapshot
+         (nothing ever evicted).  A 32 KiB cache forces evictions, so
+         crash images genuinely mix old and new lines. *)
+      if smoke_base then { platform with Nvm.Config.cache_lines = 512 }
+      else platform
+    in
+    let base = Workload.Runner.calibrated_config platform in
     let workload =
       if transfers then
         Workload.Runner.Transfers { accounts = 512; initial_balance = 1000 }
       else if wide > 1 then
         Workload.Runner.Wide { h_keys = 1024; value_words = wide }
+      else if smoke_base then
+        Workload.Runner.Counters { h_keys = 256; preload = true }
       else base.Workload.Runner.workload
     in
     let base =
@@ -129,22 +148,71 @@ let faults_cmd =
         Workload.Runner.variant;
         hardware;
         failure;
-        iterations;
+        iterations = (if smoke then 200 else iterations);
+        threads = (if smoke then 4 else threads);
         workload;
         journal;
       }
     in
-    let spec =
-      { (Workload.Fault_injector.default_spec base) with
-        Workload.Fault_injector.runs }
+    let base =
+      if smoke_base then
+        { base with Workload.Runner.n_buckets = 512; log_mib = 1 }
+      else base
     in
-    let summary = Workload.Fault_injector.run ?jobs spec in
-    Fmt.pr "%a@." Workload.Fault_injector.pp_summary summary;
-    if not (Workload.Fault_injector.all_consistent summary) then begin
+    let fault_models =
+      if smoke && fault_models = [] then
+        List.map Option.some Nvm.Fault_model.reference
+      else List.map Option.some fault_models
+    in
+    let spec_with exhaustive =
+      {
+        (FI.default_spec base) with
+        FI.runs;
+        campaign_seed;
+        fault_models = (if fault_models = [] then [ None ] else fault_models);
+        exhaustive;
+        run_seed;
+        shrink;
+        repro_tag = (if smoke_base then "--smoke-base" else "");
+      }
+    in
+    let summaries =
+      if smoke then
+        (* Two exhaustive windows: a 2000-step sweep just after preload
+           (recovery robustness while logs are short) and a dense window
+           mid-workload, where the cache has evicted enough for discard
+           semantics to actually bite. *)
+        [
+          FI.run ?jobs
+            (spec_with (Some { FI.from_step = 400; window = 2000; stride = 50 }));
+          FI.run ?jobs
+            (spec_with (Some { FI.from_step = 40_000; window = 400; stride = 40 }));
+        ]
+      else
+        [
+          FI.run ?jobs
+            (spec_with
+               (if exhaustive then Some { FI.from_step; window; stride }
+                else None));
+        ]
+    in
+    List.iter (fun s -> Fmt.pr "%a@." FI.pp_summary s) summaries;
+    let unexpected =
+      List.fold_left (fun a s -> a + s.FI.unexpected_violations) 0 summaries
+    in
+    let violations = List.fold_left (fun a s -> a + s.FI.violations) 0 summaries in
+    if unexpected > 0 then begin
       Fmt.pr
-        "@.NOTE: violations above demonstrate a failure class the chosen \
-         configuration does not tolerate.@.";
+        "@.FAIL: %d unexpected violation(s) — a fault model's promise was \
+         broken.  Reproducers are printed above.@."
+        unexpected;
       exit 1
+    end
+    else if violations > 0 then begin
+      Fmt.pr
+        "@.NOTE: the violations above are expected — they demonstrate a \
+         failure class the chosen configuration does not tolerate.@.";
+      if not smoke then exit 1
     end
   in
   let variant =
@@ -189,14 +257,87 @@ let faults_cmd =
              ~doc:"Record store history and run the recovery-observer \
                    prefix check on every crash.")
   in
+  let platform =
+    Arg.(value & opt platform_conv Nvm.Config.desktop
+         & info [ "platform" ] ~docv:"P" ~doc:"desktop or server.")
+  in
+  let fault_models =
+    Arg.(value & opt fault_models_conv []
+         & info [ "fault-model" ] ~docv:"FM"
+             ~doc:
+               "Comma-separated crash fault models to campaign under: \
+                full-rescue, full-discard, partial-rescue[:JOULES], \
+                torn[:PROB], bit-rot[:FLIPS], or 'all' for the reference \
+                spectrum.  Default: the binary TSP-verdict behaviour (E3).")
+  in
+  let exhaustive =
+    Arg.(value & flag
+         & info [ "exhaustive" ]
+             ~doc:"Enumerate every crash step in [--from, --from + --window) \
+                   at --stride instead of sampling; uses one pinned seed \
+                   (--run-seed), so coverage of the window is complete and \
+                   RNG-free.")
+  in
+  let from_step =
+    Arg.(value & opt int 500
+         & info [ "from" ] ~docv:"STEP"
+             ~doc:"Exhaustive mode: first crash step enumerated.")
+  in
+  let window =
+    Arg.(value & opt int 2000
+         & info [ "window" ] ~docv:"W"
+             ~doc:"Exhaustive mode: number of steps covered.")
+  in
+  let stride =
+    Arg.(value & opt int 1
+         & info [ "stride" ] ~docv:"S"
+             ~doc:"Exhaustive mode: enumerate every S-th step.")
+  in
+  let run_seed =
+    Arg.(value & opt (some int) None
+         & info [ "run-seed" ] ~docv:"SEED"
+             ~doc:"Exhaustive mode: the pinned per-run seed (default: the \
+                   campaign seed).")
+  in
+  let campaign_seed =
+    Arg.(value & opt int 99
+         & info [ "campaign-seed" ] ~docv:"SEED"
+             ~doc:"Seed of the campaign RNG that draws sampled crash points.")
+  in
+  let shrink =
+    Arg.(value & flag
+         & info [ "shrink" ]
+             ~doc:"On violation, shrink crash step, iteration count and \
+                   fault-model intensity to a minimal reproducer.")
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Bounded CI preset: two exhaustive campaign windows (a \
+                   2000-step sweep after preload and a dense mid-workload \
+                   window) across the whole reference fault-model spectrum \
+                   on a reduced workload.  Exits non-zero only on \
+                   unexpected violations.")
+  in
+  let smoke_base =
+    Arg.(value & flag
+         & info [ "smoke-base" ]
+             ~doc:"Use the smoke campaign's reduced workload shape (256 \
+                   counter keys, 512 buckets, 1 MiB log region) without the \
+                   rest of the --smoke preset; smoke reproducers carry this \
+                   flag so they replay bit-exactly.")
+  in
   Cmd.v
     (Cmd.info "faults"
        ~doc:
          "Fault-injection campaign (experiment E3; with --hardware \
           conventional-server --failure power-outage --variant log-only it \
-          becomes the E9 negative control).")
-    Term.(const run $ logs_term $ variant $ hardware $ failure $ runs
-          $ iterations_arg 800 $ transfers $ wide $ journal $ jobs_arg)
+          becomes the E9 negative control; with --fault-model/--exhaustive \
+          the adversarial crash-fidelity campaign E16).")
+    Term.(const run $ logs_term $ variant $ hardware $ failure $ platform
+          $ runs $ iterations_arg 800 $ threads_arg $ transfers $ wide
+          $ journal $ fault_models $ exhaustive $ from_step $ window $ stride
+          $ run_seed $ campaign_seed $ shrink $ smoke $ smoke_base $ jobs_arg)
 
 (* sweeps *)
 

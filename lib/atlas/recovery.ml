@@ -1,5 +1,7 @@
 module Heap = Pheap.Heap
 
+type verdict = Clean | Degraded of string list | Unrecoverable of string
+
 type report = {
   log_entries : int;
   ocses : int;
@@ -10,6 +12,8 @@ type report = {
   updates_skipped : int;
   max_seq : int;
   anomalies : string list;
+  truncated_entries : int;
+  verdict : verdict;
 }
 
 type rec_ocs = {
@@ -90,20 +94,44 @@ let rollback_closure ~watermark table =
   done;
   doomed
 
-let run ~heap ~log_base =
-  let pmem = Heap.pmem heap in
-  let ulog = Undo_log.attach pmem ~base:log_base in
+let unrecoverable msg =
+  {
+    log_entries = 0;
+    ocses = 0;
+    committed = 0;
+    incomplete = 0;
+    cascaded = 0;
+    updates_applied = 0;
+    updates_skipped = 0;
+    max_seq = 0;
+    anomalies = [];
+    truncated_entries = 0;
+    verdict = Unrecoverable msg;
+  }
+
+let run_attached ~heap ~pmem ~ulog =
   let anomalies = ref [] in
+  let degradations = ref [] in
+  let truncated = ref 0 in
   let table : (int, rec_ocs) Hashtbl.t = Hashtbl.create 256 in
   let log_entries = ref 0 in
   let max_seq = ref 0 in
   for tid = 0 to Undo_log.num_threads ulog - 1 do
-    let entries = Undo_log.scan_thread ulog ~tid in
-    log_entries := !log_entries + List.length entries;
-    List.iter
-      (fun (e : Log_entry.t) -> if e.seq > !max_seq then max_seq := e.seq)
-      entries;
-    parse_thread ~anomalies ~table entries
+    match Undo_log.scan_thread_checked ulog ~tid with
+    | Error msg -> degradations := msg :: !degradations
+    | Ok (entries, orphans) ->
+        if orphans > 0 then begin
+          truncated := !truncated + orphans;
+          degradations :=
+            Fmt.str "thread %d log truncated (%d orphaned entries)" tid
+              orphans
+            :: !degradations
+        end;
+        log_entries := !log_entries + List.length entries;
+        List.iter
+          (fun (e : Log_entry.t) -> if e.seq > !max_seq then max_seq := e.seq)
+          entries;
+        parse_thread ~anomalies ~table entries
   done;
   let watermark = Undo_log.watermark ulog in
   let doomed = rollback_closure ~watermark table in
@@ -138,6 +166,17 @@ let run ~heap ~log_base =
       end)
     updates;
   Nvm.Pmem.persist_all pmem;
+  let anomalies = List.rev !anomalies in
+  let reasons =
+    List.rev !degradations
+    @ (if !skipped > 0 then
+         [ Fmt.str "%d rollback updates skipped (invalid targets)" !skipped ]
+       else [])
+    @
+    match anomalies with
+    | [] -> []
+    | l -> [ Fmt.str "%d structural log anomalies" (List.length l) ]
+  in
   {
     log_entries = !log_entries;
     ocses = Hashtbl.length table;
@@ -147,15 +186,31 @@ let run ~heap ~log_base =
     updates_applied = !applied;
     updates_skipped = !skipped;
     max_seq = !max_seq;
-    anomalies = List.rev !anomalies;
+    anomalies;
+    truncated_entries = !truncated;
+    verdict = (match reasons with [] -> Clean | l -> Degraded l);
   }
+
+let run ~heap ~log_base =
+  let pmem = Heap.pmem heap in
+  match Undo_log.attach_result pmem ~base:log_base with
+  | Error msg -> unrecoverable (Fmt.str "undo log: %s" msg)
+  | Ok ulog -> run_attached ~heap ~pmem ~ulog
+
+let pp_verdict ppf = function
+  | Clean -> Fmt.string ppf "clean"
+  | Degraded reasons ->
+      Fmt.pf ppf "degraded (%a)" Fmt.(list ~sep:semi string) reasons
+  | Unrecoverable msg -> Fmt.pf ppf "UNRECOVERABLE: %s" msg
 
 let pp_report ppf r =
   Fmt.pf ppf
-    "@[<v>log entries %d; ocses %d (committed %d, incomplete %d, cascaded \
-     %d)@ rolled back %d updates (%d skipped); max seq %d%a@]"
-    r.log_entries r.ocses r.committed r.incomplete r.cascaded
-    r.updates_applied r.updates_skipped r.max_seq
+    "@[<v>log entries %d (%d orphaned); ocses %d (committed %d, incomplete \
+     %d, cascaded %d)@ rolled back %d updates (%d skipped); max seq %d@ \
+     verdict %a%a@]"
+    r.log_entries r.truncated_entries r.ocses r.committed r.incomplete
+    r.cascaded r.updates_applied r.updates_skipped r.max_seq pp_verdict
+    r.verdict
     (fun ppf -> function
       | [] -> ()
       | l -> Fmt.pf ppf "@ anomalies: %a" Fmt.(list ~sep:comma string) l)

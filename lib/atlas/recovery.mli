@@ -13,6 +13,18 @@
     objects orphaned by the crash or by the rollback itself, and with
     {!Undo_log.format} (via a fresh {!Runtime.create}) before resuming. *)
 
+type verdict =
+  | Clean  (** recovery used every log entry and trusted all of it *)
+  | Degraded of string list
+      (** recovery completed but had to discount part of the image:
+          truncated thread logs, unusable descriptors, skipped rollback
+          targets or structural anomalies — one human-readable reason
+          each.  The heap sections covered by validated log entries are
+          consistent; the discounted parts may have lost updates. *)
+  | Unrecoverable of string
+      (** the log region header itself did not validate: no rollback was
+          attempted (re-formatting the region is the only way forward) *)
+
 type report = {
   log_entries : int;  (** valid entries scanned across all threads *)
   ocses : int;  (** distinct sections seen in the logs *)
@@ -25,10 +37,22 @@ type report = {
   anomalies : string list;
       (** structurally unexpected log content — empty under TSP, possibly
           non-empty after a non-TSP crash lost log writes *)
+  truncated_entries : int;
+      (** decodable entries stranded beyond a torn or corrupt slot (see
+          {!Undo_log.scan_thread_checked}); never replayed *)
+  verdict : verdict;
 }
 
 val run : heap:Pheap.Heap.t -> log_base:int -> report
 (** Perform rollback.  The heap's device must not be in the crashed
-    state (call {!Nvm.Pmem.recover} first). *)
+    state (call {!Nvm.Pmem.recover} first).
 
+    Never raises on adversarial images: every header field, descriptor
+    and log entry is validated before use, damage is reported through
+    [verdict], and rollback proceeds with whatever validated.  The pass
+    does not mutate the logs themselves (only heap words and its own
+    persist), so running it twice is idempotent — including when the
+    first attempt is cut short by a second crash. *)
+
+val pp_verdict : verdict Fmt.t
 val pp_report : report Fmt.t

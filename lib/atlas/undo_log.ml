@@ -68,18 +68,47 @@ let format pmem ~base ~size ~num_threads =
   Nvm.Pmem.fence pmem;
   t
 
-let attach pmem ~base =
+(* Every header field can be garbage after bit rot, so validate each one
+   before trusting it as an address or a loop bound. *)
+let attach_result pmem ~base =
+  let region = (Nvm.Pmem.config pmem).Nvm.Config.region_size in
   let magic = Nvm.Pmem.load pmem base in
   if not (Int64.equal magic log_magic) then
-    Fmt.invalid_arg "Undo_log.attach: bad magic %Lx at %d" magic base;
-  let num_threads = Nvm.Pmem.load_int pmem (base + 8) in
-  let buf_bytes = Nvm.Pmem.load_int pmem (base + 16) in
-  let descs_end = base + 64 + (num_threads * 16) in
-  let bufs_start = (descs_end + 63) / 64 * 64 in
-  let tails =
-    Array.init num_threads (fun tid -> Nvm.Pmem.load_int pmem (desc_addr base tid))
-  in
-  { pmem; base; num_threads; buf_bytes; bufs_start; heads = Array.copy tails; tails }
+    Error (Fmt.str "bad magic %Lx at %d" magic base)
+  else
+    let num_threads = Nvm.Pmem.load_int pmem (base + 8) in
+    let buf_bytes = Nvm.Pmem.load_int pmem (base + 16) in
+    if num_threads <= 0 || num_threads > 4096 then
+      Error (Fmt.str "implausible thread count %d" num_threads)
+    else if buf_bytes < 4 * entry_bytes || buf_bytes mod 64 <> 0 then
+      Error (Fmt.str "implausible buffer size %d" buf_bytes)
+    else
+      let descs_end = base + 64 + (num_threads * 16) in
+      let bufs_start = (descs_end + 63) / 64 * 64 in
+      if bufs_start + (num_threads * buf_bytes) > region then
+        Error
+          (Fmt.str "layout (%d threads x %d bytes) exceeds the region"
+             num_threads buf_bytes)
+      else
+        let tails =
+          Array.init num_threads (fun tid ->
+              Nvm.Pmem.load_int pmem (desc_addr base tid))
+        in
+        Ok
+          {
+            pmem;
+            base;
+            num_threads;
+            buf_bytes;
+            bufs_start;
+            heads = Array.copy tails;
+            tails;
+          }
+
+let attach pmem ~base =
+  match attach_result pmem ~base with
+  | Ok t -> t
+  | Error msg -> Fmt.invalid_arg "Undo_log.attach: %s" msg
 
 let num_threads t = t.num_threads
 let capacity_entries t = (t.buf_bytes / entry_bytes) - 1
@@ -129,6 +158,50 @@ let scan_thread t ~tid =
       | Some e -> go (next_slot t at) e.Log_entry.seq (n + 1) (e :: acc)
   in
   go tail 0 0 []
+
+let scan_thread_checked t ~tid =
+  let bstart = buf_start t tid and bend = buf_end t tid in
+  let tail = Nvm.Pmem.load_int t.pmem (desc_addr t.base tid) in
+  if tail < bstart || tail >= bend || (tail - bstart) mod entry_bytes <> 0
+  then
+    Error
+      (Fmt.str "thread %d: corrupt tail descriptor %d (buffer [%d,%d))" tid
+         tail bstart bend)
+  else begin
+    let cap = capacity_entries t in
+    let load a = Nvm.Pmem.load t.pmem a in
+    let rec go at prev_seq n acc =
+      match
+        if n >= cap then None
+        else
+          match Log_entry.read load ~at with
+          | Some e when e.Log_entry.seq > prev_seq -> Some e
+          | _ -> None
+      with
+      | Some e -> go (next_slot t at) e.Log_entry.seq (n + 1) (e :: acc)
+      | None -> (List.rev acc, at, prev_seq, n)
+    in
+    let entries, stop_at, last_seq, n = go tail 0 0 [] in
+    (* Orphans: decodable entries beyond the cut that were appended after
+       the accepted window.  A nonzero count means the log was truncated
+       at a torn or corrupt entry, not at its natural head.  The natural
+       head is recognisable: [append] zeroes the next slot's header word
+       as a sentinel, so a cut whose header word is 0 is just the head —
+       whatever lies beyond it is stale ring content (consumed entries
+       keep their bytes and, when the live window is empty, their seqs
+       exceed [last_seq]), not evidence of truncation. *)
+    let orphans = ref 0 in
+    if n < cap && not (Int64.equal (load stop_at) 0L) then begin
+      let at = ref (next_slot t stop_at) in
+      for _ = 1 to cap - n - 1 do
+        (match Log_entry.read load ~at:!at with
+        | Some e when e.Log_entry.seq > last_seq -> incr orphans
+        | _ -> ());
+        at := next_slot t !at
+      done
+    end;
+    Ok (entries, !orphans)
+  end
 
 let set_watermark t seq =
   Nvm.Pmem.store_int t.pmem (t.base + 24) seq;

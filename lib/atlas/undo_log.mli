@@ -35,7 +35,15 @@ val format : Nvm.Pmem.t -> base:int -> size:int -> num_threads:int -> t
 
 val attach : Nvm.Pmem.t -> base:int -> t
 (** Attach for recovery: reads the region header.
-    @raise Invalid_argument if the magic does not match. *)
+    @raise Invalid_argument if the header does not validate
+    (see {!attach_result}). *)
+
+val attach_result : Nvm.Pmem.t -> base:int -> (t, string) result
+(** Graceful {!attach}: after bit rot every header field may be garbage,
+    so the magic, thread count, buffer size and overall layout are each
+    validated before being trusted as an address or a loop bound.
+    [Error] carries a human-readable diagnosis; the region is left
+    untouched. *)
 
 val num_threads : t -> int
 val capacity_entries : t -> int
@@ -79,3 +87,16 @@ val scan_thread : t -> tid:int -> Log_entry.t list
 (** The valid window of [tid]'s ring in append order: from the persistent
     tail forward while entries decode and sequence numbers strictly
     increase, stopping at the sentinel. *)
+
+val scan_thread_checked :
+  t -> tid:int -> (Log_entry.t list * int, string) result
+(** {!scan_thread} hardened for adversarial images.  [Error] when the
+    persistent tail descriptor is not a valid slot address in [tid]'s
+    buffer (the whole thread log is unusable).  [Ok (entries, orphans)]
+    otherwise: [entries] is the validated window exactly as
+    {!scan_thread} returns it, and [orphans] counts decodable entries
+    {e beyond} the cut whose sequence numbers continue the window —
+    evidence that the scan was truncated at a torn or corrupted entry
+    rather than stopping at the log's natural head.  Orphaned entries
+    are deliberately not replayed (nothing after a tear can be trusted);
+    recovery reports them as degradation instead. *)

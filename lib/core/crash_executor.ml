@@ -8,6 +8,8 @@ type action_bill = {
 type execution = {
   verdict : Policy.verdict;
   mode : Nvm.Pmem.crash_mode;
+  fault : Nvm.Fault_model.t;
+  damage : Nvm.Pmem.crash_damage;
   bills : action_bill list;
   total_seconds : float;
   total_energy_j : float;
@@ -62,30 +64,69 @@ let bill_action (h : Hardware.t) ~dirty_lines ~line_size action =
         energy_j = outcome.Wsp.total_energy_j;
         lines_involved = dirty_lines;
       }
+  | Policy.Adversarial_rescue _ ->
+      (* Never part of a verdict's plan; [execute] synthesises its bill
+         directly from the damage report. *)
+      { action; seconds = 0.; energy_j = 0.; lines_involved = 0 }
 
-let execute pmem ~hardware ~failure =
+let execute ?fault ?(rng = fun _ -> 0) pmem ~hardware ~failure =
   let verdict = Policy.decide hardware failure in
   let mode = Policy.crash_mode verdict in
+  let fault =
+    match fault with
+    | Some f -> f
+    | None -> (
+        (* The paper's binary semantics: the verdict decides whether the
+           rescue happens at all. *)
+        match mode with
+        | Nvm.Pmem.Rescue -> Nvm.Fault_model.Full_rescue
+        | Nvm.Pmem.Discard -> Nvm.Fault_model.Full_discard)
+  in
   let dirty_lines = Nvm.Pmem.dirty_line_count pmem in
   let line_size = (Nvm.Pmem.config pmem).Nvm.Config.line_size in
-  let stats = Nvm.Pmem.stats pmem in
-  let rescued_before = stats.Nvm.Stats.rescued_lines in
-  let dropped_before = stats.Nvm.Stats.dropped_lines in
-  Nvm.Pmem.crash pmem mode;
+  let rescue_limit =
+    match fault with
+    | Nvm.Fault_model.Partial_rescue { energy_budget_j } ->
+        Some
+          (Wsp.line_rescue_budget hardware ~budget_j:energy_budget_j
+             ~line_size)
+    | _ -> None
+  in
+  let damage = Nvm.Pmem.crash_with pmem ~fault ?rescue_limit ~rng () in
   let bills =
-    match verdict with
-    | Policy.Tsp { actions; _ } ->
-        List.map (bill_action hardware ~dirty_lines ~line_size) actions
-    | Policy.Not_tsp _ -> []
+    if Nvm.Fault_model.adversarial fault then begin
+      (* The verdict's plan never ran to completion; bill only the data
+         that actually moved before the fault cut the rescue short. *)
+      let moved = damage.Nvm.Pmem.rescued + damage.Nvm.Pmem.torn in
+      let moved_mb = float_of_int (moved * line_size) /. (1024. *. 1024.) in
+      let seconds =
+        moved_mb /. (hardware.Hardware.dram_bandwidth_gb_s *. 1024.)
+      in
+      [
+        {
+          action = Policy.Adversarial_rescue fault;
+          seconds;
+          energy_j = seconds *. hardware.Hardware.rescue_power_w;
+          lines_involved = moved;
+        };
+      ]
+    end
+    else
+      match verdict with
+      | Policy.Tsp { actions; _ } ->
+          List.map (bill_action hardware ~dirty_lines ~line_size) actions
+      | Policy.Not_tsp _ -> []
   in
   {
     verdict;
     mode;
+    fault;
+    damage;
     bills;
     total_seconds = List.fold_left (fun a b -> a +. b.seconds) 0. bills;
     total_energy_j = List.fold_left (fun a b -> a +. b.energy_j) 0. bills;
-    rescued_lines = stats.Nvm.Stats.rescued_lines - rescued_before;
-    dropped_lines = stats.Nvm.Stats.dropped_lines - dropped_before;
+    rescued_lines = damage.Nvm.Pmem.rescued;
+    dropped_lines = damage.Nvm.Pmem.dropped;
   }
 
 let pp_execution ppf e =
@@ -96,7 +137,10 @@ let pp_execution ppf e =
          Printf.sprintf " (%d dirty lines)" b.lines_involved
        else "")
   in
-  Fmt.pf ppf "@[<v>%a@ %a@ total %.6f s, %.3f J; rescued %d lines, dropped %d@]"
-    Policy.pp_verdict e.verdict
+  Fmt.pf ppf
+    "@[<v>%a@ fault %a@ %a@ total %.6f s, %.3f J; rescued %d lines, torn %d, \
+     dropped %d, %d bits flipped@]"
+    Policy.pp_verdict e.verdict Nvm.Fault_model.pp e.fault
     Fmt.(list ~sep:cut pp_bill)
-    e.bills e.total_seconds e.total_energy_j e.rescued_lines e.dropped_lines
+    e.bills e.total_seconds e.total_energy_j e.rescued_lines
+    e.damage.Nvm.Pmem.torn e.dropped_lines e.damage.Nvm.Pmem.bit_flips

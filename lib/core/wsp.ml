@@ -67,6 +67,15 @@ let plan_for (h : Hardware.t) =
 
 let of_hardware h = simulate (plan_for h)
 
+let line_rescue_budget (h : Hardware.t) ~budget_j ~line_size =
+  if budget_j <= 0. then 0
+  else begin
+    let time_s = budget_j /. h.Hardware.rescue_power_w in
+    let mb = time_s *. h.Hardware.dram_bandwidth_gb_s *. 1024. in
+    let bytes = mb *. 1024. *. 1024. in
+    int_of_float (bytes /. float_of_int line_size)
+  end
+
 let headroom outcome =
   List.fold_left
     (fun acc r ->

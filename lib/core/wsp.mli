@@ -46,6 +46,13 @@ val plan_for : Hardware.t -> stage list
 val of_hardware : Hardware.t -> outcome
 (** [simulate (plan_for h)]. *)
 
+val line_rescue_budget : Hardware.t -> budget_j:float -> line_size:int -> int
+(** How many cache lines a stage-1 rescue can move before [budget_j]
+    joules run out, under the platform's DRAM bandwidth and rescue power
+    draw.  This converts a {!Nvm.Fault_model.Partial_rescue} energy
+    budget into the [rescue_limit] passed to {!Nvm.Pmem.crash_with};
+    0 when the budget is non-positive. *)
+
 val headroom : outcome -> float
 (** Smallest ratio of budget to need across stages ([infinity] for an
     empty plan); > 1 means the rescue has margin. *)

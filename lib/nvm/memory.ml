@@ -27,6 +27,17 @@ let load_durable t addr =
 let write_back t ~line_addr ~len =
   Bytes.blit t.current line_addr t.durable line_addr len
 
+let write_back_word t addr =
+  check t addr;
+  Bytes.blit t.current addr t.durable addr 8
+
+let flip_durable_bit t ~addr ~bit =
+  check t addr;
+  if bit < 0 || bit > 63 then
+    Fmt.invalid_arg "Memory.flip_durable_bit: bit %d out of range" bit;
+  let v = Bytes.get_int64_le t.durable addr in
+  Bytes.set_int64_le t.durable addr (Int64.logxor v (Int64.shift_left 1L bit))
+
 let discard_current t = Bytes.blit t.durable 0 t.current 0 t.size
 let promote_all t = Bytes.blit t.current 0 t.durable 0 t.size
 

@@ -32,6 +32,16 @@ val write_back : t -> line_addr:int -> len:int -> unit
 (** Copy [len] bytes at [line_addr] from current to durable: the effect of
     a cache-line write-back. *)
 
+val write_back_word : t -> int -> unit
+(** Copy one aligned 8-byte word from current to durable: the unit of a
+    word-torn line write-back (see {!Fault_model.Torn_lines}). *)
+
+val flip_durable_bit : t -> addr:int -> bit:int -> unit
+(** Flip bit [bit] (0..63) of the durable word at [addr], leaving the
+    current image untouched: post-crash media corruption
+    ({!Fault_model.Bit_rot}).  Recovery then installs the corrupted
+    durable image as current. *)
+
 val discard_current : t -> unit
 (** Replace the current image with a copy of the durable image: the effect
     of a crash in which unsaved data is lost. *)

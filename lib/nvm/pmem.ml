@@ -150,6 +150,91 @@ let crash t mode =
       t.stats.Stats.dropped_lines <- t.stats.Stats.dropped_lines + n);
   t.crashed <- true
 
+type crash_damage = {
+  rescued : int;
+  torn : int;
+  dropped : int;
+  bit_flips : int;
+}
+
+let no_damage = { rescued = 0; torn = 0; dropped = 0; bit_flips = 0 }
+
+let crash_with t ~fault ?(rescue_limit = max_int) ~rng () =
+  guard t;
+  let st = t.stats in
+  st.Stats.crashes <- st.Stats.crashes + 1;
+  let line_size = t.cfg.Config.line_size in
+  let words_per_line = line_size / 8 in
+  let rescue_line addr =
+    st.Stats.writebacks <- st.Stats.writebacks + 1;
+    Memory.write_back t.mem ~line_addr:addr ~len:line_size
+  in
+  (* Write back only a prefix of the line's words: the write-back was
+     interrupted mid-line, so at least the last word keeps its stale
+     durable contents. *)
+  let tear_line addr ~words =
+    st.Stats.writebacks <- st.Stats.writebacks + 1;
+    for w = 0 to words - 1 do
+      Memory.write_back_word t.mem (addr + (w * 8))
+    done
+  in
+  let damage =
+    match (fault : Fault_model.t) with
+    | Full_rescue ->
+        let n = Cache.write_back_all t.cache in
+        { no_damage with rescued = n }
+    | Full_discard ->
+        let n = Cache.drop_all t.cache in
+        { no_damage with dropped = n }
+    | Partial_rescue _ ->
+        (* [dirty_lines] is sorted, so the prefix the budget affords is
+           deterministic: lowest line address first. *)
+        let dirty = Cache.dirty_lines t.cache in
+        let rescued = ref 0 and dropped = ref 0 in
+        List.iter
+          (fun addr ->
+            if !rescued < rescue_limit then begin
+              rescue_line addr;
+              incr rescued
+            end
+            else incr dropped)
+          dirty;
+        ignore (Cache.drop_all t.cache : int);
+        { no_damage with rescued = !rescued; dropped = !dropped }
+    | Torn_lines { prob } ->
+        let threshold = int_of_float (prob *. 1_000_000.) in
+        let dirty = Cache.dirty_lines t.cache in
+        let rescued = ref 0 and torn = ref 0 in
+        List.iter
+          (fun addr ->
+            if rng 1_000_000 < threshold then begin
+              tear_line addr ~words:(rng words_per_line);
+              incr torn
+            end
+            else begin
+              rescue_line addr;
+              incr rescued
+            end)
+          dirty;
+        ignore (Cache.drop_all t.cache : int);
+        { no_damage with rescued = !rescued; torn = !torn }
+    | Bit_rot { flips } ->
+        let n = Cache.write_back_all t.cache in
+        let words = Memory.size t.mem / 8 in
+        for _ = 1 to flips do
+          let addr = 8 * rng words in
+          let bit = rng 64 in
+          Memory.flip_durable_bit t.mem ~addr ~bit
+        done;
+        { no_damage with rescued = n; bit_flips = flips }
+  in
+  st.Stats.rescued_lines <- st.Stats.rescued_lines + damage.rescued;
+  st.Stats.torn_lines <- st.Stats.torn_lines + damage.torn;
+  st.Stats.dropped_lines <- st.Stats.dropped_lines + damage.dropped;
+  st.Stats.flipped_bits <- st.Stats.flipped_bits + damage.bit_flips;
+  t.crashed <- true;
+  damage
+
 let recover t =
   if not t.crashed then invalid_arg "Pmem.recover: device has not crashed";
   Memory.discard_current t.mem;

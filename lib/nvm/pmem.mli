@@ -83,6 +83,34 @@ val crash : t -> crash_mode -> unit
 (** Stop the world.  See the module header for the two modes.  After a
     crash the device is unusable until {!recover}. *)
 
+type crash_damage = {
+  rescued : int;  (** dirty lines fully written back *)
+  torn : int;  (** dirty lines whose write-back was cut mid-line *)
+  dropped : int;  (** dirty lines lost outright *)
+  bit_flips : int;  (** durable bits flipped after the crash *)
+}
+
+val crash_with :
+  t ->
+  fault:Fault_model.t ->
+  ?rescue_limit:int ->
+  rng:(int -> int) ->
+  unit ->
+  crash_damage
+(** Crash under an arbitrary {!Fault_model.t} and report what the
+    durable image suffered.  [Full_rescue]/[Full_discard] reproduce
+    {!crash}'s two modes exactly.  [Partial_rescue] rescues at most
+    [rescue_limit] dirty lines (default unbounded; the caller derives
+    the limit from the WSP energy budget), walking them in ascending
+    line-address order so the surviving prefix is deterministic.
+    [Torn_lines] tears each rescued line with the model's probability:
+    only [rng words_per_line] leading words reach durability, so at
+    least the line's last word keeps its stale durable contents.
+    [Bit_rot] rescues everything, then flips [flips] uniformly-drawn
+    bits of the durable image.  [rng bound] must return a value in
+    [\[0, bound)]; all draws happen in a fixed order, so a deterministic
+    RNG makes the whole crash bit-reproducible. *)
+
 val recover : t -> unit
 (** Model a restart: the current image is replaced by the durable image
     and the cache is cold.  The journal (if any) is cleared. *)

@@ -13,6 +13,8 @@ type t = {
   mutable crashes : int;
   mutable rescued_lines : int;
   mutable dropped_lines : int;
+  mutable torn_lines : int;
+  mutable flipped_bits : int;
   mutable clock : int;
   mutable load_cycles : int;
   mutable store_cycles : int;
@@ -38,6 +40,8 @@ let create () =
     crashes = 0;
     rescued_lines = 0;
     dropped_lines = 0;
+    torn_lines = 0;
+    flipped_bits = 0;
     clock = 0;
     load_cycles = 0;
     store_cycles = 0;
@@ -62,6 +66,8 @@ let reset t =
   t.crashes <- 0;
   t.rescued_lines <- 0;
   t.dropped_lines <- 0;
+  t.torn_lines <- 0;
+  t.flipped_bits <- 0;
   t.clock <- 0;
   t.load_cycles <- 0;
   t.store_cycles <- 0;
@@ -100,7 +106,8 @@ let pp ppf t =
   Fmt.pf ppf
     "@[<v>loads %d (hits %d, misses %d)@ stores %d (hits %d, misses %d)@ \
      cas %d (failed %d)@ flushes %d, fences %d, writebacks %d@ crashes %d \
-     (rescued %d lines, dropped %d lines)@ clock %d cycles@]"
+     (rescued %d lines, dropped %d, torn %d; %d bits flipped)@ clock %d \
+     cycles@]"
     t.loads t.load_hits t.load_misses t.stores t.store_hits t.store_misses
     t.cas_ops t.cas_failures t.flushes t.fences t.writebacks t.crashes
-    t.rescued_lines t.dropped_lines t.clock
+    t.rescued_lines t.dropped_lines t.torn_lines t.flipped_bits t.clock

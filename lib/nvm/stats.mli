@@ -21,6 +21,10 @@ type t = {
   mutable crashes : int;
   mutable rescued_lines : int;  (** dirty lines saved by a TSP rescue *)
   mutable dropped_lines : int;  (** dirty lines lost in a non-TSP crash *)
+  mutable torn_lines : int;
+      (** rescued lines that landed word-torn ({!Fault_model.Torn_lines}) *)
+  mutable flipped_bits : int;
+      (** durable bits flipped post-crash ({!Fault_model.Bit_rot}) *)
   mutable clock : int;  (** cycles charged outside any scheduler *)
   mutable load_cycles : int;
   mutable store_cycles : int;

@@ -176,3 +176,30 @@ let iter_blocks t f =
     end
   in
   go (start_addr t)
+
+let fold_blocks_checked t f =
+  let stop = t.heap_end in
+  let rec go header_addr =
+    if header_addr >= stop then Ok ()
+    else begin
+      let h = Nvm.Pmem.load t.pmem header_addr in
+      if not (Layout.header_valid h) then
+        Error
+          (header_addr, Fmt.str "invalid block header at %d: %Lx" header_addr h)
+      else begin
+        let words = Layout.header_words h in
+        let a = header_addr + Layout.word_size in
+        let next = a + (words * Layout.word_size) in
+        if next > stop then
+          Error
+            ( header_addr,
+              Fmt.str "block at %d overruns heap end (%d past %d)" a next stop
+            )
+        else begin
+          f ~addr:a ~kind:(Layout.header_kind h) ~words;
+          go next
+        end
+      end
+    end
+  in
+  go (start_addr t)

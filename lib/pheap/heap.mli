@@ -108,6 +108,16 @@ val iter_blocks : t -> (addr:addr -> kind:int -> words:int -> unit) -> unit
     through the costed load path — recovery work is real work.
     @raise Corrupt on an invalid header. *)
 
+val fold_blocks_checked :
+  t ->
+  (addr:addr -> kind:int -> words:int -> unit) ->
+  (unit, int * string) result
+(** {!iter_blocks} for adversarial images: instead of raising on the
+    first invalid or overrunning header it stops there and returns
+    [Error (header_addr, diagnosis)] — everything before [header_addr]
+    was walked normally, everything from it to the heap end is
+    unparseable and should be quarantined, not reused. *)
+
 val set_debug_checks : bool -> unit
 (** Globally enable paranoid field-access validation (header magic and
     index bounds on every access, via cost-free peeks).  Slow; meant for

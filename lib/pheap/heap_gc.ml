@@ -83,6 +83,105 @@ let collect heap =
 
 let reachable heap = fst (mark heap)
 
+type quarantine = {
+  unscannable : int;
+  quarantined_words : int;
+  reasons : string list;
+}
+
+(* [mark] hardened: pushes are already gated by [is_object_start] (no
+   raise possible), but scanning a marked object can still blow up on an
+   adversarial image — an unregistered kind byte, or a header size so
+   large that field loads leave the region.  Keep such objects marked
+   (never free what we cannot parse) but do not traverse them. *)
+let mark_graceful heap =
+  let pmem = Heap.pmem heap in
+  let marks : (Heap.addr, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let dangling = ref 0 in
+  let unscannable = ref 0 in
+  let reasons = ref [] in
+  let load a = Nvm.Pmem.load pmem a in
+  let stack = Stack.create () in
+  let push a =
+    let a = strip_tag a in
+    if a <> Heap.null && not (Hashtbl.mem marks a) then
+      if Heap.is_object_start heap a then begin
+        Hashtbl.replace marks a ();
+        Stack.push a stack
+      end
+      else incr dangling
+  in
+  push (Heap.get_root heap);
+  while not (Stack.is_empty stack) do
+    let a = Stack.pop stack in
+    match
+      let kind = Heap.kind_of heap a in
+      let words = Heap.words_of heap a in
+      (Kind.scan_object ~kind) ~load ~addr:a ~words
+    with
+    | refs -> List.iter push refs
+    | exception Heap.Corrupt msg | exception Invalid_argument msg ->
+        incr unscannable;
+        reasons := Fmt.str "object %d unscannable: %s" a msg :: !reasons
+  done;
+  (marks, !dangling, !unscannable, List.rev !reasons)
+
+let collect_graceful heap =
+  let marks, dangling_refs, unscannable, mark_reasons = mark_graceful heap in
+  let live_objects = ref 0 in
+  let live_words = ref 0 in
+  let freed_objects = ref 0 in
+  let freed_words = ref 0 in
+  let free_blocks = ref [] in
+  let run_start = ref 0 in
+  let run_end = ref 0 in
+  let flush_run () =
+    if !run_start <> 0 then begin
+      let words = (!run_end - !run_start) / Layout.word_size in
+      free_blocks := (!run_start, words) :: !free_blocks;
+      freed_words := !freed_words + words;
+      run_start := 0
+    end
+  in
+  let walk =
+    Heap.fold_blocks_checked heap (fun ~addr ~kind ~words ->
+        let dead = kind <> Layout.kind_free && not (Hashtbl.mem marks addr) in
+        if Hashtbl.mem marks addr then begin
+          flush_run ();
+          incr live_objects;
+          live_words := !live_words + words
+        end
+        else begin
+          if dead then incr freed_objects;
+          if !run_start = 0 then run_start := addr;
+          run_end := addr + (words * Layout.word_size)
+        end)
+  in
+  flush_run ();
+  let quarantined_words, sweep_reasons =
+    match walk with
+    | Ok () -> (0, [])
+    | Error (header_addr, msg) ->
+        (* The blocks before [header_addr] swept normally; the tail is
+           unparseable, so leave it out of the free lists entirely. *)
+        ( (Heap.end_addr heap - header_addr) / Layout.word_size,
+          [ Fmt.str "heap tail quarantined: %s" msg ] )
+  in
+  Heap.reset_allocator heap ~free:!free_blocks;
+  ( {
+      live_objects = !live_objects;
+      live_words = !live_words;
+      freed_objects = !freed_objects;
+      freed_words = !freed_words;
+      coalesced_blocks = List.length !free_blocks;
+      dangling_refs;
+    },
+    {
+      unscannable;
+      quarantined_words;
+      reasons = mark_reasons @ sweep_reasons;
+    } )
+
 let verify heap =
   let pmem = Heap.pmem heap in
   let errors = ref [] in

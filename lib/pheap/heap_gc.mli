@@ -31,6 +31,24 @@ val collect : Heap.t -> stats
 val reachable : Heap.t -> (Heap.addr, unit) Hashtbl.t
 (** The mark set: every object reachable from the root. *)
 
+type quarantine = {
+  unscannable : int;
+      (** reachable objects that could not be traversed (unregistered
+          kind byte, implausible size); kept live, never freed *)
+  quarantined_words : int;
+      (** words in the unparseable heap tail withheld from the free
+          lists (0 when the whole block chain parsed) *)
+  reasons : string list;  (** one human-readable diagnosis per problem *)
+}
+
+val collect_graceful : Heap.t -> stats * quarantine
+(** {!collect} for adversarial images: never raises.  Objects whose
+    scan blows up stay marked but untraversed; if the block chain stops
+    parsing partway, the blocks before the damage sweep normally and
+    the tail is quarantined — withheld from the allocator rather than
+    reused.  On a healthy heap this is exactly [collect] with an empty
+    quarantine. *)
+
 val verify : Heap.t -> (unit, string list) result
 (** Cost-free structural audit (used by tests and the fault-injection
     verdict): block chain parses, kinds are registered, live pointers

@@ -1,4 +1,7 @@
 module Rng = Sched.Sim_rng
+module FM = Nvm.Fault_model
+
+type exhaustive = { from_step : int; window : int; stride : int }
 
 type spec = {
   base : Runner.config;
@@ -6,13 +9,24 @@ type spec = {
   min_step : int;
   max_step : int;
   campaign_seed : int;
+  fault_models : FM.t option list;
+  exhaustive : exhaustive option;
+  run_seed : int option;
+  shrink : bool;
+  repro_tag : string;
 }
 
 type run_outcome = {
   seed : int;
   crash_step : int;
+  fault : FM.t option;
   crashed : bool;
   consistent : bool;
+  graceful : bool;
+  recovery_verdict : Atlas.Recovery.verdict option;
+  violation : bool;
+  expected : bool;
+  repro : string;
   iterations_done : int;
   invariants : Invariant.result;
   observer_prefix_ok : bool option;
@@ -22,6 +36,26 @@ type run_outcome = {
   errors : string list;
 }
 
+type model_tally = {
+  model : FM.t option;
+  m_runs : int;
+  m_crashes : int;
+  m_consistent : int;
+  m_clean : int;
+  m_degraded : int;
+  m_unrecoverable : int;
+  m_violations : int;
+  m_unexpected : int;
+}
+
+type shrunk = {
+  original : string;
+  minimized : string;
+  attempts : int;
+  final_iterations : int;
+  final_crash_step : int;
+}
+
 type summary = {
   spec : spec;
   outcomes : run_outcome list;
@@ -29,85 +63,341 @@ type summary = {
   crashes : int;
   consistent_recoveries : int;
   violations : int;
+  unexpected_violations : int;
+  per_model : model_tally list;
+  shrunk : shrunk option;
 }
 
 let default_spec base =
-  { base; runs = 100; min_step = 500; max_step = 150_000; campaign_seed = 99 }
+  {
+    base;
+    runs = 100;
+    min_step = 500;
+    max_step = 150_000;
+    campaign_seed = 99;
+    fault_models = [ None ];
+    exhaustive = None;
+    run_seed = None;
+    shrink = false;
+    repro_tag = "";
+  }
 
-let one spec ~seed ~crash_step =
+let model_label = function None -> "policy" | Some m -> FM.to_string m
+
+(* The CLI spelling of each variant, for copy-pasteable reproducers
+   (inverse of bin/main.ml's variant parser). *)
+let variant_flag = function
+  | Runner.Mutex_map Atlas.Mode.No_log -> "no-log"
+  | Runner.Mutex_map Atlas.Mode.Log_only -> "log-only"
+  | Runner.Mutex_map Atlas.Mode.Log_flush -> "log-flush"
+  | Runner.Mutex_map Atlas.Mode.Log_flush_async -> "log-flush-async"
+  | Runner.Mutex_btree Atlas.Mode.No_log -> "btree-no-log"
+  | Runner.Mutex_btree Atlas.Mode.Log_flush -> "btree-flush"
+  | Runner.Mutex_btree _ -> "btree"
+  | Runner.Nonblocking_map -> "non-blocking"
+
+(* A complete `tsp faults` invocation replaying exactly this run: the
+   exhaustive enumerator with a one-step window and a pinned per-run
+   seed is the single-run special case of a campaign. *)
+let repro_of spec ~fault ~seed ~crash_step =
+  let b = spec.base in
+  let buf = Buffer.create 160 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "tsp faults --variant %s --hardware '%s' --failure %s"
+    (variant_flag b.Runner.variant)
+    b.Runner.hardware.Tsp_core.Hardware.name
+    (Tsp_core.Failure_class.to_string b.Runner.failure);
+  if
+    not
+      (String.equal b.Runner.platform.Nvm.Config.name
+         Nvm.Config.desktop.Nvm.Config.name)
+  then add " --platform server";
+  (match b.Runner.workload with
+  | Runner.Transfers _ -> add " --transfers"
+  | Runner.Wide { value_words; _ } -> add " --wide %d" value_words
+  | Runner.Counters _ | Runner.Mixed _ | Runner.Ycsb _ -> ());
+  if b.Runner.journal then add " --journal";
+  add " --threads %d --iterations %d" b.Runner.threads b.Runner.iterations;
+  (match fault with
+  | Some fm -> add " --fault-model %s" (FM.to_string fm)
+  | None -> ());
+  add " --campaign-seed %d" spec.campaign_seed;
+  add " --exhaustive --from %d --window 1 --run-seed %d" crash_step seed;
+  if not (String.equal spec.repro_tag "") then add " %s" spec.repro_tag;
+  Buffer.contents buf
+
+let one spec ~fault ~seed ~crash_step =
+  let repro = repro_of spec ~fault ~seed ~crash_step in
   let config =
-    { spec.base with Runner.seed; crash_at_step = Some crash_step }
+    {
+      spec.base with
+      Runner.seed;
+      crash_at_step = Some crash_step;
+      fault_model = fault;
+    }
   in
-  let r = Runner.run config in
-  let crashed = match r.Runner.outcome with Runner.Crashed _ -> true | _ -> false in
-  let observer_prefix_ok =
-    Option.bind r.Runner.crash (fun c ->
-        Option.map
-          (fun o -> o.Tsp_core.Recovery_observer.prefix_ok)
-          c.Runner.observer)
+  match Runner.run config with
+  | r ->
+      let crashed =
+        match r.Runner.outcome with Runner.Crashed _ -> true | _ -> false
+      in
+      let consistent = Runner.consistent r in
+      let recovery_verdict =
+        Option.map (fun c -> c.Runner.recovery_verdict) r.Runner.crash
+      in
+      let adversarial =
+        match fault with Some f -> FM.adversarial f | None -> false
+      in
+      let tsp_covered =
+        match r.Runner.crash with
+        | Some c -> Tsp_core.Policy.is_tsp c.Runner.verdict
+        | None -> true
+      in
+      (* Judging rules: the binary models (and the verdict-derived
+         default) promise full consistency; the adversarial models only
+         promise graceful degradation — recovery must come back with a
+         structured verdict, and only Bit_rot is allowed to reach
+         [Unrecoverable] (it alone can hit region headers). *)
+      let violation =
+        if not crashed then not consistent
+        else if adversarial then
+          match (recovery_verdict, fault) with
+          | Some (Atlas.Recovery.Unrecoverable _), Some (FM.Bit_rot _) ->
+              false
+          | Some (Atlas.Recovery.Unrecoverable _), _ -> true
+          | _ -> false
+        else not consistent
+      in
+      let expected =
+        violation
+        &&
+        match fault with
+        | Some FM.Full_discard -> true
+        | Some _ -> false
+        | None -> not tsp_covered
+      in
+      let observer_prefix_ok =
+        Option.bind r.Runner.crash (fun c ->
+            Option.map
+              (fun o -> o.Tsp_core.Recovery_observer.prefix_ok)
+              c.Runner.observer)
+      in
+      let rolled_back, cascaded =
+        match r.Runner.crash with
+        | Some { Runner.atlas_recovery = Some a; _ } ->
+            (a.Atlas.Recovery.updates_applied, a.Atlas.Recovery.cascaded)
+        | _ -> (0, 0)
+      in
+      let gc_freed =
+        match r.Runner.crash with
+        | Some { Runner.gc = Some g; _ } -> g.Pheap.Heap_gc.freed_objects
+        | _ -> 0
+      in
+      let errors =
+        match r.Runner.crash with
+        | Some c -> c.Runner.recovery_errors
+        | None -> []
+      in
+      {
+        seed;
+        crash_step;
+        fault;
+        crashed;
+        consistent;
+        graceful = true;
+        recovery_verdict;
+        violation;
+        expected;
+        repro;
+        iterations_done = r.Runner.iterations_done;
+        invariants = r.Runner.invariants;
+        observer_prefix_ok;
+        rolled_back;
+        cascaded;
+        gc_freed;
+        errors;
+      }
+  | exception exn ->
+      (* An escaped exception is the one thing no fault model tolerates:
+         the run is recorded as a non-graceful, unexpected violation
+         instead of killing the campaign. *)
+      let msg = Printexc.to_string exn in
+      {
+        seed;
+        crash_step;
+        fault;
+        crashed = true;
+        consistent = false;
+        graceful = false;
+        recovery_verdict = None;
+        violation = true;
+        expected = false;
+        repro;
+        iterations_done = 0;
+        invariants = Invariant.failed ("raised: " ^ msg);
+        observer_prefix_ok = None;
+        rolled_back = 0;
+        cascaded = 0;
+        gc_freed = 0;
+        errors = [ "raised: " ^ msg ];
+      }
+
+(* Greedy bounded shrinking: try to halve the crash step and the
+   iteration count (and to collapse Bit_rot to a single flip) while the
+   violation persists; each accepted candidate restarts the pass. *)
+let minimize spec o =
+  let budget = ref 40 in
+  let attempts = ref 0 in
+  let still_fails ~iterations ~crash_step ~fault =
+    if !budget <= 0 then false
+    else begin
+      decr budget;
+      incr attempts;
+      let s =
+        { spec with base = { spec.base with Runner.iterations } }
+      in
+      (one s ~fault ~seed:o.seed ~crash_step).violation
+    end
   in
-  let rolled_back, cascaded =
-    match r.Runner.crash with
-    | Some { Runner.atlas_recovery = Some a; _ } ->
-        (a.Atlas.Recovery.updates_applied, a.Atlas.Recovery.cascaded)
-    | _ -> (0, 0)
-  in
-  let gc_freed =
-    match r.Runner.crash with
-    | Some { Runner.gc = Some g; _ } -> g.Pheap.Heap_gc.freed_objects
-    | _ -> 0
-  in
-  let errors =
-    match r.Runner.crash with
-    | Some c -> c.Runner.recovery_errors
-    | None -> []
+  let iterations = ref spec.base.Runner.iterations in
+  let crash_step = ref o.crash_step in
+  let fault = ref o.fault in
+  (match !fault with
+  | Some (FM.Bit_rot { flips }) when flips > 1 ->
+      let cand = Some (FM.Bit_rot { flips = 1 }) in
+      if still_fails ~iterations:!iterations ~crash_step:!crash_step ~fault:cand
+      then fault := cand
+  | _ -> ());
+  let progress = ref true in
+  while !progress && !budget > 0 do
+    progress := false;
+    let cand_step = max 1 (!crash_step / 2) in
+    if
+      cand_step < !crash_step
+      && still_fails ~iterations:!iterations ~crash_step:cand_step
+           ~fault:!fault
+    then begin
+      crash_step := cand_step;
+      progress := true
+    end;
+    let cand_iters = max 1 (!iterations / 2) in
+    if
+      cand_iters < !iterations
+      && still_fails ~iterations:cand_iters ~crash_step:!crash_step
+           ~fault:!fault
+    then begin
+      iterations := cand_iters;
+      progress := true
+    end
+  done;
+  let min_spec =
+    { spec with base = { spec.base with Runner.iterations = !iterations } }
   in
   {
-    seed;
-    crash_step;
-    crashed;
-    consistent = Runner.consistent r;
-    iterations_done = r.Runner.iterations_done;
-    invariants = r.Runner.invariants;
-    observer_prefix_ok;
-    rolled_back;
-    cascaded;
-    gc_freed;
-    errors;
+    original = o.repro;
+    minimized =
+      repro_of min_spec ~fault:!fault ~seed:o.seed ~crash_step:!crash_step;
+    attempts = !attempts;
+    final_iterations = !iterations;
+    final_crash_step = !crash_step;
   }
 
 let run ?jobs spec =
-  let rng = Rng.create ~seed:spec.campaign_seed in
-  (* Draw every run's parameters from the campaign RNG sequentially so
-     the schedule is a pure function of the campaign seed, then fan the
-     (independent, deterministic) runs across domains. *)
+  let models =
+    match spec.fault_models with [] -> [ None ] | ms -> ms
+  in
+  (* Draw every run's parameters before fanning out, so the schedule is
+     a pure function of the spec regardless of [jobs].  The sampled
+     stream continues across models, and a single-model sampled
+     campaign draws exactly what the pre-fault-model code drew. *)
   let params =
-    List.init spec.runs (fun i ->
-        let seed = 10_000 + (13 * i) + Rng.int rng 7 in
-        let crash_step =
-          spec.min_step + Rng.int rng (max 1 (spec.max_step - spec.min_step))
-        in
-        (seed, crash_step))
+    match spec.exhaustive with
+    | Some { from_step; window; stride } ->
+        let stride = max 1 stride in
+        let seed = Option.value spec.run_seed ~default:spec.campaign_seed in
+        let steps = (window + stride - 1) / stride in
+        List.concat_map
+          (fun m ->
+            List.init steps (fun i -> (m, seed, from_step + (i * stride))))
+          models
+    | None ->
+        let rng = Rng.create ~seed:spec.campaign_seed in
+        List.concat_map
+          (fun m ->
+            List.init spec.runs (fun i ->
+                let seed = 10_000 + (13 * i) + Rng.int rng 7 in
+                let crash_step =
+                  spec.min_step
+                  + Rng.int rng (max 1 (spec.max_step - spec.min_step))
+                in
+                (m, seed, crash_step)))
+          models
   in
   let outcomes =
     Parallel.map ?jobs
-      (fun (seed, crash_step) -> one spec ~seed ~crash_step)
+      (fun (fault, seed, crash_step) -> one spec ~fault ~seed ~crash_step)
       params
   in
-  let crashes = List.length (List.filter (fun o -> o.crashed) outcomes) in
-  let consistent_recoveries =
-    List.length (List.filter (fun o -> o.crashed && o.consistent) outcomes)
+  let count p = List.length (List.filter p outcomes) in
+  let crashes = count (fun o -> o.crashed) in
+  let consistent_recoveries = count (fun o -> o.crashed && o.consistent) in
+  let violations = count (fun o -> o.violation) in
+  let unexpected_violations =
+    count (fun o -> o.violation && not o.expected)
+  in
+  let per_model =
+    List.map
+      (fun m ->
+        let mine = List.filter (fun o -> o.fault = m) outcomes in
+        let c p = List.length (List.filter p mine) in
+        {
+          model = m;
+          m_runs = List.length mine;
+          m_crashes = c (fun o -> o.crashed);
+          m_consistent = c (fun o -> o.crashed && o.consistent);
+          m_clean =
+            c (fun o -> o.recovery_verdict = Some Atlas.Recovery.Clean);
+          m_degraded =
+            c (fun o ->
+                match o.recovery_verdict with
+                | Some (Atlas.Recovery.Degraded _) -> true
+                | _ -> false);
+          m_unrecoverable =
+            c (fun o ->
+                match o.recovery_verdict with
+                | Some (Atlas.Recovery.Unrecoverable _) -> true
+                | _ -> false);
+          m_violations = c (fun o -> o.violation);
+          m_unexpected = c (fun o -> o.violation && not o.expected);
+        })
+      models
+  in
+  let shrunk =
+    if not spec.shrink then None
+    else
+      let pick =
+        match
+          List.find_opt (fun o -> o.violation && not o.expected) outcomes
+        with
+        | Some o -> Some o
+        | None -> List.find_opt (fun o -> o.violation) outcomes
+      in
+      Option.map (minimize spec) pick
   in
   {
     spec;
     outcomes;
-    total = spec.runs;
+    total = List.length params;
     crashes;
     consistent_recoveries;
-    violations = crashes - consistent_recoveries;
+    violations;
+    unexpected_violations;
+    per_model;
+    shrunk;
   }
 
-let all_consistent s = s.violations = 0 && List.for_all (fun o -> o.consistent) s.outcomes
+let all_consistent s =
+  s.violations = 0 && List.for_all (fun o -> o.consistent) s.outcomes
 
 let violation_rate s =
   if s.crashes = 0 then 0. else float_of_int s.violations /. float_of_int s.crashes
@@ -117,13 +407,63 @@ let pp_summary ppf s =
   let total_casc = List.fold_left (fun a o -> a + o.cascaded) 0 s.outcomes in
   let total_gc = List.fold_left (fun a o -> a + o.gc_freed) 0 s.outcomes in
   Fmt.pf ppf
-    "@[<v>campaign: %s, %s vs %s on %s@ %d runs: %d crashed, %d recovered \
-     consistent, %d VIOLATIONS (rate %.1f%%)@ rollback work: %d updates, %d \
-     cascaded sections, %d objects GC'd@]"
+    "@[<v>campaign: %s, %s vs %s on %s%s@ %d runs: %d crashed, %d recovered \
+     consistent, %d VIOLATIONS (%d unexpected, rate %.1f%%)@ rollback work: \
+     %d updates, %d cascaded sections, %d objects GC'd"
     (Runner.variant_to_string s.spec.base.Runner.variant)
     (Tsp_core.Failure_class.to_string s.spec.base.Runner.failure)
     s.spec.base.Runner.hardware.Tsp_core.Hardware.name
-    s.spec.base.Runner.platform.Nvm.Config.name s.total s.crashes
-    s.consistent_recoveries s.violations
+    s.spec.base.Runner.platform.Nvm.Config.name
+    (match s.spec.exhaustive with
+    | Some e ->
+        Printf.sprintf " (exhaustive steps [%d,%d) stride %d)" e.from_step
+          (e.from_step + e.window) e.stride
+    | None -> "")
+    s.total s.crashes s.consistent_recoveries s.violations
+    s.unexpected_violations
     (100. *. violation_rate s)
-    total_rb total_casc total_gc
+    total_rb total_casc total_gc;
+  List.iter
+    (fun t ->
+      Fmt.pf ppf
+        "@ %-20s %4d runs, %4d crashed, %4d consistent; verdicts \
+         clean/degraded/unrecoverable %d/%d/%d; %d violations (%d unexpected)"
+        (model_label t.model) t.m_runs t.m_crashes t.m_consistent t.m_clean
+        t.m_degraded t.m_unrecoverable t.m_violations t.m_unexpected)
+    s.per_model;
+  let shown = ref 0 in
+  let hidden = ref 0 in
+  List.iter
+    (fun o ->
+      if o.violation then
+        if !shown >= 20 then incr hidden
+        else begin
+          incr shown;
+          Fmt.pf ppf
+            "@ VIOLATION (%s) fault=%s campaign-seed=%d seed=%d step=%d: %s@ \
+            \  repro: %s"
+            (if o.expected then "expected" else "UNEXPECTED")
+            (model_label o.fault) s.spec.campaign_seed o.seed o.crash_step
+            (if not o.graceful then
+               match o.errors with e :: _ -> e | [] -> "raised"
+             else if not o.invariants.Invariant.ok then
+               match
+                 List.find_opt
+                   (fun (c : Invariant.check) -> not c.Invariant.ok)
+                   o.invariants.Invariant.checks
+               with
+               | Some c -> c.Invariant.name ^ ": " ^ c.Invariant.detail
+               | None -> "inconsistent"
+             else "inconsistent recovery")
+            o.repro
+        end)
+    s.outcomes;
+  if !hidden > 0 then Fmt.pf ppf "@ ... and %d more violations" !hidden;
+  (match s.shrunk with
+  | None -> ()
+  | Some sh ->
+      Fmt.pf ppf
+        "@ shrunk (%d probe runs): crash step %d, %d iterations@ \
+        \  minimal repro: %s"
+        sh.attempts sh.final_crash_step sh.final_iterations sh.minimized);
+  Fmt.pf ppf "@]"

@@ -29,6 +29,7 @@ type config = {
   crash_at_step : int option;
   hardware : Tsp_core.Hardware.t;
   failure : Tsp_core.Failure_class.t;
+  fault_model : Nvm.Fault_model.t option;
   journal : bool;
   n_buckets : int;
   log_mib : int;
@@ -51,6 +52,7 @@ let default_config =
     crash_at_step = None;
     hardware = Tsp_core.Hardware.nvram_machine;
     failure = Tsp_core.Failure_class.Process_crash;
+    fault_model = None;
     journal = false;
     n_buckets = 16384;
     log_mib = 8;
@@ -100,6 +102,8 @@ type crash_report = {
   observer : Tsp_core.Recovery_observer.verdict option;
   atlas_recovery : Atlas.Recovery.report option;
   gc : Pheap.Heap_gc.stats option;
+  gc_quarantine : Pheap.Heap_gc.quarantine option;
+  recovery_verdict : Atlas.Recovery.verdict;
   heap_audit_ok : bool;
   recovery_errors : string list;
   recovery_cycles : int;
@@ -322,14 +326,22 @@ let recover_and_audit config pmem =
   Nvm.Pmem.recover pmem;
   let heap_size = log_base config in
   let heap =
-    try Some (Heap.attach pmem ~base:0 ~size:heap_size)
-    with Heap.Corrupt msg ->
-      err "heap attach failed: %s" msg;
-      None
+    (* [Invalid_argument] too: after bit rot the persisted header fields
+       can be arbitrary garbage, not merely inconsistent. *)
+    try Some (Heap.attach pmem ~base:0 ~size:heap_size) with
+    | Heap.Corrupt msg ->
+        err "heap attach failed: %s" msg;
+        None
+    | Invalid_argument msg ->
+        err "heap attach failed: %s" msg;
+        None
   in
   let atlas_recovery =
     match (heap, config.variant) with
     | Some heap, (Mutex_map _ | Mutex_btree _) -> begin
+        (* [Recovery.run] is graceful by construction; the handler is a
+           belt-and-braces backstop so one buggy path cannot take the
+           whole campaign down. *)
         try Some (Atlas.Recovery.run ~heap ~log_base:(log_base config))
         with exn ->
           err "atlas recovery failed: %s" (Printexc.to_string exn);
@@ -337,37 +349,72 @@ let recover_and_audit config pmem =
       end
     | _ -> None
   in
-  let gc =
+  let gc, gc_quarantine =
     match heap with
-    | None -> None
-    | Some heap -> begin
-        try Some (Heap_gc.collect heap)
-        with Heap.Corrupt msg ->
-          err "recovery GC failed: %s" msg;
-          None
-      end
+    | None -> (None, None)
+    | Some heap ->
+        let stats, quarantine = Heap_gc.collect_graceful heap in
+        (Some stats, Some quarantine)
   in
   let heap_audit_ok =
     match heap with
     | None -> false
     | Some heap -> begin
-        match Heap_gc.verify heap with
+        match try Heap_gc.verify heap with exn -> Error [ Printexc.to_string exn ] with
         | Ok () -> true
         | Error es ->
             List.iter (fun e -> err "audit: %s" e) es;
             false
       end
   in
-  (heap, observer, atlas_recovery, gc, heap_audit_ok, List.rev !errors)
+  let recovery_verdict =
+    match heap with
+    | None ->
+        Atlas.Recovery.Unrecoverable
+          (match List.rev !errors with e :: _ -> e | [] -> "heap unrecoverable")
+    | Some _ ->
+        let reasons =
+          (match atlas_recovery with
+          | Some a -> begin
+              match a.Atlas.Recovery.verdict with
+              | Atlas.Recovery.Clean -> []
+              | Atlas.Recovery.Degraded rs -> rs
+              | Atlas.Recovery.Unrecoverable m ->
+                  [ "undo log unrecoverable: " ^ m ]
+            end
+          | None -> [])
+          @ (match gc_quarantine with
+            | Some q
+              when q.Heap_gc.unscannable > 0 || q.Heap_gc.quarantined_words > 0
+              ->
+                q.Heap_gc.reasons
+            | _ -> [])
+          @ if heap_audit_ok then [] else [ "heap audit failed" ]
+        in
+        (match reasons with
+        | [] -> Atlas.Recovery.Clean
+        | rs -> Atlas.Recovery.Degraded rs)
+  in
+  ( heap,
+    observer,
+    atlas_recovery,
+    gc,
+    gc_quarantine,
+    recovery_verdict,
+    heap_audit_ok,
+    List.rev !errors )
 
 let crash_report_of config pmem ~verdict ~observer ~atlas_recovery ~gc
-    ~heap_audit_ok ~recovery_errors ~clock_before ~rescue_bill =
+    ~gc_quarantine ~recovery_verdict ~heap_audit_ok ~recovery_errors
+    ~clock_before ~rescue_bill =
   ignore config;
   {
     verdict;
     observer;
     atlas_recovery;
     gc;
+    gc_quarantine;
+    recovery_verdict;
     heap_audit_ok;
     recovery_errors;
     recovery_cycles = (Nvm.Pmem.stats pmem).Nvm.Stats.clock - clock_before;
@@ -489,12 +536,27 @@ let run_full config =
       (finish (Deadlocked blocked) (Invariant.failed "deadlocked") None [], pmem, None)
   | Scheduler.Crashed { at_step } ->
       let clock_before = (Nvm.Pmem.stats pmem).Nvm.Stats.clock in
+      (* The crash draws (torn-word counts, bit-flip targets) come from
+         their own seed-derived stream, so a given (config, crash step)
+         is bit-reproducible regardless of what the workload drew. *)
+      let crash_rng =
+        let r = Rng.create ~seed:((config.seed * 31) + 17) in
+        fun bound -> Rng.int r bound
+      in
       let rescue_bill =
-        Tsp_core.Crash_executor.execute pmem ~hardware:config.hardware
+        Tsp_core.Crash_executor.execute ?fault:config.fault_model
+          ~rng:crash_rng pmem ~hardware:config.hardware
           ~failure:config.failure
       in
       let verdict = rescue_bill.Tsp_core.Crash_executor.verdict in
-      let rheap, observer, atlas_recovery, gc, heap_audit_ok, recovery_errors =
+      let ( rheap,
+            observer,
+            atlas_recovery,
+            gc,
+            gc_quarantine,
+            recovery_verdict,
+            heap_audit_ok,
+            recovery_errors ) =
         recover_and_audit config pmem
       in
       let entries, invariants =
@@ -523,7 +585,8 @@ let run_full config =
       let crash =
         Some
           (crash_report_of config pmem ~verdict ~observer ~atlas_recovery ~gc
-             ~heap_audit_ok ~recovery_errors ~clock_before ~rescue_bill)
+             ~gc_quarantine ~recovery_verdict ~heap_audit_ok ~recovery_errors
+             ~clock_before ~rescue_bill)
       in
       (finish (Crashed at_step) invariants crash entries, pmem, rheap)
 
@@ -562,6 +625,8 @@ let pp_result ppf r =
       | None -> ()
       | Some c ->
           Fmt.pf ppf "@ crash: %a" Tsp_core.Policy.pp_verdict c.verdict;
+          Fmt.pf ppf "@ recovery verdict: %a" Atlas.Recovery.pp_verdict
+            c.recovery_verdict;
           Option.iter
             (fun o -> Fmt.pf ppf "@ %a" Tsp_core.Recovery_observer.pp o)
             c.observer;

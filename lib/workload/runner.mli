@@ -53,6 +53,12 @@ type config = {
   crash_at_step : int option;
   hardware : Tsp_core.Hardware.t;
   failure : Tsp_core.Failure_class.t;
+  fault_model : Nvm.Fault_model.t option;
+      (** [None]: the crash follows the TSP verdict (rescue or discard),
+          exactly the paper's binary semantics.  [Some fm]: the crash is
+          executed under the adversarial model [fm] instead, with its
+          randomness drawn from a seed-derived stream so the run stays
+          reproducible. *)
   journal : bool;  (** record store history for the recovery observer *)
   n_buckets : int;
   log_mib : int;  (** undo-log region size *)
@@ -81,6 +87,14 @@ type crash_report = {
   observer : Tsp_core.Recovery_observer.verdict option;
   atlas_recovery : Atlas.Recovery.report option;
   gc : Pheap.Heap_gc.stats option;
+  gc_quarantine : Pheap.Heap_gc.quarantine option;
+      (** what the graceful recovery GC had to give up on (see
+          {!Pheap.Heap_gc.collect_graceful}); present whenever [gc] is *)
+  recovery_verdict : Atlas.Recovery.verdict;
+      (** the whole recovery pipeline's structured verdict: [Clean] when
+          every stage trusted all of the image, [Degraded] with one
+          reason per discounted part, [Unrecoverable] when the heap
+          could not even be attached *)
   heap_audit_ok : bool;
   recovery_errors : string list;
   recovery_cycles : int;

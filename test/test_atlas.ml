@@ -773,6 +773,61 @@ let prop_async_recovers_a_prefix =
       ignore heap;
       List.exists (fun st -> st = recovered) (model :: !committed_states))
 
+(* --- Log_entry fuzz: the decoder is the recovery path's first line of
+   defence against adversarial images, so it must be total (never raise)
+   and must never accept damaged payload words. --- *)
+
+let prop_entry_decode_total =
+  qcheck ~count:1000 "log entry: decoding arbitrary words is total + canonical"
+    QCheck2.Gen.(quad ui64 ui64 ui64 ui64)
+    (fun (w0, w1, w2, w3) ->
+      let words = [| w0; w1; w2; w3 |] in
+      match Log_entry.read (fun a -> words.(a / 8)) ~at:0 with
+      | None -> true
+      | Some e ->
+          (* Anything accepted must behave like a legitimate encoding:
+             writing the decoded entry back yields an image that decodes
+             to the same entry. *)
+          let out = Array.make 4 0L in
+          Log_entry.write (fun a v -> out.(a / 8) <- v) ~at:0 e;
+          (match Log_entry.read (fun a -> out.(a / 8)) ~at:0 with
+          | Some e' -> e' = e
+          | None -> false))
+
+let gen_payload =
+  QCheck2.Gen.(
+    oneof
+      [
+        map (fun o -> Log_entry.Begin { ocs = o }) (int_range 0 10_000);
+        map
+          (fun (a, old) -> Log_entry.Update { addr = a * 8; old })
+          (pair (int_range 0 100_000) ui64);
+        map
+          (fun (o, m) -> Log_entry.Dep { on_ocs = o; mutex = m })
+          (pair (int_range 0 10_000) (int_range 0 1_000));
+        map (fun o -> Log_entry.Commit { ocs = o }) (int_range 0 10_000);
+      ])
+
+let prop_entry_bitflip_detected =
+  qcheck ~count:800 "log entry: a single bit flip never silently alters payload"
+    QCheck2.Gen.(
+      quad (int_range 1 1_000_000) (int_range 0 0xFFFF) gen_payload
+        (int_range 0 255))
+    (fun (seq, tid, payload, bit) ->
+      let words = Array.make 4 0L in
+      let e = { Log_entry.seq; tid; payload } in
+      Log_entry.write (fun a v -> words.(a / 8) <- v) ~at:0 e;
+      let w = bit / 64 and b = bit mod 64 in
+      words.(w) <- Int64.logxor words.(w) (Int64.shift_left 1L b);
+      match Log_entry.read (fun a -> words.(a / 8)) ~at:0 with
+      | None -> true
+      | Some e' ->
+          (* The only field outside the checksum's reach is the tid
+             (low 32 bits of w0); nothing else may survive a flip. *)
+          w = 0 && b < 32
+          && e'.Log_entry.seq = e.Log_entry.seq
+          && e'.Log_entry.payload = e.Log_entry.payload)
+
 let suite =
   ( "atlas",
     [
@@ -782,6 +837,8 @@ let suite =
       case "log entry: garbage and corruption rejected"
         test_entry_rejects_garbage;
       case "log entry: header written last" test_entry_header_written_last;
+      prop_entry_decode_total;
+      prop_entry_bitflip_detected;
       case "undo log: format and attach" test_log_format_attach;
       case "undo log: append/scan roundtrip" test_log_append_scan;
       case "undo log: prune, wrap, sentinel discipline" test_log_prune_and_wrap;

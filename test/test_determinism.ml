@@ -115,6 +115,43 @@ let test_table1_jobs_invariant () =
     "table1 row: jobs 1 = jobs 4" true
     (extract (row 1) = extract (row 4))
 
+let test_fault_campaign_jobs_invariant () =
+  (* An exhaustive crash-point campaign must render byte-identically no
+     matter how the runs are fanned out — per fault model, including the
+     RNG-driven adversarial ones (their randomness is seed-derived per
+     run, never drawn from a shared stream during the fan-out). *)
+  let module FI = Workload.Fault_injector in
+  let module FM = Nvm.Fault_model in
+  let base =
+    let platform =
+      { Nvm.Config.desktop with Nvm.Config.cache_lines = 512 }
+    in
+    {
+      (Workload.Runner.calibrated_config platform) with
+      Workload.Runner.variant = Workload.Runner.Mutex_map Atlas.Mode.Log_only;
+      workload = Workload.Runner.Counters { h_keys = 256; preload = true };
+      threads = 4;
+      iterations = 60;
+      n_buckets = 512;
+      log_mib = 1;
+    }
+  in
+  List.iter
+    (fun fm ->
+      let spec =
+        {
+          (FI.default_spec base) with
+          FI.fault_models = [ Some fm ];
+          exhaustive = Some { FI.from_step = 2_000; window = 600; stride = 150 };
+        }
+      in
+      let render jobs = Fmt.str "%a" FI.pp_summary (FI.run ~jobs spec) in
+      Alcotest.(check bool)
+        (FM.to_string fm ^ ": jobs 1 = jobs 4")
+        true
+        (String.equal (render 1) (render 4)))
+    FM.reference
+
 let suite =
   ( "determinism",
     [
@@ -123,4 +160,6 @@ let suite =
       case "fast path invisible across a crash" test_fast_path_invisible_under_crash;
       case "sweep results independent of --jobs" test_sweep_jobs_invariant;
       case "table1 results independent of --jobs" test_table1_jobs_invariant;
+      slow_case "exhaustive fault campaigns independent of --jobs"
+        test_fault_campaign_jobs_invariant;
     ] )

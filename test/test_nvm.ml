@@ -258,6 +258,158 @@ let test_pmem_recover_requires_crash () =
   let p = small_pmem () in
   check_raises_invalid "recover uncrashed" (fun () -> Pmem.recover p)
 
+(* crash_with: the adversarial fault-model spectrum.  test-small has
+   64-byte lines (8 words), 16 cache lines in 8 sets. *)
+
+let no_rng : int -> int =
+ fun _ -> Alcotest.fail "this fault model must not consult the RNG"
+
+let test_crash_with_full_rescue () =
+  let p = small_pmem () in
+  for i = 0 to 3 do
+    Pmem.store p (i * 64) (Int64.of_int (i + 1))
+  done;
+  let d = Pmem.crash_with p ~fault:Nvm.Fault_model.Full_rescue ~rng:no_rng () in
+  Alcotest.(check int) "rescued" 4 d.Pmem.rescued;
+  Alcotest.(check int) "no drops" 0 d.Pmem.dropped;
+  for i = 0 to 3 do
+    Alcotest.check int64 "line durable"
+      (Int64.of_int (i + 1))
+      (Pmem.load_durable p (i * 64))
+  done;
+  Alcotest.(check bool) "device crashed" true (Pmem.is_crashed p)
+
+let test_crash_with_full_discard () =
+  let p = small_pmem () in
+  Pmem.store p 0 123L;
+  let d = Pmem.crash_with p ~fault:Nvm.Fault_model.Full_discard ~rng:no_rng () in
+  Alcotest.(check int) "dropped" 1 d.Pmem.dropped;
+  Alcotest.check int64 "durable stale" 0L (Pmem.load_durable p 0)
+
+let test_crash_with_partial_rescue () =
+  let p = small_pmem () in
+  (* Four dirty lines; a budget of two rescues the two lowest-addressed
+     ones, deterministically. *)
+  for i = 0 to 3 do
+    Pmem.store p (i * 64) (Int64.of_int (i + 1))
+  done;
+  let d =
+    Pmem.crash_with p
+      ~fault:(Nvm.Fault_model.Partial_rescue { energy_budget_j = 1e-3 })
+      ~rescue_limit:2 ~rng:no_rng ()
+  in
+  Alcotest.(check int) "rescued" 2 d.Pmem.rescued;
+  Alcotest.(check int) "dropped" 2 d.Pmem.dropped;
+  Alcotest.check int64 "line 0 rescued" 1L (Pmem.load_durable p 0);
+  Alcotest.check int64 "line 1 rescued" 2L (Pmem.load_durable p 64);
+  Alcotest.check int64 "line 2 lost" 0L (Pmem.load_durable p 128);
+  Alcotest.check int64 "line 3 lost" 0L (Pmem.load_durable p 192);
+  let st = Pmem.stats p in
+  Alcotest.(check int) "stats.rescued_lines" 2 st.Stats.rescued_lines;
+  Alcotest.(check int) "stats.dropped_lines" 2 st.Stats.dropped_lines
+
+let test_crash_with_partial_rescue_unbounded () =
+  let p = small_pmem () in
+  for i = 0 to 3 do
+    Pmem.store p (i * 64) 7L
+  done;
+  let d =
+    Pmem.crash_with p
+      ~fault:(Nvm.Fault_model.Partial_rescue { energy_budget_j = 1.0 })
+      ~rng:no_rng ()
+  in
+  Alcotest.(check int) "all rescued without a limit" 4 d.Pmem.rescued;
+  Alcotest.(check int) "nothing dropped" 0 d.Pmem.dropped
+
+let test_crash_with_torn_lines () =
+  let p = small_pmem () in
+  (* One dirty line holding words 10..17. *)
+  for w = 0 to 7 do
+    Pmem.store p (w * 8) (Int64.of_int (10 + w))
+  done;
+  (* prob 1.0 always tears; the word draw says 3 leading words land. *)
+  let rng bound = if bound = 1_000_000 then 0 else 3 in
+  let d =
+    Pmem.crash_with p
+      ~fault:(Nvm.Fault_model.Torn_lines { prob = 1.0 })
+      ~rng ()
+  in
+  Alcotest.(check int) "torn" 1 d.Pmem.torn;
+  Alcotest.(check int) "rescued" 0 d.Pmem.rescued;
+  for w = 0 to 2 do
+    Alcotest.check int64 "leading words durable"
+      (Int64.of_int (10 + w))
+      (Pmem.load_durable p (w * 8))
+  done;
+  for w = 3 to 7 do
+    Alcotest.check int64 "trailing words stale" 0L (Pmem.load_durable p (w * 8))
+  done
+
+let test_crash_with_torn_prob_zero_is_rescue () =
+  let p = small_pmem () in
+  Pmem.store p 0 9L;
+  let rng bound = if bound = 1_000_000 then 0 else 0 in
+  let d =
+    Pmem.crash_with p ~fault:(Nvm.Fault_model.Torn_lines { prob = 0. }) ~rng ()
+  in
+  Alcotest.(check int) "nothing torn" 0 d.Pmem.torn;
+  Alcotest.(check int) "rescued instead" 1 d.Pmem.rescued;
+  Alcotest.check int64 "value durable" 9L (Pmem.load_durable p 0)
+
+let test_crash_with_bit_rot () =
+  let p = small_pmem () in
+  Pmem.store p 0 1L;
+  (* Scripted draws: flip bit 5 of word 1 and bit 9 of word 2. *)
+  let k = ref 0 in
+  let rng _bound =
+    incr k;
+    match !k with 1 -> 1 | 2 -> 5 | 3 -> 2 | _ -> 9
+  in
+  let d =
+    Pmem.crash_with p ~fault:(Nvm.Fault_model.Bit_rot { flips = 2 }) ~rng ()
+  in
+  Alcotest.(check int) "flips recorded" 2 d.Pmem.bit_flips;
+  Alcotest.(check int) "dirty line still rescued" 1 d.Pmem.rescued;
+  Alcotest.check int64 "store survived the rescue" 1L (Pmem.load_durable p 0);
+  Alcotest.check int64 "bit 5 of word 1 flipped" 32L (Pmem.load_durable p 8);
+  Alcotest.check int64 "bit 9 of word 2 flipped" 512L (Pmem.load_durable p 16);
+  Alcotest.(check int) "stats.flipped_bits" 2 (Pmem.stats p).Stats.flipped_bits
+
+let test_crash_with_deterministic_rng () =
+  (* The same seed-derived stream produces a bit-identical durable image,
+     whichever model consumes it. *)
+  let image fault =
+    let p = small_pmem () in
+    for i = 0 to 15 do
+      Pmem.store p (i * 8 * 13 mod (64 * 1024 / 8 * 8)) (Int64.of_int i)
+    done;
+    let r = Rng.create ~seed:5 in
+    let rng bound = Rng.int r bound in
+    let d = Pmem.crash_with p ~fault ~rng () in
+    (d, Pmem.durable_snapshot p)
+  in
+  List.iter
+    (fun fault ->
+      let d1, s1 = image fault in
+      let d2, s2 = image fault in
+      Alcotest.(check bool) "same damage" true (d1 = d2);
+      Alcotest.(check bool) "same durable image" true (String.equal s1 s2))
+    Nvm.Fault_model.reference
+
+let test_crash_with_then_recover () =
+  let p = small_pmem () in
+  Pmem.store p 0 3L;
+  ignore
+    (Pmem.crash_with p ~fault:(Nvm.Fault_model.Torn_lines { prob = 0.5 })
+       ~rng:(fun b -> b / 2) ()
+      : Pmem.crash_damage);
+  Alcotest.check_raises "ops fail while crashed" Pmem.Crashed_device (fun () ->
+      Pmem.store p 0 4L);
+  Pmem.recover p;
+  Alcotest.(check bool) "usable again" false (Pmem.is_crashed p);
+  Alcotest.check int64 "current = durable" (Pmem.load_durable p 0)
+    (Pmem.load p 0)
+
 let test_pmem_persist_all () =
   let p = small_pmem () in
   for i = 0 to 9 do
@@ -401,6 +553,23 @@ let suite =
       case "pmem: recover installs the durable image"
         test_pmem_recover_discard_installs_durable;
       case "pmem: recover requires a crash" test_pmem_recover_requires_crash;
+      case "pmem: crash_with full-rescue saves every line"
+        test_crash_with_full_rescue;
+      case "pmem: crash_with full-discard loses dirty lines"
+        test_crash_with_full_discard;
+      case "pmem: crash_with partial rescue honours the line budget"
+        test_crash_with_partial_rescue;
+      case "pmem: crash_with partial rescue without a limit rescues all"
+        test_crash_with_partial_rescue_unbounded;
+      case "pmem: crash_with tears a word prefix" test_crash_with_torn_lines;
+      case "pmem: crash_with torn prob 0 degenerates to rescue"
+        test_crash_with_torn_prob_zero_is_rescue;
+      case "pmem: crash_with bit rot flips scripted bits"
+        test_crash_with_bit_rot;
+      case "pmem: crash_with is a pure function of the RNG stream"
+        test_crash_with_deterministic_rng;
+      case "pmem: crash_with marks the device crashed until recover"
+        test_crash_with_then_recover;
       case "pmem: persist_all empties the cache" test_pmem_persist_all;
       case "pmem: step hook sees per-op costs" test_pmem_step_hook;
       case "pmem: peek is free" test_pmem_peek_costless;
