@@ -1,12 +1,31 @@
-(* Smoke check for the quick-bench snapshot: parse the file as JSON and
-   fail loudly if it is malformed.  Deliberately a minimal recursive
-   descent parser (RFC 8259 grammar, no number semantics) so the bench
-   pipeline needs no JSON dependency; it validates structure only —
-   values are never interpreted. *)
+(* Checker for the quick-bench snapshots.
+
+   Two modes, both dependency-free (a minimal RFC 8259 recursive-descent
+   parser; numbers are kept as their raw source tokens so comparisons
+   are byte-exact, never float-mediated):
+
+     check_json FILE
+       parse FILE and fail loudly if it is malformed.
+
+     check_json FILE --sim-cycles-match REF
+       additionally parse REF and demand that every "sim_cycles" value
+       under a cell or A/B entry whose name appears in BOTH files is
+       byte-identical.  Host timings and allocation counts may differ
+       between snapshots — simulated cycles may not: they are the
+       deterministic reproduction output, and a perf PR that shifts one
+       has changed the simulation, not just sped it up. *)
+
+type json =
+  | Obj of (string * json) list
+  | Arr of json list
+  | Str of string
+  | Num of string  (* raw source token, for byte-exact comparison *)
+  | Bool of bool
+  | Null
 
 exception Bad of int * string
 
-let check (s : string) =
+let parse (s : string) =
   let n = String.length s in
   let pos = ref 0 in
   let fail msg = raise (Bad (!pos, msg)) in
@@ -29,12 +48,19 @@ let check (s : string) =
     then pos := !pos + String.length w
     else fail (Printf.sprintf "expected %S" w)
   in
+  (* Returns the string's source characters between the quotes, escapes
+     left as written: keys are compared between files produced by the
+     same writer, so no unescaping is needed for equality. *)
   let string_lit () =
     expect '"';
+    let start = !pos in
     let rec go () =
       match peek () with
       | None -> fail "unterminated string"
-      | Some '"' -> advance ()
+      | Some '"' ->
+          let raw = String.sub s start (!pos - start) in
+          advance ();
+          raw
       | Some '\\' -> begin
           advance ();
           match peek () with
@@ -59,13 +85,14 @@ let check (s : string) =
     go ()
   in
   let number () =
+    let start = !pos in
     let digits () =
-      let start = !pos in
+      let d0 = !pos in
       let rec go () =
         match peek () with Some '0' .. '9' -> advance (); go () | _ -> ()
       in
       go ();
-      if !pos = start then fail "expected digit"
+      if !pos = d0 then fail "expected digit"
     in
     (match peek () with Some '-' -> advance () | _ -> ());
     digits ();
@@ -74,79 +101,155 @@ let check (s : string) =
         advance ();
         digits ()
     | _ -> ());
-    match peek () with
+    (match peek () with
     | Some ('e' | 'E') ->
         advance ();
         (match peek () with Some ('+' | '-') -> advance () | _ -> ());
         digits ()
-    | _ -> ()
+    | _ -> ());
+    String.sub s start (!pos - start)
   in
   let rec value () =
     skip_ws ();
     match peek () with
     | Some '{' -> obj ()
     | Some '[' -> arr ()
-    | Some '"' -> string_lit ()
-    | Some 't' -> literal "true"
-    | Some 'f' -> literal "false"
-    | Some 'n' -> literal "null"
-    | Some ('-' | '0' .. '9') -> number ()
+    | Some '"' -> Str (string_lit ())
+    | Some 't' -> literal "true"; Bool true
+    | Some 'f' -> literal "false"; Bool false
+    | Some 'n' -> literal "null"; Null
+    | Some ('-' | '0' .. '9') -> Num (number ())
     | _ -> fail "expected a JSON value"
   and obj () =
     expect '{';
     skip_ws ();
-    if peek () = Some '}' then advance ()
+    if peek () = Some '}' then begin
+      advance ();
+      Obj []
+    end
     else begin
-      let rec members () =
+      let rec members acc =
         skip_ws ();
-        string_lit ();
+        let k = string_lit () in
         skip_ws ();
         expect ':';
-        value ();
+        let v = value () in
         skip_ws ();
         match peek () with
         | Some ',' ->
             advance ();
-            members ()
-        | Some '}' -> advance ()
+            members ((k, v) :: acc)
+        | Some '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
         | _ -> fail "expected ',' or '}'"
       in
-      members ()
+      members []
     end
   and arr () =
     expect '[';
     skip_ws ();
-    if peek () = Some ']' then advance ()
+    if peek () = Some ']' then begin
+      advance ();
+      Arr []
+    end
     else begin
-      let rec elems () =
-        value ();
+      let rec elems acc =
+        let v = value () in
         skip_ws ();
         match peek () with
         | Some ',' ->
             advance ();
-            elems ()
-        | Some ']' -> advance ()
+            elems (v :: acc)
+        | Some ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
         | _ -> fail "expected ',' or ']'"
       in
-      elems ()
+      elems []
     end
   in
-  value ();
+  let v = value () in
   skip_ws ();
-  if !pos <> n then fail "trailing garbage"
+  if !pos <> n then fail "trailing garbage";
+  v
 
-let () =
-  if Array.length Sys.argv <> 2 then begin
-    prerr_endline "usage: check_json FILE";
-    exit 2
-  end;
-  let file = Sys.argv.(1) in
+let read_file file =
   let ic = open_in_bin file in
   let len = in_channel_length ic in
   let contents = really_input_string ic len in
   close_in ic;
-  match check contents with
-  | () -> Printf.printf "%s: well-formed JSON (%d bytes)\n" file len
+  contents
+
+let parse_file file =
+  let contents = read_file file in
+  match parse contents with
+  | v -> (v, String.length contents)
   | exception Bad (pos, msg) ->
       Printf.eprintf "%s: malformed JSON at byte %d: %s\n" file pos msg;
       exit 1
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+(* The raw "sim_cycles" tokens of every named entry in a section
+   ("cells" or "ab"): [section_name -> (entry_name, raw_number) list]. *)
+let sim_cycles_of section v =
+  match member section v with
+  | Some (Obj entries) ->
+      List.filter_map
+        (fun (name, entry) ->
+          match member "sim_cycles" entry with
+          | Some (Num raw) -> Some (name, raw)
+          | _ -> None)
+        entries
+  | _ -> []
+
+let cross_check ~file ~ref_file v ref_v =
+  let shared = ref 0 and mismatches = ref [] in
+  List.iter
+    (fun section ->
+      let ours = sim_cycles_of section v in
+      let theirs = sim_cycles_of section ref_v in
+      List.iter
+        (fun (name, raw) ->
+          match List.assoc_opt name theirs with
+          | None -> ()
+          | Some ref_raw ->
+              incr shared;
+              if not (String.equal raw ref_raw) then
+                mismatches :=
+                  Printf.sprintf "%s/%s: %s (was %s in %s)" section name raw
+                    ref_raw ref_file
+                  :: !mismatches)
+        ours)
+    [ "cells"; "ab" ];
+  if !shared = 0 then begin
+    Printf.eprintf "%s vs %s: no shared sim_cycles entries to compare\n" file
+      ref_file;
+    exit 1
+  end;
+  match List.rev !mismatches with
+  | [] ->
+      Printf.printf "%s: %d sim_cycles entries identical to %s\n" file !shared
+        ref_file
+  | ms ->
+      Printf.eprintf
+        "%s: simulated cycles diverged from %s (%d of %d entries):\n" file
+        ref_file (List.length ms) !shared;
+      List.iter (fun m -> Printf.eprintf "  %s\n" m) ms;
+      exit 1
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; file ] ->
+      let _, len = parse_file file in
+      Printf.printf "%s: well-formed JSON (%d bytes)\n" file len
+  | [ _; file; "--sim-cycles-match"; ref_file ] ->
+      let v, _ = parse_file file in
+      let ref_v, _ = parse_file ref_file in
+      cross_check ~file ~ref_file v ref_v
+  | _ ->
+      prerr_endline "usage: check_json FILE [--sim-cycles-match REF]";
+      exit 2

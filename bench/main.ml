@@ -261,13 +261,18 @@ let run_bechamel tests =
 
 (* --- Part 3: the quick perf-trajectory snapshot (--quick) ---
 
-   A reduced cell set measured for host wall time and simulated cycles,
-   written as JSON so successive PRs can diff the simulator's speed
-   (cf. machine-readable perf trajectories in CI).  Keys are normalized
-   to [a-z0-9_] so they survive renames of the pretty printers.  The
-   snapshot also measures two A/B pairs on the same binary:
-   - the scheduler fast path on (default slice) vs off (slice 0), the
-     hot-path optimisation this file exists to track; and
+   A reduced cell set measured for host wall time, simulated cycles and
+   minor-heap allocation, written as JSON so successive PRs can diff the
+   simulator's speed (cf. machine-readable perf trajectories in CI).
+   Keys are normalized to [a-z0-9_] so they survive renames of the
+   pretty printers.  Simulated cycles are deterministic: check_json
+   cross-checks every cell shared with the committed BENCH_*.json
+   snapshots byte-for-byte.  The snapshot also measures three A/B pairs
+   on the same binary:
+   - the scheduler fast path on (default slice) vs off (slice 0);
+   - the SoA/unboxed memory-hierarchy fast path vs the retained boxed
+     access path ([Pmem.set_boxed_access]), same simulated cycles by
+     construction; and
    - the reduced sweep suite at --jobs 1 vs --jobs N, the multicore
      fan-out.  On a single-core host the latter ratio is ~1 by nature;
      [host_cores] is recorded so readers can tell. *)
@@ -278,6 +283,16 @@ let time_ns f =
   let t0 = now_ns () in
   let r = f () in
   (r, Int64.to_int (Int64.sub (now_ns ()) t0))
+
+(* Host time and minor-heap words allocated while running [f].  The
+   [Gc.minor_words] calls themselves box a float or two; cells run long
+   enough that the constant is invisible, and the raw hot-path cell
+   asserts against a per-op threshold, not a literal zero. *)
+let time_and_alloc f =
+  let w0 = Gc.minor_words () in
+  let r, host_ns = time_ns f in
+  let words = Gc.minor_words () -. w0 in
+  (r, host_ns, words)
 
 let normalize_key s =
   String.map
@@ -302,8 +317,8 @@ let hot_path_cell ~ops ~slice =
     (Sched.Scheduler.spawn sched ~name:"hot" (fun () ->
          for i = 1 to ops do
            let addr = i * 8 land 0xFFF8 in
-           Nvm.Pmem.store pmem addr (Int64.of_int i);
-           ignore (Nvm.Pmem.load pmem addr);
+           Nvm.Pmem.store_int pmem addr i;
+           ignore (Nvm.Pmem.load_int pmem addr : int);
            if i land 255 = 0 then begin
              Nvm.Pmem.flush pmem addr;
              Nvm.Pmem.fence pmem
@@ -315,6 +330,29 @@ let hot_path_cell ~ops ~slice =
   | Sched.Scheduler.Completed -> ()
   | _ -> failwith "hot-path cell did not complete");
   Sched.Scheduler.elapsed_cycles sched
+
+(* The memory hierarchy alone: a load/store/periodic-cas loop against
+   the device with no scheduler attached, so every nanosecond is cache
+   bookkeeping plus the byte images.  With [boxed = false] this is the
+   SoA/unboxed fast path and must not allocate; with [boxed = true] it
+   is the retained historical access shape (option per hit, variant per
+   miss, [int64] box per word).  Simulated cycles accumulate on the
+   stats clock and are identical either way — the caller asserts so. *)
+let raw_loadstore_cell ~ops ~boxed =
+  let cfg = Nvm.Config.with_region_size Nvm.Config.desktop (1024 * 1024) in
+  let pmem = Nvm.Pmem.create cfg in
+  Nvm.Pmem.set_boxed_access pmem boxed;
+  let clock0 = (Nvm.Pmem.stats pmem).Nvm.Stats.clock in
+  let acc = ref 0 in
+  for i = 1 to ops do
+    let addr = i * 8 land 0xFFF8 in
+    Nvm.Pmem.store_int pmem addr i;
+    acc := !acc + Nvm.Pmem.load_int pmem addr;
+    if i land 1023 = 0 then
+      ignore (Nvm.Pmem.cas_int pmem addr ~expected:i ~desired:(i + 1) : bool)
+  done;
+  ignore !acc;
+  (Nvm.Pmem.stats pmem).Nvm.Stats.clock - clock0
 
 let quick_table1_config platform variant =
   {
@@ -360,10 +398,13 @@ let run_quick ~jobs ~out =
   let cells =
     List.map
       (fun (name, config) ->
-        let r, host_ns = time_ns (fun () -> Workload.Runner.run config) in
+        let r, host_ns, minor_words =
+          time_and_alloc (fun () -> Workload.Runner.run config)
+        in
         if not (Workload.Runner.consistent r) then
           Fmt.failwith "quick bench: %s inconsistent" name;
-        (normalize_key name, r.Workload.Runner.elapsed_cycles, host_ns))
+        (normalize_key name, r.Workload.Runner.elapsed_cycles, host_ns,
+         minor_words))
       (List.concat_map
          (fun (pname, platform) ->
            List.map
@@ -388,6 +429,20 @@ let run_quick ~jobs ~out =
             } );
         ])
   in
+  (* The allocation cell: the memory hierarchy alone, on the unboxed
+     fast path.  Its contract is zero minor words per operation; the
+     snapshot records the measurement and the bench fails if it drifts
+     (the threshold admits the [Gc.minor_words] float boxes, not a
+     per-op leak). *)
+  let raw_ops = 2_000_000 in
+  let raw_cycles, raw_host_ns, raw_words =
+    time_and_alloc (fun () -> raw_loadstore_cell ~ops:raw_ops ~boxed:false)
+  in
+  let raw_words_per_op = raw_words /. float_of_int raw_ops in
+  if raw_words_per_op > 0.01 then
+    Fmt.failwith
+      "quick bench: unboxed fast path allocates (%.4f minor words/op)"
+      raw_words_per_op;
   (* A/B 1: scheduler fast path on vs off, same simulated results. *)
   let ops = 400_000 in
   let cy_on, fast_on_ns = time_ns (fun () -> hot_path_cell ~ops ~slice:Sched.Scheduler.default_slice) in
@@ -395,28 +450,51 @@ let run_quick ~jobs ~out =
   if cy_on <> cy_off then
     Fmt.failwith "quick bench: fast path changed simulated cycles (%d vs %d)"
       cy_on cy_off;
-  (* A/B 2: the reduced sweep suite, sequential vs fanned out. *)
+  (* A/B 2: SoA/unboxed access path vs the retained boxed path.  Same
+     simulated cycles by construction, asserted here on one binary. *)
+  let soa_cycles, soa_on_ns, soa_on_words =
+    time_and_alloc (fun () -> raw_loadstore_cell ~ops:raw_ops ~boxed:false)
+  in
+  let soa_cycles_boxed, soa_off_ns, soa_off_words =
+    time_and_alloc (fun () -> raw_loadstore_cell ~ops:raw_ops ~boxed:true)
+  in
+  if soa_cycles <> soa_cycles_boxed then
+    Fmt.failwith
+      "quick bench: boxed access path changed simulated cycles (%d vs %d)"
+      soa_cycles soa_cycles_boxed;
+  if soa_cycles <> raw_cycles then
+    Fmt.failwith "quick bench: raw load/store cell is not deterministic";
+  (* A/B 3: the reduced sweep suite, sequential vs fanned out. *)
   let (), suite_j1_ns = time_ns (fun () -> quick_sweep_suite ~jobs:1 ()) in
   let (), suite_jn_ns = time_ns (fun () -> quick_sweep_suite ~jobs ()) in
   let b = Buffer.create 4096 in
   let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   pf "{\n";
-  pf "  \"schema\": \"tsp-bench-v1\",\n";
+  pf "  \"schema\": \"tsp-bench-v2\",\n";
   pf "  \"host_cores\": %d,\n" (Workload.Parallel.default_jobs ());
   pf "  \"jobs\": %d,\n" jobs;
   pf "  \"cells\": {\n";
-  List.iteri
-    (fun i (name, sim_cycles, host_ns) ->
-      pf "    \"%s\": { \"sim_cycles\": %d, \"host_ns\": %d }%s\n"
-        (json_escape name) sim_cycles host_ns
-        (if i = List.length cells - 1 then "" else ","))
+  List.iter
+    (fun (name, sim_cycles, host_ns, minor_words) ->
+      pf "    \"%s\": { \"sim_cycles\": %d, \"host_ns\": %d, \
+          \"minor_words\": %.0f },\n"
+        (json_escape name) sim_cycles host_ns minor_words)
     cells;
+  pf "    \"hot_path_loadstore_raw\": { \"sim_cycles\": %d, \"host_ns\": %d, \
+       \"minor_words\": %.0f, \"ops\": %d, \"minor_words_per_op\": %.4f }\n"
+    raw_cycles raw_host_ns raw_words raw_ops raw_words_per_op;
   pf "  },\n";
   pf "  \"ab\": {\n";
   pf "    \"sched_fast_path\": { \"sim_cycles\": %d, \"on_host_ns\": %d, \
        \"off_host_ns\": %d, \"speedup\": %.2f },\n"
     cy_on fast_on_ns fast_off_ns
     (float_of_int fast_off_ns /. float_of_int (max 1 fast_on_ns));
+  pf "    \"soa_unboxed_access\": { \"sim_cycles\": %d, \"on_host_ns\": %d, \
+       \"off_host_ns\": %d, \"speedup\": %.2f, \"on_minor_words\": %.0f, \
+       \"off_minor_words\": %.0f },\n"
+    soa_cycles soa_on_ns soa_off_ns
+    (float_of_int soa_off_ns /. float_of_int (max 1 soa_on_ns))
+    soa_on_words soa_off_words;
   pf "    \"sweep_suite_jobs\": { \"jobs\": %d, \"jobs1_host_ns\": %d, \
        \"jobsn_host_ns\": %d, \"speedup\": %.2f }\n"
     jobs suite_j1_ns suite_jn_ns
@@ -426,9 +504,14 @@ let run_quick ~jobs ~out =
   let oc = open_out out in
   output_string oc (Buffer.contents b);
   close_out oc;
-  Fmt.pr "quick bench: %d cells -> %s@." (List.length cells) out;
+  Fmt.pr "quick bench: %d cells -> %s@." (List.length cells + 1) out;
   Fmt.pr "  sched fast path: %.2fx host speedup (identical sim cycles)@."
     (float_of_int fast_off_ns /. float_of_int (max 1 fast_on_ns));
+  Fmt.pr
+    "  soa/unboxed access: %.2fx host speedup, %.4f minor words/op \
+     (identical sim cycles)@."
+    (float_of_int soa_off_ns /. float_of_int (max 1 soa_on_ns))
+    raw_words_per_op;
   Fmt.pr "  sweep suite --jobs %d vs --jobs 1: %.2fx (host has %d cores)@."
     jobs
     (float_of_int suite_j1_ns /. float_of_int (max 1 suite_jn_ns))
@@ -442,11 +525,11 @@ let usage () =
      \  (no flags)  full run: paper reproduction + Bechamel microbenchmarks\n\
      \  --quick     reduced cell set; writes a BENCH JSON snapshot and exits\n\
      \  --jobs N    fan independent cells across N domains (default: cores)\n\
-     \  --out FILE  where --quick writes its JSON (default BENCH_1.json)";
+     \  --out FILE  where --quick writes its JSON (default BENCH_2.json)";
   exit 2
 
 let () =
-  let quick = ref false and jobs = ref None and out = ref "BENCH_1.json" in
+  let quick = ref false and jobs = ref None and out = ref "BENCH_2.json" in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest -> quick := true; parse rest

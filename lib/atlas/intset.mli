@@ -1,0 +1,28 @@
+(** Open-addressed set of non-negative ints for the runtime's per-store
+    bookkeeping (logged word addresses, dirtied line addresses).
+
+    Power-of-two capacity with multiplicative hashing and linear
+    probing; load factor kept at or below 1/2.  Membership and
+    insertion allocate nothing (amortised over doubling); [clear] costs
+    O(cardinal), not O(capacity); [iter] visits members in insertion
+    order, so downstream effects (commit-time flushes) do not depend on
+    hash-table internals. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 64) is rounded up to a power of two. *)
+
+val mem : t -> int -> bool
+
+val add : t -> int -> bool
+(** [add t x] inserts [x] if absent.  Returns [true] iff [x] was absent
+    — the membership answer and the insertion share one probe walk. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Members in insertion order. *)
+
+val clear : t -> unit
+(** Empty the set in O(cardinal) stores. *)
+
+val cardinal : t -> int

@@ -19,8 +19,8 @@ type ctx = {
   tid : int;
   mutable depth : int;
   mutable current : ocs_info option;
-  logged : (int, unit) Hashtbl.t;
-  dirtied : (int, unit) Hashtbl.t;  (* line addresses; Log_flush commits *)
+  logged : Intset.t;  (* word addresses already logged in the open OCS *)
+  dirtied : Intset.t;  (* line addresses; Log_flush commits *)
   segments : int Queue.t;  (* unpruned OCS ids of this thread, oldest first *)
 }
 
@@ -29,6 +29,7 @@ type t = {
   heap : Heap.t;
   ulog : Undo_log.t;
   costs : costs;
+  line_mask : int;  (* lnot (line_size - 1); line_size is a power of two *)
   mutable next_ocs : int;
   mutable next_seq : int;
   mutable started : int;
@@ -60,8 +61,8 @@ let create ?(costs = default_costs) ?(first_seq = 1) ?(checkpoint_every = 32)
       tid;
       depth = 0;
       current = None;
-      logged = Hashtbl.create 64;
-      dirtied = Hashtbl.create 64;
+      logged = Intset.create ~capacity:64 ();
+      dirtied = Intset.create ~capacity:64 ();
       segments = Queue.create ();
     }
   in
@@ -70,6 +71,7 @@ let create ?(costs = default_costs) ?(first_seq = 1) ?(checkpoint_every = 32)
     heap;
     ulog;
     costs;
+    line_mask = lnot ((Nvm.Pmem.config pmem).Nvm.Config.line_size - 1);
     next_ocs = 1;
     next_seq = first_seq;
     started = 0;
@@ -249,25 +251,27 @@ let commit t ctx =
         (* Eager durability: the section's data reaches the persistence
            domain before its commit record, so a committed-by-the-log OCS
            is never partially durable. *)
-        Hashtbl.iter (fun line () -> Nvm.Pmem.flush (pmem t) line) ctx.dirtied;
+        Intset.iter (fun line -> Nvm.Pmem.flush (pmem t) line) ctx.dirtied;
         Nvm.Pmem.fence (pmem t)
       end;
       let commit_seq = t.next_seq in
       ignore (append t ctx (Log_entry.Commit { ocs = cur.id }) : int);
       cur.committed <- true;
       ctx.current <- None;
-      Hashtbl.reset ctx.logged;
+      Intset.clear ctx.logged;
       if Mode.deferred_durability t.mode then begin
         (* Data durability is deferred to the next durability point; the
            section stays unpruned (it may still be rolled back). *)
-        Hashtbl.iter (fun line () -> Hashtbl.replace t.pending_lines line ()) ctx.dirtied;
-        Hashtbl.reset ctx.dirtied;
+        Intset.iter
+          (fun line -> Hashtbl.replace t.pending_lines line ())
+          ctx.dirtied;
+        Intset.clear ctx.dirtied;
         Queue.add (commit_seq, cur.id) t.pending;
         t.commits_since_checkpoint <- t.commits_since_checkpoint + 1;
         if t.commits_since_checkpoint >= t.checkpoint_every then checkpoint t
       end
       else begin
-        Hashtbl.reset ctx.dirtied;
+        Intset.clear ctx.dirtied;
         try_stabilize t cur.id
       end
 
@@ -293,9 +297,7 @@ let with_lock t ctx am f =
       unlock t ctx am;
       raise e
 
-let line_addr t addr =
-  let ls = (Nvm.Pmem.config (pmem t)).Nvm.Config.line_size in
-  addr / ls * ls
+let[@inline] line_addr t addr = addr land t.line_mask
 
 let store t ctx addr v =
   match t.mode with
@@ -306,14 +308,16 @@ let store t ctx addr v =
           invalid_arg
             "Atlas.store: persistent store outside any critical section"
       | Some _ ->
-          if not (Hashtbl.mem ctx.logged addr) then begin
+          (* [Intset.add] answers membership and inserts in one probe
+             walk; marking before the load/append is safe because [ctx]
+             is thread-local and a crash discards it entirely. *)
+          if Intset.add ctx.logged addr then begin
             let old = Nvm.Pmem.load (pmem t) addr in
-            ignore (append t ctx (Log_entry.Update { addr; old }) : int);
-            Hashtbl.replace ctx.logged addr ()
+            ignore (append t ctx (Log_entry.Update { addr; old }) : int)
           end;
           Nvm.Pmem.store (pmem t) addr v;
           if Mode.flushes t.mode then
-            Hashtbl.replace ctx.dirtied (line_addr t addr) ()
+            ignore (Intset.add ctx.dirtied (line_addr t addr) : bool)
     end
 
 let load t addr = Nvm.Pmem.load (pmem t) addr

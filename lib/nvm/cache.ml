@@ -1,12 +1,15 @@
-type way = { mutable tag : int; mutable dirty : bool; mutable stamp : int }
-(* [tag] is the line number (addr / line_size), or -1 when the way is
-   empty.  [stamp] implements LRU: lower stamp = least recently used. *)
+(* Struct-of-arrays cache metadata.  One simulated memory access costs
+   one [touch], so this module is the hottest code in the simulator:
+   everything on the access path works on flat [int array]s plus a dirty
+   bitset, returns unboxed int codes, and allocates nothing.  The way
+   holding line [l] in set [s] lives at flat index [s * ways + w]. *)
 
 type t = {
-  sets : way array array;
-  line_size : int;
+  tags : int array;  (* n_sets * ways; the line number, or -1 when empty *)
+  stamps : int array;  (* LRU clocks, same indexing; lower = older *)
+  dirty : int array;  (* bitset over flat way indexes, 63 ways per word *)
+  ways : int;
   line_shift : int;  (* log2 line_size: addr lsr line_shift = line *)
-  n_sets : int;
   set_mask : int;  (* n_sets - 1: line land set_mask = set index *)
   write_back : int -> unit;
   mutable tick : int;
@@ -15,7 +18,17 @@ type t = {
          below must keep it in sync so [dirty_count] stays O(1) *)
 }
 
+(* Unboxed result encoding for [touch]; see the .mli.  The codes are
+   ordered so that [code >= miss_clean] means "miss" and
+   [code = miss_dirty] means "a dirty victim was written back". *)
+let hit = 0
+let miss_clean = 1
+let miss_dirty = 2
+
 type access = Hit | Miss of { evicted_dirty : bool }
+
+let access_of_code code =
+  if code = hit then Hit else Miss { evicted_dirty = code = miss_dirty }
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
@@ -28,14 +41,14 @@ let create ~sets ~ways ~line_size ~write_back =
     Fmt.invalid_arg "Cache.create: line_size %d not a power of two" line_size;
   if not (is_power_of_two sets) then
     Fmt.invalid_arg "Cache.create: set count %d not a power of two" sets;
-  let make_set _ =
-    Array.init ways (fun _ -> { tag = -1; dirty = false; stamp = 0 })
-  in
+  if ways <= 0 then Fmt.invalid_arg "Cache.create: ways %d not positive" ways;
+  let n = sets * ways in
   {
-    sets = Array.init sets make_set;
-    line_size;
+    tags = Array.make n (-1);
+    stamps = Array.make n 0;
+    dirty = Array.make ((n + 62) / 63) 0;
+    ways;
     line_shift = log2_exact line_size;
-    n_sets = sets;
     set_mask = sets - 1;
     write_back;
     tick = 0;
@@ -43,107 +56,167 @@ let create ~sets ~ways ~line_size ~write_back =
   }
 
 let line_of t addr = addr lsr t.line_shift
-let set_of t line = line land t.set_mask
 
-let find_way t line =
-  let set = t.sets.(set_of t line) in
-  let rec go i =
-    if i >= Array.length set then None
-    else if set.(i).tag = line then Some set.(i)
-    else go (i + 1)
-  in
-  go 0
+(* Dirty bitset helpers.  63 bits per word keeps every operation on the
+   OCaml immediate-int fast path. *)
+let[@inline] is_dirty_idx t i = (t.dirty.(i / 63) lsr (i mod 63)) land 1 = 1
+
+let[@inline] set_dirty_idx t i =
+  let w = i / 63 in
+  Array.unsafe_set t.dirty w (Array.unsafe_get t.dirty w lor (1 lsl (i mod 63)))
+
+let[@inline] clear_dirty_idx t i =
+  let w = i / 63 in
+  Array.unsafe_set t.dirty w
+    (Array.unsafe_get t.dirty w land lnot (1 lsl (i mod 63)))
+
+(* Flat index of the way holding [line], or -1.  Replaces the historical
+   [find_way : t -> int -> way option], whose [Some] boxed on every hit.
+   The search loop is a top-level function on purpose: a local [let rec]
+   with free variables compiles to a minor-heap closure under the
+   non-flambda backend, which would put an allocation back on every
+   access. *)
+let rec find_from tags line i stop =
+  if i >= stop then -1
+  else if Array.unsafe_get tags i = line then i
+  else find_from tags line (i + 1) stop
+
+let[@inline] find_idx t line =
+  let base = (line land t.set_mask) * t.ways in
+  find_from t.tags line base (base + t.ways)
 
 let next_stamp t =
   t.tick <- t.tick + 1;
   t.tick
 
-let lru_way set =
-  let best = ref set.(0) in
-  Array.iter (fun w -> if w.stamp < !best.stamp then best := w) set;
-  !best
+(* First way with the strictly smallest stamp, as the record-based
+   implementation chose (Array.iter with [<]).  Top-level for the same
+   no-closure reason as [find_from]. *)
+let rec lru_from stamps i stop best best_stamp =
+  if i >= stop then best
+  else
+    let s = Array.unsafe_get stamps i in
+    if s < best_stamp then lru_from stamps (i + 1) stop i s
+    else lru_from stamps (i + 1) stop best best_stamp
+
+let[@inline] lru_idx t base =
+  lru_from t.stamps (base + 1) (base + t.ways) base t.stamps.(base)
 
 let touch t ~addr ~dirty =
   let line = line_of t addr in
-  match find_way t line with
-  | Some w ->
-      w.stamp <- next_stamp t;
-      if dirty && not w.dirty then begin
-        w.dirty <- true;
+  let i = find_idx t line in
+  if i >= 0 then begin
+    t.stamps.(i) <- next_stamp t;
+    if dirty && not (is_dirty_idx t i) then begin
+      set_dirty_idx t i;
+      t.n_dirty <- t.n_dirty + 1
+    end;
+    hit
+  end
+  else begin
+    let base = (line land t.set_mask) * t.ways in
+    let v = lru_idx t base in
+    let evicted_dirty = t.tags.(v) >= 0 && is_dirty_idx t v in
+    if evicted_dirty then begin
+      t.write_back (t.tags.(v) lsl t.line_shift);
+      t.n_dirty <- t.n_dirty - 1
+    end;
+    t.tags.(v) <- line;
+    if dirty then begin
+      set_dirty_idx t v;
+      t.n_dirty <- t.n_dirty + 1
+    end
+    else clear_dirty_idx t v;
+    t.stamps.(v) <- next_stamp t;
+    if evicted_dirty then miss_dirty else miss_clean
+  end
+
+let touch_boxed t ~addr ~dirty =
+  (* The pre-SoA access shape, retained for A/B measurement: an option
+     boxed on every hit (the historical [find_way]) plus the [access]
+     variant boxed on every miss — one minor allocation per access
+     either way.  State transitions are identical to [touch]; the A/B
+     harness asserts identical simulated cycles. *)
+  let line = line_of t addr in
+  match (match find_idx t line with -1 -> None | i -> Some i) with
+  | Some i ->
+      t.stamps.(i) <- next_stamp t;
+      if dirty && not (is_dirty_idx t i) then begin
+        set_dirty_idx t i;
         t.n_dirty <- t.n_dirty + 1
       end;
       Hit
   | None ->
-      let set = t.sets.(set_of t line) in
-      let victim = lru_way set in
-      let evicted_dirty = victim.tag >= 0 && victim.dirty in
+      let base = (line land t.set_mask) * t.ways in
+      let v = lru_idx t base in
+      let evicted_dirty = t.tags.(v) >= 0 && is_dirty_idx t v in
       if evicted_dirty then begin
-        t.write_back (victim.tag lsl t.line_shift);
+        t.write_back (t.tags.(v) lsl t.line_shift);
         t.n_dirty <- t.n_dirty - 1
       end;
-      victim.tag <- line;
-      victim.dirty <- dirty;
-      if dirty then t.n_dirty <- t.n_dirty + 1;
-      victim.stamp <- next_stamp t;
+      t.tags.(v) <- line;
+      if dirty then begin
+        set_dirty_idx t v;
+        t.n_dirty <- t.n_dirty + 1
+      end
+      else clear_dirty_idx t v;
+      t.stamps.(v) <- next_stamp t;
       Miss { evicted_dirty }
 
 let flush_line t ~addr =
   let line = line_of t addr in
-  match find_way t line with
-  | Some w when w.dirty ->
-      t.write_back (line lsl t.line_shift);
-      w.dirty <- false;
-      t.n_dirty <- t.n_dirty - 1;
-      true
-  | Some _ | None -> false
+  let i = find_idx t line in
+  if i >= 0 && is_dirty_idx t i then begin
+    t.write_back (line lsl t.line_shift);
+    clear_dirty_idx t i;
+    t.n_dirty <- t.n_dirty - 1;
+    true
+  end
+  else false
 
 let dirty_count t = t.n_dirty
 
 let dirty_lines t =
-  let acc = ref [] in
-  Array.iter
-    (fun set ->
-      Array.iter
-        (fun w ->
-          if w.tag >= 0 && w.dirty then acc := (w.tag lsl t.line_shift) :: !acc)
-        set)
-    t.sets;
-  List.sort compare !acc
+  (* Collected into an exact-size scratch array and sorted with the
+     monomorphic [Int.compare]: this runs inside [Pmem.crash_with] for
+     every partial-rescue and torn campaign step, where the historical
+     polymorphic [List.sort compare] dominated the crash cost. *)
+  let out = Array.make (max 1 t.n_dirty) 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun i tag ->
+      if tag >= 0 && is_dirty_idx t i then begin
+        out.(!k) <- tag lsl t.line_shift;
+        incr k
+      end)
+    t.tags;
+  let out = if !k = Array.length out then out else Array.sub out 0 !k in
+  Array.sort Int.compare out;
+  Array.to_list out
 
 let write_back_all t =
   let n = ref 0 in
-  Array.iter
-    (fun set ->
-      Array.iter
-        (fun w ->
-          if w.tag >= 0 && w.dirty then begin
-            t.write_back (w.tag lsl t.line_shift);
-            w.dirty <- false;
-            incr n
-          end)
-        set)
-    t.sets;
+  Array.iteri
+    (fun i tag ->
+      if tag >= 0 && is_dirty_idx t i then begin
+        t.write_back (tag lsl t.line_shift);
+        clear_dirty_idx t i;
+        incr n
+      end)
+    t.tags;
   t.n_dirty <- 0;
   !n
 
 let drop_all t =
-  let lost = ref 0 in
-  Array.iter
-    (fun set ->
-      Array.iter
-        (fun w ->
-          if w.tag >= 0 && w.dirty then incr lost;
-          w.tag <- -1;
-          w.dirty <- false;
-          w.stamp <- 0)
-        set)
-    t.sets;
+  let lost = t.n_dirty in
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  Array.fill t.dirty 0 (Array.length t.dirty) 0;
   t.n_dirty <- 0;
-  !lost
+  lost
 
-let cached t ~addr = Option.is_some (find_way t (line_of t addr))
+let cached t ~addr = find_idx t (line_of t addr) >= 0
 
 let is_dirty t ~addr =
-  match find_way t (line_of t addr) with
-  | Some w -> w.dirty
-  | None -> false
+  let i = find_idx t (line_of t addr) in
+  i >= 0 && is_dirty_idx t i

@@ -5,11 +5,36 @@
     decides a line must be written back it invokes the [write_back]
     callback supplied at creation, which snapshots that line into the
     durable image.  This is precisely the behaviour TSP reasons about:
-    dirty lines are vulnerable, written-back lines are safe. *)
+    dirty lines are vulnerable, written-back lines are safe.
+
+    The metadata is stored struct-of-arrays — flat [int array]s of tags
+    and LRU stamps plus a dirty bitset — and the access path reports its
+    outcome as an unboxed int code, so one simulated access performs no
+    minor-heap allocation.  See DESIGN.md, "Hot-path architecture". *)
 
 type t
 
+(** {1 Unboxed access results}
+
+    [touch] returns one of the three codes below.  They are ordinary
+    ints (no constructor is allocated): test [code = hit] for the hit
+    path, [code = miss_dirty] when a dirty victim was written back. *)
+
+val hit : int
+(** The line was already cached ([= 0]). *)
+
+val miss_clean : int
+(** Miss; the installed line displaced nothing dirty ([= 1]). *)
+
+val miss_dirty : int
+(** Miss; the evicted LRU victim was dirty and was written back ([= 2]). *)
+
 type access = Hit | Miss of { evicted_dirty : bool }
+(** Boxed view of an access outcome, for tests and for the retained
+    pre-SoA access path ({!touch_boxed}). *)
+
+val access_of_code : int -> access
+(** Decode a {!touch} result ([hit] → [Hit], …). *)
 
 val create :
   sets:int -> ways:int -> line_size:int -> write_back:(int -> unit) -> t
@@ -20,11 +45,18 @@ val create :
     set indexing reduce to shift/mask on the access hot path.
     @raise Invalid_argument otherwise. *)
 
-val touch : t -> addr:int -> dirty:bool -> access
-(** Record an access to the line containing [addr].  [dirty] marks the
-    line modified (a store); a load leaves the dirty bit as it was.  On a
-    miss the LRU way of the set is evicted (writing it back first if
-    dirty) and the new line installed. *)
+val touch : t -> addr:int -> dirty:bool -> int
+(** Record an access to the line containing [addr] and return {!hit},
+    {!miss_clean} or {!miss_dirty}.  [dirty] marks the line modified (a
+    store); a load leaves the dirty bit as it was.  On a miss the LRU
+    way of the set is evicted (writing it back first if dirty) and the
+    new line installed.  Allocates nothing. *)
+
+val touch_boxed : t -> addr:int -> dirty:bool -> access
+(** Exactly {!touch}, through the historical allocating shape (an
+    option per hit, a variant per miss).  Kept so the benchmark can
+    measure the unboxed path against it on the same binary; simulated
+    state transitions are identical. *)
 
 val flush_line : t -> addr:int -> bool
 (** Write the line containing [addr] back if it is cached and dirty
@@ -32,7 +64,9 @@ val flush_line : t -> addr:int -> bool
     a write-back actually happened. *)
 
 val dirty_lines : t -> int list
-(** Byte addresses of all currently dirty lines. *)
+(** Byte addresses of all currently dirty lines, ascending.  Sorted with
+    [Int.compare] over a scratch array (not polymorphic compare): this
+    runs once per [Pmem.crash_with], i.e. per campaign crash point. *)
 
 val dirty_count : t -> int
 (** Number of currently dirty lines, maintained incrementally — O(1),

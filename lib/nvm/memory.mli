@@ -18,11 +18,28 @@ val size : t -> int
 val load : t -> int -> int64
 (** [load t addr] reads the 8-byte little-endian word at byte offset
     [addr] from the current image.  [addr] must be 8-byte aligned and in
-    bounds. *)
+    bounds; the single fused validity check here is the only one on the
+    path — the underlying byte access is unchecked. *)
 
 val store : t -> int -> int64 -> unit
 (** Write a word to the current image (cache semantics are handled by the
     device, not here). *)
+
+val load_int : t -> int -> int
+(** [Int64.to_int (load t addr)] without materialising the [int64] box:
+    the wide value stays in a register between the read primitive and the
+    truncation.  Allocation-free. *)
+
+val store_int : t -> int -> int -> unit
+(** Writes the same bytes as [store t addr (Int64.of_int v)], without
+    boxing the intermediate [int64].  Allocation-free. *)
+
+val cas_int : t -> int -> expected:int -> desired:int -> bool
+(** Full 64-bit compare-and-swap of the word at [addr] against
+    [Int64.of_int expected] (the comparison observes all 64 stored bits,
+    so a word whose top two bits disagree — unreachable by sign
+    extension — never matches), storing [Int64.of_int desired] on
+    success.  Allocation-free. *)
 
 val load_durable : t -> int -> int64
 (** Read a word from the durable image, bypassing the current image.  Used
@@ -59,7 +76,10 @@ val blit_string : t -> int -> string -> unit
 val diff_lines : t -> line_size:int -> int list
 (** Byte offsets of the lines whose current and durable contents differ,
     in ascending order; a debugging and verification aid.  Comparison is
-    done in place over the two images — no per-line copies. *)
+    done in place over the two images — no per-line copies.  When [size]
+    is not a multiple of [line_size] the trailing partial line is
+    compared over its own short range and reported at its line-aligned
+    offset (it is never silently skipped). *)
 
 val durable_snapshot : t -> string
 (** A copy of the entire durable image, for bit-exact comparisons in

@@ -7,6 +7,9 @@ type t = {
   stats : Stats.t;
   mutable hook : (cost:int -> unit) option;
   mutable crashed : bool;
+  mutable boxed_access : bool;
+      (* route accesses through the retained pre-SoA allocating path;
+         A/B measurement only — simulated results are identical *)
   journal : (int * int64) Queue.t option;
 }
 
@@ -33,6 +36,7 @@ let create ?(journal = false) cfg =
     stats;
     hook = None;
     crashed = false;
+    boxed_access = false;
     journal = (if journal then Some (Queue.create ()) else None);
   }
 
@@ -40,6 +44,7 @@ let config t = t.cfg
 let stats t = t.stats
 let set_step_hook t f = t.hook <- Some f
 let clear_step_hook t = t.hook <- None
+let set_boxed_access t b = t.boxed_access <- b
 
 let step t cost =
   match t.hook with
@@ -54,18 +59,30 @@ let charge t cycles =
 
 let guard t = if t.crashed then raise Crashed_device
 
+(* One cache touch, returning whether it hit.  The unboxed path tests the
+   int code from [Cache.touch]; the boxed path is the historical shape
+   (option + variant, one minor allocation per access), kept so the
+   benchmark can A/B the two on one binary. *)
+let[@inline] touch_hit t ~addr ~dirty =
+  if t.boxed_access then
+    match Cache.touch_boxed t.cache ~addr ~dirty with
+    | Cache.Hit -> true
+    | Cache.Miss _ -> false
+  else Cache.touch t.cache ~addr ~dirty = Cache.hit
+
 let load t addr =
   guard t;
   let st = t.stats in
   st.Stats.loads <- st.Stats.loads + 1;
   let cost =
-    match Cache.touch t.cache ~addr ~dirty:false with
-    | Cache.Hit ->
-        st.Stats.load_hits <- st.Stats.load_hits + 1;
-        t.cfg.Config.load_hit
-    | Cache.Miss _ ->
-        st.Stats.load_misses <- st.Stats.load_misses + 1;
-        t.cfg.Config.load_miss
+    if touch_hit t ~addr ~dirty:false then begin
+      st.Stats.load_hits <- st.Stats.load_hits + 1;
+      t.cfg.Config.load_hit
+    end
+    else begin
+      st.Stats.load_misses <- st.Stats.load_misses + 1;
+      t.cfg.Config.load_miss
+    end
   in
   st.Stats.load_cycles <- st.Stats.load_cycles + cost;
   step t cost;
@@ -76,19 +93,30 @@ let record_store t addr v =
   | None -> ()
   | Some q -> Queue.add (addr, v) q
 
+(* Journal variant for the int fast path: the [int64] box is only built
+   when a journal actually exists (tests and fault-injection runs). *)
+let record_store_int t addr v =
+  match t.journal with
+  | None -> ()
+  | Some q -> Queue.add (addr, Int64.of_int v) q
+
+(* Cost accounting shared by [store]/[store_int]/[cas]/[cas_int]: count
+   the access, touch the cache dirty, return the store cost. *)
+let[@inline] store_cost t ~addr =
+  if touch_hit t ~addr ~dirty:true then begin
+    t.stats.Stats.store_hits <- t.stats.Stats.store_hits + 1;
+    t.cfg.Config.store_cost
+  end
+  else begin
+    t.stats.Stats.store_misses <- t.stats.Stats.store_misses + 1;
+    t.cfg.Config.store_cost + t.cfg.Config.store_miss_extra
+  end
+
 let store t addr v =
   guard t;
   let st = t.stats in
   st.Stats.stores <- st.Stats.stores + 1;
-  let cost =
-    match Cache.touch t.cache ~addr ~dirty:true with
-    | Cache.Hit ->
-        st.Stats.store_hits <- st.Stats.store_hits + 1;
-        t.cfg.Config.store_cost
-    | Cache.Miss _ ->
-        st.Stats.store_misses <- st.Stats.store_misses + 1;
-        t.cfg.Config.store_cost + t.cfg.Config.store_miss_extra
-  in
+  let cost = store_cost t ~addr in
   st.Stats.store_cycles <- st.Stats.store_cycles + cost;
   step t cost;
   Memory.store t.mem addr v;
@@ -99,9 +127,8 @@ let cas t addr ~expected ~desired =
   let st = t.stats in
   st.Stats.cas_ops <- st.Stats.cas_ops + 1;
   let base =
-    match Cache.touch t.cache ~addr ~dirty:true with
-    | Cache.Hit -> t.cfg.Config.store_cost
-    | Cache.Miss _ -> t.cfg.Config.store_cost + t.cfg.Config.store_miss_extra
+    if touch_hit t ~addr ~dirty:true then t.cfg.Config.store_cost
+    else t.cfg.Config.store_cost + t.cfg.Config.store_miss_extra
   in
   (* The step (and hence any scheduler yield) happens before the
      read-modify-write, which then executes indivisibly: no other thread
@@ -119,11 +146,68 @@ let cas t addr ~expected ~desired =
     false
   end
 
-let load_int t addr = Int64.to_int (load t addr)
-let store_int t addr v = store t addr (Int64.of_int v)
+(* Int-typed operations: identical accounting and identical stored bytes
+   to [Int64.of_int]/[Int64.to_int] round-trips through the operations
+   above, but the word never leaves the registers — the 10k-op
+   load/store regression test asserts zero minor allocation. *)
+
+let load_int t addr =
+  if t.boxed_access then Int64.to_int (load t addr)
+  else begin
+    guard t;
+    let st = t.stats in
+    st.Stats.loads <- st.Stats.loads + 1;
+    let cost =
+      if touch_hit t ~addr ~dirty:false then begin
+        st.Stats.load_hits <- st.Stats.load_hits + 1;
+        t.cfg.Config.load_hit
+      end
+      else begin
+        st.Stats.load_misses <- st.Stats.load_misses + 1;
+        t.cfg.Config.load_miss
+      end
+    in
+    st.Stats.load_cycles <- st.Stats.load_cycles + cost;
+    step t cost;
+    Memory.load_int t.mem addr
+  end
+
+let store_int t addr v =
+  if t.boxed_access then store t addr (Int64.of_int v)
+  else begin
+    guard t;
+    let st = t.stats in
+    st.Stats.stores <- st.Stats.stores + 1;
+    let cost = store_cost t ~addr in
+    st.Stats.store_cycles <- st.Stats.store_cycles + cost;
+    step t cost;
+    Memory.store_int t.mem addr v;
+    record_store_int t addr v
+  end
 
 let cas_int t addr ~expected ~desired =
-  cas t addr ~expected:(Int64.of_int expected) ~desired:(Int64.of_int desired)
+  if t.boxed_access then
+    cas t addr ~expected:(Int64.of_int expected)
+      ~desired:(Int64.of_int desired)
+  else begin
+    guard t;
+    let st = t.stats in
+    st.Stats.cas_ops <- st.Stats.cas_ops + 1;
+    let base =
+      if touch_hit t ~addr ~dirty:true then t.cfg.Config.store_cost
+      else t.cfg.Config.store_cost + t.cfg.Config.store_miss_extra
+    in
+    st.Stats.cas_cycles <- st.Stats.cas_cycles + base + t.cfg.Config.cas_extra;
+    step t (base + t.cfg.Config.cas_extra);
+    if Memory.cas_int t.mem addr ~expected ~desired then begin
+      record_store_int t addr desired;
+      true
+    end
+    else begin
+      st.Stats.cas_failures <- st.Stats.cas_failures + 1;
+      false
+    end
+  end
 
 let flush t addr =
   guard t;
@@ -171,12 +255,17 @@ let crash_with t ~fault ?(rescue_limit = max_int) ~rng () =
   in
   (* Write back only a prefix of the line's words: the write-back was
      interrupted mid-line, so at least the last word keeps its stale
-     durable contents. *)
+     durable contents.  A zero-word tear moves no bytes, so it is not a
+     write-back in the ledger — the interruption landed before the first
+     word left the cache (the RNG draw is made by the caller either way,
+     so crash images stay seed-reproducible). *)
   let tear_line addr ~words =
-    st.Stats.writebacks <- st.Stats.writebacks + 1;
-    for w = 0 to words - 1 do
-      Memory.write_back_word t.mem (addr + (w * 8))
-    done
+    if words > 0 then begin
+      st.Stats.writebacks <- st.Stats.writebacks + 1;
+      for w = 0 to words - 1 do
+        Memory.write_back_word t.mem (addr + (w * 8))
+      done
+    end
   in
   let damage =
     match (fault : Fault_model.t) with

@@ -63,8 +63,25 @@ val cas : t -> int -> expected:int64 -> desired:int64 -> bool
     happen within a single scheduler step, as a hardware CAS would. *)
 
 val load_int : t -> int -> int
+(** [Int64.to_int (load t addr)], with identical cycle accounting but no
+    [int64] box: the hot-path form.  A load/store loop through the int
+    operations performs zero minor-heap allocation (a regression test
+    asserts this). *)
+
 val store_int : t -> int -> int -> unit
+(** [store t addr (Int64.of_int v)], with identical cycle accounting,
+    journal entries and stored bytes, but no [int64] box. *)
+
 val cas_int : t -> int -> expected:int -> desired:int -> bool
+(** [cas] through sign-extended int operands, allocation-free.  The
+    comparison still observes all 64 stored bits. *)
+
+val set_boxed_access : t -> bool -> unit
+(** Route subsequent accesses through the retained pre-SoA allocating
+    path (boxed cache results, boxed [int64] round-trips).  Simulated
+    cycles, statistics and stored bytes are identical either way — the
+    quick benchmark measures both on one binary and asserts so.  A/B
+    instrumentation only; defaults to off. *)
 
 val flush : t -> int -> unit
 (** Write the cache line containing the address back to the durable
@@ -105,7 +122,10 @@ val crash_with :
     line-address order so the surviving prefix is deterministic.
     [Torn_lines] tears each rescued line with the model's probability:
     only [rng words_per_line] leading words reach durability, so at
-    least the line's last word keeps its stale durable contents.
+    least the line's last word keeps its stale durable contents.  A tear
+    of zero words moves no bytes and therefore does not count as a
+    write-back in {!Stats.t} (the RNG draw still happens, so crash
+    images remain seed-reproducible).
     [Bit_rot] rescues everything, then flips [flips] uniformly-drawn
     bits of the durable image.  [rng bound] must return a value in
     [\[0, bound)]; all draws happen in a fixed order, so a deterministic

@@ -17,7 +17,10 @@ type t = {
   mutable cas_failures : int;
   mutable flushes : int;
   mutable fences : int;
-  mutable writebacks : int;  (** lines written back by eviction or flush *)
+  mutable writebacks : int;
+      (** lines (or, for torn lines, word prefixes) that moved bytes to
+          the durable image — by eviction, flush, or crash-time rescue.
+          A zero-word tear moves nothing and is not counted. *)
   mutable crashes : int;
   mutable rescued_lines : int;  (** dirty lines saved by a TSP rescue *)
   mutable dropped_lines : int;  (** dirty lines lost in a non-TSP crash *)

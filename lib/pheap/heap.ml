@@ -152,12 +152,11 @@ let store_field t a i v = Nvm.Pmem.store t.pmem (field_addr t a i) v
 let cas_field t a i ~expected ~desired =
   Nvm.Pmem.cas t.pmem (field_addr t a i) ~expected ~desired
 
-let load_field_int t a i = Int64.to_int (load_field t a i)
-let store_field_int t a i v = store_field t a i (Int64.of_int v)
+let load_field_int t a i = Nvm.Pmem.load_int t.pmem (field_addr t a i)
+let store_field_int t a i v = Nvm.Pmem.store_int t.pmem (field_addr t a i) v
 
 let cas_field_int t a i ~expected ~desired =
-  cas_field t a i ~expected:(Int64.of_int expected)
-    ~desired:(Int64.of_int desired)
+  Nvm.Pmem.cas_int t.pmem (field_addr t a i) ~expected ~desired
 
 let iter_blocks t f =
   let stop = t.heap_end in

@@ -1,0 +1,158 @@
+(* The pre-SoA record-based cache model, retained verbatim as an
+   executable reference.  The production [Nvm.Cache] now stores tags,
+   stamps and dirty bits in flat arrays and returns unboxed int codes;
+   this module keeps the original way-record implementation so a
+   property test can drive both with the same random traces and demand
+   identical observable behaviour (access outcomes, write-back
+   sequences, dirty sets).  Do not "improve" this file: its value is
+   that it is the old code. *)
+
+type way = { mutable tag : int; mutable dirty : bool; mutable stamp : int }
+(* [tag] is the line number (addr / line_size), or -1 when the way is
+   empty.  [stamp] implements LRU: lower stamp = least recently used. *)
+
+type t = {
+  sets : way array array;
+  line_size : int;
+  line_shift : int;  (* log2 line_size: addr lsr line_shift = line *)
+  n_sets : int;
+  set_mask : int;  (* n_sets - 1: line land set_mask = set index *)
+  write_back : int -> unit;
+  mutable tick : int;
+  mutable n_dirty : int;
+      (* incremental count of dirty ways; every dirty-bit transition
+         below must keep it in sync so [dirty_count] stays O(1) *)
+}
+
+type access = Hit | Miss of { evicted_dirty : bool }
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2_exact n =
+  let rec go shift = if 1 lsl shift >= n then shift else go (shift + 1) in
+  go 0
+
+let create ~sets ~ways ~line_size ~write_back =
+  if not (is_power_of_two line_size) then
+    Fmt.invalid_arg "Cache.create: line_size %d not a power of two" line_size;
+  if not (is_power_of_two sets) then
+    Fmt.invalid_arg "Cache.create: set count %d not a power of two" sets;
+  let make_set _ =
+    Array.init ways (fun _ -> { tag = -1; dirty = false; stamp = 0 })
+  in
+  {
+    sets = Array.init sets make_set;
+    line_size;
+    line_shift = log2_exact line_size;
+    n_sets = sets;
+    set_mask = sets - 1;
+    write_back;
+    tick = 0;
+    n_dirty = 0;
+  }
+
+let line_of t addr = addr lsr t.line_shift
+let set_of t line = line land t.set_mask
+
+let find_way t line =
+  let set = t.sets.(set_of t line) in
+  let rec go i =
+    if i >= Array.length set then None
+    else if set.(i).tag = line then Some set.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let next_stamp t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+let lru_way set =
+  let best = ref set.(0) in
+  Array.iter (fun w -> if w.stamp < !best.stamp then best := w) set;
+  !best
+
+let touch t ~addr ~dirty =
+  let line = line_of t addr in
+  match find_way t line with
+  | Some w ->
+      w.stamp <- next_stamp t;
+      if dirty && not w.dirty then begin
+        w.dirty <- true;
+        t.n_dirty <- t.n_dirty + 1
+      end;
+      Hit
+  | None ->
+      let set = t.sets.(set_of t line) in
+      let victim = lru_way set in
+      let evicted_dirty = victim.tag >= 0 && victim.dirty in
+      if evicted_dirty then begin
+        t.write_back (victim.tag lsl t.line_shift);
+        t.n_dirty <- t.n_dirty - 1
+      end;
+      victim.tag <- line;
+      victim.dirty <- dirty;
+      if dirty then t.n_dirty <- t.n_dirty + 1;
+      victim.stamp <- next_stamp t;
+      Miss { evicted_dirty }
+
+let flush_line t ~addr =
+  let line = line_of t addr in
+  match find_way t line with
+  | Some w when w.dirty ->
+      t.write_back (line lsl t.line_shift);
+      w.dirty <- false;
+      t.n_dirty <- t.n_dirty - 1;
+      true
+  | Some _ | None -> false
+
+let dirty_count t = t.n_dirty
+
+let dirty_lines t =
+  let acc = ref [] in
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun w ->
+          if w.tag >= 0 && w.dirty then acc := (w.tag lsl t.line_shift) :: !acc)
+        set)
+    t.sets;
+  List.sort compare !acc
+
+let write_back_all t =
+  let n = ref 0 in
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun w ->
+          if w.tag >= 0 && w.dirty then begin
+            t.write_back (w.tag lsl t.line_shift);
+            w.dirty <- false;
+            incr n
+          end)
+        set)
+    t.sets;
+  t.n_dirty <- 0;
+  !n
+
+let drop_all t =
+  let lost = ref 0 in
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun w ->
+          if w.tag >= 0 && w.dirty then incr lost;
+          w.tag <- -1;
+          w.dirty <- false;
+          w.stamp <- 0)
+        set)
+    t.sets;
+  t.n_dirty <- 0;
+  !lost
+
+let cached t ~addr = Option.is_some (find_way t (line_of t addr))
+
+let is_dirty t ~addr =
+  match find_way t (line_of t addr) with
+  | Some w -> w.dirty
+  | None -> false

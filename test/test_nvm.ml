@@ -84,6 +84,23 @@ let test_memory_diff_lines () =
   Memory.promote_all m;
   Alcotest.(check (list int)) "promoted" [] (Memory.diff_lines m ~line_size:64)
 
+let test_memory_diff_lines_tail () =
+  (* A region that is not a multiple of the line size: the trailing
+     partial line must be compared over its own short range, not
+     skipped.  104 bytes = one full 64-byte line + a 40-byte tail. *)
+  let m = Memory.create ~size:104 in
+  Alcotest.(check (list int)) "clean" [] (Memory.diff_lines m ~line_size:64);
+  Memory.store m 96 1L (* last aligned word, inside the tail line *);
+  Alcotest.(check (list int))
+    "tail line reported" [ 64 ]
+    (Memory.diff_lines m ~line_size:64);
+  Memory.store m 0 2L;
+  Alcotest.(check (list int))
+    "full line and tail line" [ 0; 64 ]
+    (Memory.diff_lines m ~line_size:64);
+  Memory.promote_all m;
+  Alcotest.(check (list int)) "promoted" [] (Memory.diff_lines m ~line_size:64)
+
 let test_memory_blit_string () =
   let m = Memory.create ~size:256 in
   Memory.blit_string m 64 "\x01\x00\x00\x00\x00\x00\x00\x00";
@@ -101,12 +118,16 @@ let make_cache ?(sets = 2) ?(ways = 2) () =
 
 let test_cache_hit_miss () =
   let c, _ = make_cache () in
-  (match Cache.touch c ~addr:0 ~dirty:false with
-  | Cache.Miss _ -> ()
-  | Cache.Hit -> Alcotest.fail "cold access should miss");
-  match Cache.touch c ~addr:8 ~dirty:false with
+  Alcotest.(check int)
+    "cold access misses clean" Cache.miss_clean
+    (Cache.touch c ~addr:0 ~dirty:false);
+  Alcotest.(check int)
+    "same line hits" Cache.hit
+    (Cache.touch c ~addr:8 ~dirty:false);
+  (* The boxed shim decodes the same outcome. *)
+  match Cache.touch_boxed c ~addr:16 ~dirty:false with
   | Cache.Hit -> ()
-  | Cache.Miss _ -> Alcotest.fail "same line should hit"
+  | Cache.Miss _ -> Alcotest.fail "boxed shim should agree on a hit"
 
 let test_cache_dirty_tracking () =
   let c, _ = make_cache () in
@@ -122,11 +143,17 @@ let test_cache_eviction_writes_back () =
   ignore (Cache.touch c ~addr:64 ~dirty:true);
   Alcotest.(check (list int)) "no wb yet" [] !wb;
   (* Third distinct line in a 2-way set evicts the LRU (line 0). *)
-  (match Cache.touch c ~addr:128 ~dirty:false with
-  | Cache.Miss { evicted_dirty = true } -> ()
-  | _ -> Alcotest.fail "expected dirty eviction");
+  Alcotest.(check int)
+    "expected dirty eviction" Cache.miss_dirty
+    (Cache.touch c ~addr:128 ~dirty:false);
   Alcotest.(check (list int)) "line 0 written back" [ 0 ] !wb;
-  Alcotest.(check bool) "line 0 gone" false (Cache.cached c ~addr:0)
+  Alcotest.(check bool) "line 0 gone" false (Cache.cached c ~addr:0);
+  (* The boxed shim decodes the next eviction (dirty line 64) the same
+     way. *)
+  (match Cache.touch_boxed c ~addr:192 ~dirty:false with
+  | Cache.Miss { evicted_dirty = true } -> ()
+  | _ -> Alcotest.fail "boxed shim: expected dirty eviction");
+  Alcotest.(check (list int)) "line 64 written back next" [ 64; 0 ] !wb
 
 let test_cache_lru_order () =
   let c, wb = make_cache ~sets:1 ~ways:2 () in
@@ -345,6 +372,24 @@ let test_crash_with_torn_lines () =
     Alcotest.check int64 "trailing words stale" 0L (Pmem.load_durable p (w * 8))
   done
 
+let test_crash_with_torn_zero_words_no_writeback () =
+  (* A tear of zero words moves no bytes: it must count as torn damage
+     but NOT as a write-back in the statistics ledger (a historical bug
+     inflated [writebacks] here). *)
+  let p = small_pmem () in
+  Pmem.store p 0 7L;
+  let wb_before = (Pmem.stats p).Stats.writebacks in
+  let rng bound = if bound = 1_000_000 then 0 else 0 in
+  let d =
+    Pmem.crash_with p ~fault:(Nvm.Fault_model.Torn_lines { prob = 1.0 }) ~rng ()
+  in
+  Alcotest.(check int) "torn" 1 d.Pmem.torn;
+  Alcotest.(check int) "no words landed" 0
+    (Int64.to_int (Pmem.load_durable p 0));
+  Alcotest.(check int)
+    "zero-word tear is not a write-back" wb_before
+    (Pmem.stats p).Stats.writebacks
+
 let test_crash_with_torn_prob_zero_is_rescue () =
   let p = small_pmem () in
   Pmem.store p 0 9L;
@@ -533,6 +578,8 @@ let suite =
       case "memory: write_back copies a line" test_memory_write_back;
       case "memory: discard_current drops unsaved data" test_memory_discard;
       case "memory: diff_lines and promote_all" test_memory_diff_lines;
+      case "memory: diff_lines covers a trailing partial line"
+        test_memory_diff_lines_tail;
       case "memory: blit_string writes both images" test_memory_blit_string;
       case "cache: hit after miss" test_cache_hit_miss;
       case "cache: dirty bit tracking" test_cache_dirty_tracking;
@@ -562,6 +609,8 @@ let suite =
       case "pmem: crash_with partial rescue without a limit rescues all"
         test_crash_with_partial_rescue_unbounded;
       case "pmem: crash_with tears a word prefix" test_crash_with_torn_lines;
+      case "pmem: zero-word tear does not count as a write-back"
+        test_crash_with_torn_zero_words_no_writeback;
       case "pmem: crash_with torn prob 0 degenerates to rescue"
         test_crash_with_torn_prob_zero_is_rescue;
       case "pmem: crash_with bit rot flips scripted bits"
