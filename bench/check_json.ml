@@ -7,10 +7,10 @@
      check_json FILE
        parse FILE and fail loudly if it is malformed.
 
-     check_json FILE --sim-cycles-match REF
-       additionally parse REF and demand that every "sim_cycles" value
-       under a cell or A/B entry whose name appears in BOTH files is
-       byte-identical.  Host timings and allocation counts may differ
+     check_json FILE --sim-cycles-match REF [REF2 ...]
+       additionally parse each REF and demand that every "sim_cycles"
+       value under a cell or A/B entry whose name appears in BOTH files
+       is byte-identical.  Host timings and allocation counts may differ
        between snapshots — simulated cycles may not: they are the
        deterministic reproduction output, and a perf PR that shifts one
        has changed the simulation, not just sped it up. *)
@@ -246,10 +246,13 @@ let () =
   | [ _; file ] ->
       let _, len = parse_file file in
       Printf.printf "%s: well-formed JSON (%d bytes)\n" file len
-  | [ _; file; "--sim-cycles-match"; ref_file ] ->
+  | _ :: file :: "--sim-cycles-match" :: (_ :: _ as ref_files) ->
       let v, _ = parse_file file in
-      let ref_v, _ = parse_file ref_file in
-      cross_check ~file ~ref_file v ref_v
+      List.iter
+        (fun ref_file ->
+          let ref_v, _ = parse_file ref_file in
+          cross_check ~file ~ref_file v ref_v)
+        ref_files
   | _ ->
-      prerr_endline "usage: check_json FILE [--sim-cycles-match REF]";
+      prerr_endline "usage: check_json FILE [--sim-cycles-match REF...]";
       exit 2

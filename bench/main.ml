@@ -275,7 +275,12 @@ let run_bechamel tests =
      construction; and
    - the reduced sweep suite at --jobs 1 vs --jobs N, the multicore
      fan-out.  On a single-core host the latter ratio is ~1 by nature;
-     [host_cores] is recorded so readers can tell. *)
+     [host_cores] is recorded so readers can tell; and
+   - the durable-linearizability history recorder interposed on a full
+     workload run vs the same config with [instrument = None].  The
+     recorder timestamps ops with [Scheduler.now] (a field read, no RNG,
+     no simulated cost), so simulated cycles must be identical — the
+     cell asserts it — and only the host-side overhead differs. *)
 
 let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
 
@@ -467,6 +472,49 @@ let run_quick ~jobs ~out =
   (* A/B 3: the reduced sweep suite, sequential vs fanned out. *)
   let (), suite_j1_ns = time_ns (fun () -> quick_sweep_suite ~jobs:1 ()) in
   let (), suite_jn_ns = time_ns (fun () -> quick_sweep_suite ~jobs ()) in
+  (* A/B 4: the history recorder on vs off, one full workload run each.
+     [Scheduler.now] reads the current thread's vclock without touching
+     the RNG or charging cycles, so recording is invisible to the
+     simulation — identical elapsed cycles are asserted, and the JSON
+     records the host-side cost of remembering every operation. *)
+  let hr_config instrument =
+    {
+      (Workload.Runner.calibrated_config Nvm.Config.desktop) with
+      Workload.Runner.variant = Workload.Runner.Mutex_map Atlas.Mode.Log_only;
+      threads = 2;
+      iterations = 800;
+      workload = Workload.Runner.Counters { h_keys = 1024; preload = true };
+      n_buckets = 1024;
+      log_mib = 2;
+      instrument;
+    }
+  in
+  let hr_off, hr_off_ns, hr_off_words =
+    time_and_alloc (fun () -> Workload.Runner.run (hr_config None))
+  in
+  let hr_recorder = ref None in
+  let hr_instrument sched ops =
+    let h = Check.History.create ~sched ~capacity:8192 () in
+    hr_recorder := Some h;
+    Check.History.wrap h ops
+  in
+  let hr_on, hr_on_ns, hr_on_words =
+    time_and_alloc (fun () -> Workload.Runner.run (hr_config (Some hr_instrument)))
+  in
+  if
+    hr_on.Workload.Runner.elapsed_cycles
+    <> hr_off.Workload.Runner.elapsed_cycles
+  then
+    Fmt.failwith
+      "quick bench: history recording perturbed the simulation (%d vs %d \
+       cycles)"
+      hr_on.Workload.Runner.elapsed_cycles
+      hr_off.Workload.Runner.elapsed_cycles;
+  let hr_ops =
+    match !hr_recorder with
+    | Some h -> Check.History.length h
+    | None -> Fmt.failwith "quick bench: history instrument hook never ran"
+  in
   let b = Buffer.create 4096 in
   let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   pf "{\n";
@@ -496,9 +544,15 @@ let run_quick ~jobs ~out =
     (float_of_int soa_off_ns /. float_of_int (max 1 soa_on_ns))
     soa_on_words soa_off_words;
   pf "    \"sweep_suite_jobs\": { \"jobs\": %d, \"jobs1_host_ns\": %d, \
-       \"jobsn_host_ns\": %d, \"speedup\": %.2f }\n"
+       \"jobsn_host_ns\": %d, \"speedup\": %.2f },\n"
     jobs suite_j1_ns suite_jn_ns
     (float_of_int suite_j1_ns /. float_of_int (max 1 suite_jn_ns));
+  pf "    \"history_recording\": { \"sim_cycles\": %d, \"on_host_ns\": %d, \
+       \"off_host_ns\": %d, \"overhead\": %.2f, \"on_minor_words\": %.0f, \
+       \"off_minor_words\": %.0f, \"ops_recorded\": %d }\n"
+    hr_on.Workload.Runner.elapsed_cycles hr_on_ns hr_off_ns
+    (float_of_int hr_on_ns /. float_of_int (max 1 hr_off_ns))
+    hr_on_words hr_off_words hr_ops;
   pf "  }\n";
   pf "}\n";
   let oc = open_out out in
@@ -515,7 +569,12 @@ let run_quick ~jobs ~out =
   Fmt.pr "  sweep suite --jobs %d vs --jobs 1: %.2fx (host has %d cores)@."
     jobs
     (float_of_int suite_j1_ns /. float_of_int (max 1 suite_jn_ns))
-    (Workload.Parallel.default_jobs ())
+    (Workload.Parallel.default_jobs ());
+  Fmt.pr
+    "  history recording: %.2fx host overhead, %d ops recorded (identical \
+     sim cycles)@."
+    (float_of_int hr_on_ns /. float_of_int (max 1 hr_off_ns))
+    hr_ops
 
 (* --- Entry point --- *)
 
@@ -525,11 +584,11 @@ let usage () =
      \  (no flags)  full run: paper reproduction + Bechamel microbenchmarks\n\
      \  --quick     reduced cell set; writes a BENCH JSON snapshot and exits\n\
      \  --jobs N    fan independent cells across N domains (default: cores)\n\
-     \  --out FILE  where --quick writes its JSON (default BENCH_2.json)";
+     \  --out FILE  where --quick writes its JSON (default BENCH_3.json)";
   exit 2
 
 let () =
-  let quick = ref false and jobs = ref None and out = ref "BENCH_2.json" in
+  let quick = ref false and jobs = ref None and out = ref "BENCH_3.json" in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest -> quick := true; parse rest

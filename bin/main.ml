@@ -339,6 +339,138 @@ let faults_cmd =
           $ journal $ fault_models $ exhaustive $ from_step $ window $ stride
           $ run_seed $ campaign_seed $ shrink $ smoke $ smoke_base $ jobs_arg)
 
+(* check *)
+
+let check_cmd =
+  let run () variant platform threads iterations from_step window stride
+      mutant seed smoke jobs =
+    let module CC = Workload.Check_campaign in
+    let platform =
+      (* Same rationale as the faults smoke preset: a small cache forces
+         evictions, so the crash image genuinely mixes old and new
+         lines instead of replaying a clean snapshot. *)
+      if smoke then { platform with Nvm.Config.cache_lines = 512 }
+      else platform
+    in
+    let base = Workload.Runner.calibrated_config platform in
+    let base =
+      {
+        base with
+        Workload.Runner.variant;
+        threads = (if smoke then 4 else threads);
+        iterations = (if smoke then 200 else iterations);
+        seed;
+        workload = Workload.Runner.Counters { h_keys = 256; preload = true };
+        n_buckets = 512;
+        log_mib = 1;
+      }
+    in
+    let mutate, mutate_label =
+      match mutant with
+      | None -> (None, "")
+      | Some every ->
+          ( Some (CC.non_durable ~seed ~every),
+            Printf.sprintf "non-durable, drops ~1/%d writes" every )
+    in
+    let spec_with base from_step window stride =
+      { (CC.default_spec base) with CC.from_step; window; stride; mutate;
+        mutate_label }
+    in
+    let specs =
+      if smoke then
+        (* Both structures the checker must clear, each over an early
+           window (short histories, mostly pending ops) and a dense
+           mid-workload window (long histories, evicted cache lines). *)
+        List.concat_map
+          (fun variant ->
+            let base = { base with Workload.Runner.variant } in
+            [
+              spec_with base 400 1200 100;
+              spec_with base 40_000 400 100;
+            ])
+          [
+            Workload.Runner.Nonblocking_map;
+            Workload.Runner.Mutex_map Atlas.Mode.Log_only;
+          ]
+      else [ spec_with base from_step window stride ]
+    in
+    let summaries = List.map (fun s -> CC.run ?jobs s) specs in
+    List.iter (fun s -> Fmt.pr "%a@." CC.pp_summary s) summaries;
+    let flagged = List.fold_left (fun a s -> a + s.CC.flagged) 0 summaries in
+    match mutant with
+    | None ->
+        if flagged > 0 then begin
+          Fmt.pr
+            "@.FAIL: %d crash point(s) whose recovered state no \
+             linearization of the recorded history explains.@."
+            flagged;
+          exit 1
+        end
+        else Fmt.pr "@.Clean: every recovered state is durably linearizable.@."
+    | Some _ ->
+        if flagged = 0 then begin
+          Fmt.pr
+            "@.FAIL: the planted non-durable mutant went undetected on \
+             every enumerated crash point.@.";
+          exit 1
+        end
+        else
+          Fmt.pr "@.Mutant caught: flagged on %d crash point(s).@." flagged
+  in
+  let variant =
+    Arg.(value
+         & opt variant_conv Workload.Runner.Nonblocking_map
+         & info [ "variant" ] ~docv:"VARIANT"
+             ~doc:"Map variant to check (see $(b,run) for the list).")
+  in
+  let platform =
+    Arg.(value & opt platform_conv Nvm.Config.desktop
+         & info [ "platform" ] ~docv:"P" ~doc:"desktop or server.")
+  in
+  let from_step =
+    Arg.(value & opt int 500
+         & info [ "from" ] ~docv:"STEP"
+             ~doc:"First crash step enumerated.")
+  in
+  let window =
+    Arg.(value & opt int 2000
+         & info [ "window" ] ~docv:"W"
+             ~doc:"Number of steps covered; with --stride this is the \
+                   exhaustive crash-point enumeration of the faults CLI.")
+  in
+  let stride =
+    Arg.(value & opt int 100
+         & info [ "stride" ] ~docv:"S"
+             ~doc:"Enumerate every S-th step of the window.")
+  in
+  let mutant =
+    Arg.(value & opt (some int) None
+         & info [ "mutant" ] ~docv:"N"
+             ~doc:"Plant the seeded non-durable mutant (roughly one in N \
+                   writes acknowledged but never issued) and demand the \
+                   checker catches it: exits non-zero if NO crash point is \
+                   flagged.")
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Bounded CI preset: small cache and workload, early and \
+                   mid-workload exhaustive windows over both the lock-free \
+                   skip list and the log-only hash map.  Exits non-zero on \
+                   any flagged point.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Durable-linearizability checking campaign (experiment E18): \
+          record every map operation's invocation/response interval, crash \
+          at each enumerated step, recover, and verify the recovered state \
+          is explained by a linearization of a prefix-closed subset of the \
+          history.  Byte-identical output for any --jobs value.")
+    Term.(const run $ logs_term $ variant $ platform $ threads_arg
+          $ iterations_arg 800 $ from_step $ window $ stride $ mutant
+          $ seed_arg $ smoke $ jobs_arg)
+
 (* sweeps *)
 
 let sweeps_cmd =
@@ -527,6 +659,7 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "tsp" ~version:"1.0.0" ~doc)
-    [ table1_cmd; faults_cmd; sweeps_cmd; ycsb_cmd; policy_cmd; wsp_cmd; run_cmd ]
+    [ table1_cmd; faults_cmd; check_cmd; sweeps_cmd; ycsb_cmd; policy_cmd;
+      wsp_cmd; run_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -109,6 +109,16 @@ let unrecoverable msg =
     verdict = Unrecoverable msg;
   }
 
+(* The degradation message for a checksum-truncated thread log.  [None]
+   when nothing was orphaned: a zero-orphan scan is not a degradation
+   and must not emit a reason. *)
+let orphan_warning ~tid ~orphans =
+  if orphans <= 0 then None
+  else
+    Some
+      (Fmt.str "thread %d log truncated (%d orphaned %s)" tid orphans
+         (if orphans = 1 then "entry" else "entries"))
+
 let run_attached ~heap ~pmem ~ulog =
   let anomalies = ref [] in
   let degradations = ref [] in
@@ -120,13 +130,11 @@ let run_attached ~heap ~pmem ~ulog =
     match Undo_log.scan_thread_checked ulog ~tid with
     | Error msg -> degradations := msg :: !degradations
     | Ok (entries, orphans) ->
-        if orphans > 0 then begin
-          truncated := !truncated + orphans;
-          degradations :=
-            Fmt.str "thread %d log truncated (%d orphaned entries)" tid
-              orphans
-            :: !degradations
-        end;
+        (match orphan_warning ~tid ~orphans with
+        | Some warning ->
+            truncated := !truncated + orphans;
+            degradations := warning :: !degradations
+        | None -> ());
         log_entries := !log_entries + List.length entries;
         List.iter
           (fun (e : Log_entry.t) -> if e.seq > !max_seq then max_seq := e.seq)

@@ -54,5 +54,11 @@ val run : heap:Pheap.Heap.t -> log_base:int -> report
     persist), so running it twice is idempotent — including when the
     first attempt is cut short by a second crash. *)
 
+val orphan_warning : tid:int -> orphans:int -> string option
+(** The [Degraded] reason for a checksum-truncated thread log: [None]
+    when [orphans <= 0] (no degradation), otherwise the message recovery
+    attaches, with singular/plural agreement.  Exposed so the verdict
+    formatting is testable in isolation. *)
+
 val pp_verdict : verdict Fmt.t
 val pp_report : report Fmt.t

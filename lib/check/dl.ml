@@ -1,0 +1,251 @@
+type stats = {
+  ops : int;
+  completed : int;
+  pending : int;
+  keys : int;
+  capped : int;
+}
+
+type violation = { key : int; found : int64 option; detail : string }
+type verdict = Explained of stats | Violation of stats * violation list
+
+let subset_limit = 20
+
+(* ------------------------------------------------------------------ *)
+(* Subset-sum over optional increments.                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Can some subset of [bys] (nonempty if [nonempty]) sum to [target]?
+   All-equal positive increments — the workloads' [by:1] — reduce to a
+   divisibility + range check; otherwise we enumerate subsets, and past
+   [subset_limit] elements accept conservatively (the caller counts the
+   concession in [stats.capped]). *)
+let achievable ?(nonempty = false) ~capped bys target =
+  match bys with
+  | [] -> (not nonempty) && Int64.equal target 0L
+  | b0 :: _
+    when Int64.compare b0 0L > 0 && List.for_all (Int64.equal b0) bys ->
+      let n = Int64.of_int (List.length bys) in
+      let q = Int64.div target b0 and r = Int64.rem target b0 in
+      Int64.equal r 0L
+      && Int64.compare q 0L >= 0
+      && Int64.compare q n <= 0
+      && ((not nonempty) || Int64.compare q 0L > 0)
+  | _ ->
+      let arr = Array.of_list bys in
+      let n = Array.length arr in
+      if n > subset_limit then begin
+        incr capped;
+        true
+      end
+      else begin
+        let found = ref false in
+        let first = if nonempty then 1 else 0 in
+        let mask = ref first in
+        while (not !found) && !mask < 1 lsl n do
+          let s = ref 0L in
+          for i = 0 to n - 1 do
+            if !mask land (1 lsl i) <> 0 then s := Int64.add !s arr.(i)
+          done;
+          if Int64.equal !s target then found := true;
+          incr mask
+        done;
+        !found
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Per-key explanation.                                                *)
+(* ------------------------------------------------------------------ *)
+
+type entry = { op : History.op; arg : int64; t0 : int; t1 : int }
+
+let is_completed (e : entry) = e.t1 >= 0
+let is_absolute (e : entry) = e.op = History.Set || e.op = History.Remove
+
+(* a ≺ b in simulated real time: a's response happened before b's
+   invocation.  A pending a (t1 = -1) precedes nothing. *)
+let precedes a b = a.t1 >= 0 && a.t1 < b.t0
+
+type base =
+  | Initial  (** the pre-run value; admissible iff no completed absolute op *)
+  | Last of entry  (** this Set/Remove is linearized last among absolutes *)
+
+(* Does linearizing [base] last among this key's absolute operations,
+   then choosing positions for overlapping increments and inclusion for
+   pending ones, produce exactly [recovered_v]? *)
+let base_explains ~capped ~initial_v ~recovered_v ~incrs base =
+  let base_state =
+    match base with
+    | Initial -> initial_v
+    | Last a -> ( match a.op with History.Set -> Some a.arg | _ -> None)
+  in
+  (* Classify each increment relative to the base:
+     - before   (i ≺ base): linearized before, overwritten — excluded;
+     - forced   (base ≺ i): linearized after — always contributes;
+     - optional (overlapping, or pending): contributes at will. *)
+  let before i =
+    match base with Initial -> false | Last a -> precedes i a
+  in
+  let forced i =
+    is_completed i
+    && match base with Initial -> true | Last a -> precedes a i
+  in
+  let forced_n = ref 0 in
+  let forced_sum = ref 0L in
+  let optional = ref [] in
+  List.iter
+    (fun i ->
+      if before i then ()
+      else if forced i then begin
+        incr forced_n;
+        forced_sum := Int64.add !forced_sum i.arg
+      end
+      else optional := i.arg :: !optional)
+    incrs;
+  let optional = List.rev !optional in
+  match (base_state, recovered_v) with
+  | Some v0, Some r ->
+      achievable ~capped optional Int64.(sub (sub r v0) !forced_sum)
+  | Some _, None ->
+      (* A present base cannot vanish; a pending Remove that would erase
+         it is its own base candidate. *)
+      false
+  | None, None ->
+      (* Absent survives only if no completed increment must follow. *)
+      !forced_n = 0
+  | None, Some r ->
+      (* incr on an absent key inserts its increment, so an absent base
+         plus a nonempty set of applied increments yields their sum. *)
+      if !forced_n > 0 then
+        achievable ~capped optional (Int64.sub r !forced_sum)
+      else achievable ~nonempty:true ~capped optional r
+
+let explain_key ~capped ~initial_v ~recovered_v entries =
+  let absolute = List.filter is_absolute entries in
+  let incrs = List.filter (fun e -> e.op = History.Incr) entries in
+  let completed_abs = List.filter is_completed absolute in
+  (* An absolute op can be linearized last iff no completed absolute op
+     is forced after it; the initial state can be "last" iff there are
+     no completed absolute ops at all. *)
+  let admissible a =
+    not (List.exists (fun b -> b != a && precedes a b) completed_abs)
+  in
+  let bases =
+    (if completed_abs = [] then [ Initial ] else [])
+    @ List.filter_map (fun a -> if admissible a then Some (Last a) else None)
+        absolute
+  in
+  List.exists (base_explains ~capped ~initial_v ~recovered_v ~incrs) bases
+
+(* ------------------------------------------------------------------ *)
+(* Whole-state check.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let pp_value ppf = function
+  | None -> Fmt.string ppf "absent"
+  | Some v -> Fmt.pf ppf "%Ld" v
+
+let diagnose ~initial_v ~recovered_v entries =
+  let count p = List.length (List.filter p entries) in
+  let completed_w =
+    count (fun e -> is_completed e && e.op <> History.Get)
+  in
+  let pending_w =
+    count (fun e -> (not (is_completed e)) && e.op <> History.Get)
+  in
+  Fmt.str
+    "recovered %a not explained by any linearization (initial %a, %d \
+     completed / %d pending writes)"
+    pp_value recovered_v pp_value initial_v completed_w pending_w
+
+let check_records ~initial ~records ~recovered =
+  let assoc name l =
+    let h = Hashtbl.create 64 in
+    List.iter
+      (fun (k, v) ->
+        if Hashtbl.mem h k then
+          Fmt.invalid_arg "Dl.check: duplicate key %d in %s" k name;
+        Hashtbl.replace h k v)
+      l;
+    h
+  in
+  let initial_h = assoc "initial" initial in
+  let recovered_h = assoc "recovered" recovered in
+  let by_key : (int, entry list ref) Hashtbl.t = Hashtbl.create 64 in
+  let completed = ref 0 and pending = ref 0 in
+  List.iter
+    (fun (r : History.record) ->
+      if r.t1 >= 0 then incr completed else incr pending;
+      if r.op <> History.Get then begin
+        let cell =
+          match Hashtbl.find_opt by_key r.key with
+          | Some c -> c
+          | None ->
+              let c = ref [] in
+              Hashtbl.add by_key r.key c;
+              c
+        in
+        cell := { op = r.op; arg = r.arg; t0 = r.t0; t1 = r.t1 } :: !cell
+      end)
+    records;
+  let keys = Hashtbl.create 64 in
+  let add_key k = if not (Hashtbl.mem keys k) then Hashtbl.add keys k () in
+  Hashtbl.iter (fun k _ -> add_key k) initial_h;
+  Hashtbl.iter (fun k _ -> add_key k) recovered_h;
+  Hashtbl.iter (fun k _ -> add_key k) by_key;
+  let sorted_keys =
+    Hashtbl.fold (fun k () acc -> k :: acc) keys []
+    |> List.sort Int.compare
+  in
+  let capped = ref 0 in
+  let violations =
+    List.filter_map
+      (fun k ->
+        let initial_v = Hashtbl.find_opt initial_h k in
+        let recovered_v = Hashtbl.find_opt recovered_h k in
+        let entries =
+          match Hashtbl.find_opt by_key k with
+          | Some c -> List.rev !c
+          | None -> []
+        in
+        if explain_key ~capped ~initial_v ~recovered_v entries then None
+        else
+          Some
+            {
+              key = k;
+              found = recovered_v;
+              detail = diagnose ~initial_v ~recovered_v entries;
+            })
+      sorted_keys
+  in
+  let stats =
+    {
+      ops = List.length records;
+      completed = !completed;
+      pending = !pending;
+      keys = List.length sorted_keys;
+      capped = !capped;
+    }
+  in
+  if violations = [] then Explained stats else Violation (stats, violations)
+
+let check ~initial ~history ~recovered =
+  check_records ~initial ~records:(History.records history) ~recovered
+
+let is_explained = function Explained _ -> true | Violation _ -> false
+
+let pp_stats ppf s =
+  Fmt.pf ppf "%d ops (%d completed, %d pending), %d keys" s.ops s.completed
+    s.pending s.keys;
+  if s.capped > 0 then Fmt.pf ppf ", %d subset-sum capped" s.capped
+
+let pp_verdict ppf = function
+  | Explained s -> Fmt.pf ppf "explained: %a" pp_stats s
+  | Violation (s, vs) ->
+      Fmt.pf ppf "VIOLATION (%d keys): %a" (List.length vs) pp_stats s;
+      let shown = List.filteri (fun i _ -> i < 20) vs in
+      List.iter
+        (fun v -> Fmt.pf ppf "@,  key %d: %s" v.key v.detail)
+        shown;
+      if List.length vs > 20 then
+        Fmt.pf ppf "@,  ... (%d more)" (List.length vs - 20)

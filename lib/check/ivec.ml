@@ -1,0 +1,33 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 64) () =
+  if capacity < 1 then invalid_arg "Ivec.create: capacity must be >= 1";
+  { data = Array.make capacity 0; len = 0 }
+
+let length t = t.len
+let capacity t = Array.length t.data
+
+let check t i name =
+  if i < 0 || i >= t.len then
+    Fmt.invalid_arg "Ivec.%s: index %d out of bounds (length %d)" name i t.len
+
+let get t i =
+  check t i "get";
+  Array.unsafe_get t.data i
+
+let set t i v =
+  check t i "set";
+  Array.unsafe_set t.data i v
+
+let push t v =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let data = Array.make (2 * cap) 0 in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  Array.unsafe_set t.data t.len v;
+  t.len <- t.len + 1
+
+let clear t = t.len <- 0
+let to_array t = Array.sub t.data 0 t.len

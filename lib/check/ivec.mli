@@ -1,0 +1,36 @@
+(** Growable vector of immediate [int]s.
+
+    The history recorder and the runner's latency sampler both need an
+    append-only sink that is touched once per (sampled) operation on the
+    simulator's zero-allocation hot path.  A [ref list] conses a block
+    per push; [Buffer]-style byte packing boxes on read-back.  This is
+    the minimal alternative: a flat [int array] plus a length, doubling
+    on overflow, so a push allocates only when the capacity is exhausted
+    — amortised O(1) and, with a sufficient [?capacity], exactly zero
+    minor words for the whole run (pinned by a [Gc.minor_words]
+    regression in [test/test_checker.ml]). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 64, minimum 1) preallocates the backing array;
+    pushes beyond it double the storage. *)
+
+val length : t -> int
+val capacity : t -> int
+
+val get : t -> int -> int
+(** @raise Invalid_argument if the index is out of bounds. *)
+
+val set : t -> int -> int -> unit
+(** Overwrite an existing element (used by the recorder to fill in the
+    response half of a record).
+    @raise Invalid_argument if the index is out of bounds. *)
+
+val push : t -> int -> unit
+
+val clear : t -> unit
+(** Forget the contents but keep the backing storage. *)
+
+val to_array : t -> int array
+(** Fresh array of the live prefix, in push order. *)

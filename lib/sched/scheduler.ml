@@ -103,6 +103,12 @@ let current_thread t =
 
 let self t = (current_thread t).id
 
+(* Hook point for history recorders: the current thread's virtual clock,
+   readable from inside the thread without freezing or scanning the
+   thread table.  One field load — cheap enough to bracket every map
+   operation with two calls. *)
+let now t = (current_thread t).vclock
+
 (* The hot path of the whole simulator: one call per simulated memory
    access.  When the calling thread is the only runnable one — every
    single-thread cell, and the tail of every multi-thread run — going

@@ -74,6 +74,13 @@ val self : t -> int
 (** Id of the currently executing simulated thread.
     @raise Invalid_argument outside of {!run}. *)
 
+val now : t -> int
+(** Virtual clock of the currently executing simulated thread — the hook
+    point for history recorders, which bracket each operation with two
+    reads of this clock.  A single field load; draws no randomness and
+    charges no cycles, so instrumentation cannot perturb the simulation.
+    @raise Invalid_argument outside of {!run}. *)
+
 val elapsed_cycles : t -> int
 (** Simulated duration so far: the maximum per-thread virtual clock. *)
 

@@ -1,0 +1,27 @@
+module Heap = Pheap.Heap
+module Kind = Pheap.Kind
+
+let structure heap = Kind.name (Heap.kind_of heap (Heap.get_root heap))
+
+let entries heap =
+  let root = Heap.get_root heap in
+  match Kind.name (Heap.kind_of heap root) with
+  | "skip_node" ->
+      (* The root of a skiplist is its head sentinel. *)
+      if Heap.load_field_int heap root 0 <> min_int then
+        invalid_arg
+          "Snapshot.entries: skip_node root is not a head sentinel";
+      List.rev
+        (Lockfree_skiplist.fold_plain heap ~root
+           (fun k v acc -> (k, v) :: acc)
+           [])
+  | "hash_header" ->
+      List.rev
+        (Chained_hashmap.fold_plain heap ~root
+           (fun k v acc -> (k, v) :: acc)
+           [])
+  | name ->
+      Fmt.invalid_arg
+        "Snapshot.entries: unsupported root structure %S (expected \
+         skip_node or hash_header)"
+        name

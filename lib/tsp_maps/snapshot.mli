@@ -1,0 +1,21 @@
+(** Kind-dispatched map-state enumeration.
+
+    The checker compares a recovered heap against an operation history
+    without knowing which structure produced it.  Every persistent
+    object carries a registered kind tag (see {!Pheap.Kind}); the root
+    object's kind name identifies the structure, and the matching
+    [fold_plain] dumps its entries.  Recognised roots: a skiplist head
+    sentinel ([skip_node] with key [min_int]) and a hash-map header
+    ([hash_header]). *)
+
+val structure : Pheap.Heap.t -> string
+(** Kind name of the heap's root object ("skip_node", "hash_header",
+    ...).  @raise Pheap.Heap.Corrupt if the root is not a live object
+    start. *)
+
+val entries : Pheap.Heap.t -> (int * int64) list
+(** Dump the key/value pairs of the map rooted at the heap root,
+    dispatching on the root's kind.
+    @raise Invalid_argument for roots that are not a recognised
+    single-word map (b-tree, queue, wide-value maps are out of scope for
+    the checker). *)

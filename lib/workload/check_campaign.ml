@@ -1,0 +1,232 @@
+module FM = Nvm.Fault_model
+module Rng = Sched.Sim_rng
+
+type spec = {
+  base : Runner.config;
+  from_step : int;
+  window : int;
+  stride : int;
+  mutate : (Tsp_maps.Map_intf.ops -> Tsp_maps.Map_intf.ops) option;
+  mutate_label : string;
+}
+
+let default_spec base =
+  {
+    base;
+    from_step = 500;
+    window = 2000;
+    stride = 100;
+    mutate = None;
+    mutate_label = "";
+  }
+
+type point = {
+  crash_step : int;
+  crashed : bool;
+  ops_recorded : int;
+  ops_completed : int;
+  ops_pending : int;
+  dl : Check.Dl.verdict;
+  recovery_verdict : Atlas.Recovery.verdict option;
+}
+
+type summary = {
+  spec : spec;
+  points : point list;
+  total : int;
+  crashes : int;
+  explained : int;
+  flagged : int;
+  clean_recoveries : int;
+  degraded_recoveries : int;
+}
+
+(* Population (Runner.populate) is single-threaded, unrecorded and a
+   pure function of the config, so the recording baseline can be
+   re-derived instead of dumped — dumping would touch the simulated
+   cache and perturb the run under test. *)
+let initial_entries config =
+  let counters () =
+    List.concat_map
+      (fun tid -> [ (Key_space.c1 ~tid, 0L); (Key_space.c2 ~tid, 0L) ])
+      (List.init config.Runner.threads Fun.id)
+  in
+  let h_range n value_of =
+    List.init n (fun i ->
+        let k = Key_space.h_key i in
+        (k, value_of k))
+  in
+  match config.Runner.workload with
+  | Runner.Counters { h_keys; preload = true } ->
+      counters () @ h_range h_keys (fun _ -> 0L)
+  | Runner.Counters { h_keys = _; preload = false } -> counters ()
+  | Runner.Mixed { h_keys; _ } -> counters () @ h_range h_keys (fun _ -> 0L)
+  | Runner.Ycsb { records; _ } -> h_range records Int64.of_int
+  | Runner.Wide _ | Runner.Transfers _ ->
+      invalid_arg
+        "Check_campaign: wide-value and transfer workloads bypass the \
+         recorded operation interface (set_wide / transfer); use counters, \
+         mixed or YCSB"
+
+(* Strict durable linearizability — completed operations must survive —
+   is only a sound expectation when the crash executes rescue semantics:
+   every store issued before the crash reaches the durable image, and
+   Atlas rollback undoes only uncommitted (hence pending) sections.
+   Under discard/partial/torn/bit-rot semantics completed work may
+   legitimately vanish, and a "violation" would indict the fault model,
+   not the structure. *)
+let validate spec =
+  ignore (initial_entries spec.base : (int * int64) list);
+  (match spec.base.Runner.fault_model with
+  | None ->
+      let verdict =
+        Tsp_core.Policy.decide spec.base.Runner.hardware
+          spec.base.Runner.failure
+      in
+      if not (Tsp_core.Policy.is_tsp verdict) then
+        invalid_arg
+          "Check_campaign: the hardware/failure pair gets a non-TSP verdict \
+           (discard semantics); strict durable linearizability cannot be \
+           expected of it"
+  | Some FM.Full_rescue -> ()
+  | Some fm ->
+      Fmt.invalid_arg
+        "Check_campaign: fault model %s is outside the strict checker's \
+         soundness envelope (rescue-class semantics required)"
+        (FM.to_string fm));
+  if spec.stride < 1 then
+    invalid_arg "Check_campaign: stride must be >= 1";
+  if spec.window < 1 then
+    invalid_arg "Check_campaign: window must be >= 1"
+
+let non_durable ~seed ~every ops =
+  if every < 1 then invalid_arg "Check_campaign.non_durable: every must be >= 1";
+  let rng = Rng.create ~seed in
+  let swallow () = Rng.int rng every = 0 in
+  {
+    ops with
+    Tsp_maps.Map_intf.set =
+      (fun ~tid ~key ~value ->
+        if not (swallow ()) then ops.Tsp_maps.Map_intf.set ~tid ~key ~value);
+    incr =
+      (fun ~tid ~key ~by ->
+        if not (swallow ()) then ops.Tsp_maps.Map_intf.incr ~tid ~key ~by);
+    remove =
+      (fun ~tid ~key ->
+        if swallow () then false else ops.Tsp_maps.Map_intf.remove ~tid ~key);
+  }
+
+let one spec ~crash_step =
+  let recorder = ref None in
+  let instrument sched ops =
+    let ops = match spec.mutate with Some m -> m ops | None -> ops in
+    let h = Check.History.create ~sched () in
+    recorder := Some h;
+    Check.History.wrap h ops
+  in
+  let config =
+    {
+      spec.base with
+      Runner.crash_at_step = Some crash_step;
+      instrument = Some instrument;
+    }
+  in
+  let r = Runner.run config in
+  let h =
+    match !recorder with
+    | Some h -> h
+    | None -> Fmt.failwith "Check_campaign: instrument hook never ran"
+  in
+  let crashed =
+    match r.Runner.outcome with Runner.Crashed _ -> true | _ -> false
+  in
+  let dl =
+    match r.Runner.outcome with
+    | Runner.Deadlocked names ->
+        Check.Dl.Violation
+          ( {
+              Check.Dl.ops = Check.History.length h;
+              completed = Check.History.completed h;
+              pending = Check.History.pending h;
+              keys = 0;
+              capped = 0;
+            },
+            [
+              {
+                Check.Dl.key = -1;
+                found = None;
+                detail =
+                  Fmt.str "run deadlocked (%a)"
+                    Fmt.(list ~sep:comma string)
+                    names;
+              };
+            ] )
+    | Runner.Completed | Runner.Crashed _ ->
+        Check.Dl.check ~initial:(initial_entries config) ~history:h
+          ~recovered:r.Runner.entries
+  in
+  {
+    crash_step;
+    crashed;
+    ops_recorded = Check.History.length h;
+    ops_completed = Check.History.completed h;
+    ops_pending = Check.History.pending h;
+    dl;
+    recovery_verdict =
+      Option.map (fun c -> c.Runner.recovery_verdict) r.Runner.crash;
+  }
+
+let run ?jobs spec =
+  validate spec;
+  let stride = max 1 spec.stride in
+  let steps = (spec.window + stride - 1) / stride in
+  let params = List.init steps (fun i -> spec.from_step + (i * stride)) in
+  let points =
+    Parallel.map ?jobs (fun crash_step -> one spec ~crash_step) params
+  in
+  let count p = List.length (List.filter p points) in
+  {
+    spec;
+    points;
+    total = List.length points;
+    crashes = count (fun p -> p.crashed);
+    explained = count (fun p -> Check.Dl.is_explained p.dl);
+    flagged = count (fun p -> not (Check.Dl.is_explained p.dl));
+    clean_recoveries =
+      count (fun p -> p.recovery_verdict = Some Atlas.Recovery.Clean);
+    degraded_recoveries =
+      count (fun p ->
+          match p.recovery_verdict with
+          | Some (Atlas.Recovery.Degraded _) -> true
+          | _ -> false);
+  }
+
+let clean s = s.flagged = 0
+
+let pp_summary ppf s =
+  Fmt.pf ppf
+    "@[<v>check: %s on %s, exhaustive steps [%d,%d) stride %d, strict \
+     durable linearizability%s@ %d points: %d crashed; %d explained, %d \
+     FLAGGED@ recovery verdicts: %d clean, %d degraded"
+    (Runner.variant_to_string s.spec.base.Runner.variant)
+    s.spec.base.Runner.platform.Nvm.Config.name s.spec.from_step
+    (s.spec.from_step + s.spec.window)
+    (max 1 s.spec.stride)
+    (if String.equal s.spec.mutate_label "" then ""
+     else " [mutant: " ^ s.spec.mutate_label ^ "]")
+    s.total s.crashes s.explained s.flagged s.clean_recoveries
+    s.degraded_recoveries;
+  let shown = ref 0 in
+  let hidden = ref 0 in
+  List.iter
+    (fun p ->
+      if not (Check.Dl.is_explained p.dl) then
+        if !shown >= 20 then incr hidden
+        else begin
+          incr shown;
+          Fmt.pf ppf "@ step %d (%d ops, %d pending): %a" p.crash_step
+            p.ops_recorded p.ops_pending Check.Dl.pp_verdict p.dl
+        end)
+    s.points;
+  if !hidden > 0 then Fmt.pf ppf "@ ... and %d more flagged points" !hidden;
+  Fmt.pf ppf "@]"

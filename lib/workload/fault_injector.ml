@@ -302,6 +302,33 @@ let minimize spec o =
     final_crash_step = !crash_step;
   }
 
+(* One ledger row: the outcomes of [model]'s runs, bucketed by recovery
+   verdict and judgement.  Public so the verdict bookkeeping (including
+   the [Unrecoverable] bucket, which only Bit_rot may legitimately
+   reach) is testable on hand-built outcomes. *)
+let tally ~model outcomes =
+  let mine = List.filter (fun o -> o.fault = model) outcomes in
+  let c p = List.length (List.filter p mine) in
+  {
+    model;
+    m_runs = List.length mine;
+    m_crashes = c (fun o -> o.crashed);
+    m_consistent = c (fun o -> o.crashed && o.consistent);
+    m_clean = c (fun o -> o.recovery_verdict = Some Atlas.Recovery.Clean);
+    m_degraded =
+      c (fun o ->
+          match o.recovery_verdict with
+          | Some (Atlas.Recovery.Degraded _) -> true
+          | _ -> false);
+    m_unrecoverable =
+      c (fun o ->
+          match o.recovery_verdict with
+          | Some (Atlas.Recovery.Unrecoverable _) -> true
+          | _ -> false);
+    m_violations = c (fun o -> o.violation);
+    m_unexpected = c (fun o -> o.violation && not o.expected);
+  }
+
 let run ?jobs spec =
   let models =
     match spec.fault_models with [] -> [ None ] | ms -> ms
@@ -345,33 +372,7 @@ let run ?jobs spec =
   let unexpected_violations =
     count (fun o -> o.violation && not o.expected)
   in
-  let per_model =
-    List.map
-      (fun m ->
-        let mine = List.filter (fun o -> o.fault = m) outcomes in
-        let c p = List.length (List.filter p mine) in
-        {
-          model = m;
-          m_runs = List.length mine;
-          m_crashes = c (fun o -> o.crashed);
-          m_consistent = c (fun o -> o.crashed && o.consistent);
-          m_clean =
-            c (fun o -> o.recovery_verdict = Some Atlas.Recovery.Clean);
-          m_degraded =
-            c (fun o ->
-                match o.recovery_verdict with
-                | Some (Atlas.Recovery.Degraded _) -> true
-                | _ -> false);
-          m_unrecoverable =
-            c (fun o ->
-                match o.recovery_verdict with
-                | Some (Atlas.Recovery.Unrecoverable _) -> true
-                | _ -> false);
-          m_violations = c (fun o -> o.violation);
-          m_unexpected = c (fun o -> o.violation && not o.expected);
-        })
-      models
-  in
+  let per_model = List.map (fun m -> tally ~model:m outcomes) models in
   let shrunk =
     if not spec.shrink then None
     else

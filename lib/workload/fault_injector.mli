@@ -125,6 +125,12 @@ val one :
     escaped exception is recorded as a non-graceful, unexpected
     violation. *)
 
+val tally : model:Nvm.Fault_model.t option -> run_outcome list -> model_tally
+(** One verdict-ledger row: bucket [model]'s outcomes by recovery
+    verdict ([Clean]/[Degraded]/[Unrecoverable]) and judgement.  This is
+    exactly what {!run} computes per fault model; exposed so the
+    bookkeeping is testable on hand-built outcomes. *)
+
 val run : ?jobs:int -> spec -> summary
 (** Execute the campaign.  Crash points and per-run seeds are drawn from
     the campaign RNG up front, so the schedule — and every outcome — is

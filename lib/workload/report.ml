@@ -29,15 +29,23 @@ let pct_change ~base v =
   if base = 0. || Float.is_nan v then "-"
   else Printf.sprintf "%+.0f%%" ((v -. base) /. base *. 100.)
 
+(* Nearest-rank percentile: the q-quantile of n samples is the
+   ceil(q*n)-th smallest (1-based), clamped into range so q=0.0 reads
+   the minimum and q=1.0 the maximum.  The previous truncating
+   [int_of_float (q *. float (n - 1))] biased high quantiles low on
+   small sample sets (p99 of 10 samples returned the 9th, not the 10th),
+   and [Array.sort compare] paid polymorphic-compare dispatch per
+   element. *)
 let percentiles samples qs =
   if Array.length samples = 0 then []
   else begin
     let sorted = Array.copy samples in
-    Array.sort compare sorted;
+    Array.sort Int.compare sorted;
     let n = Array.length sorted in
     List.map
       (fun q ->
-        let ix = int_of_float (q *. float_of_int (n - 1)) in
+        let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+        let ix = min (n - 1) (max 0 (rank - 1)) in
         (q, sorted.(ix)))
       qs
   end

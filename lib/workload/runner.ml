@@ -39,6 +39,7 @@ type config = {
   hash_op_cycles : int;
   skip_op_cycles : int;
   record_latency : bool;
+  instrument : (Scheduler.t -> Tsp_maps.Map_intf.ops -> Tsp_maps.Map_intf.ops) option;
 }
 
 let default_config =
@@ -62,6 +63,7 @@ let default_config =
     hash_op_cycles = 30;
     skip_op_cycles = 25;
     record_latency = false;
+    instrument = None;
   }
 
 (* Per-platform charges solved so the counter workload reproduces the
@@ -439,6 +441,16 @@ let run_full config =
     | Nonblocking_map -> None
   in
   let map = build_map config heap atlas sched in
+  (* Interpose on the operation interface (history recorders, mutation
+     harnesses).  [None] leaves the record untouched, so the default run
+     is bit-identical to an uninstrumented build; the wrapped ops are
+     only invoked from inside simulated threads.  [set_plain] population
+     and recovery-time [fold_root] dumps bypass the wrapper. *)
+  let map =
+    match config.instrument with
+    | None -> map
+    | Some wrap -> { map with map_ops = wrap sched map.map_ops }
+  in
   populate config map;
   Nvm.Pmem.persist_all pmem;
   let progress = Array.make config.threads 0 in
@@ -449,10 +461,18 @@ let run_full config =
       | Counters _ | Mixed _ | Wide _ | Transfers _ ->
           invalid_arg "zipf: not a YCSB workload")
   in
-  let latency_buf = ref [] in
+  (* Latency samples go into a preallocated flat int vector: one sample
+     per iteration per thread, so sized exactly, the recording path
+     allocates nothing and cannot perturb the zero-allocation hot path
+     (regression in test/test_checker.ml). *)
+  let latency_buf =
+    Check.Ivec.create
+      ~capacity:(max 1 (if config.record_latency then config.threads * config.iterations else 1))
+      ()
+  in
   let latencies =
     if config.record_latency then
-      Some (fun _tid d -> latency_buf := d :: !latency_buf)
+      Some (fun _tid d -> Check.Ivec.push latency_buf d)
     else None
   in
   let spawn_worker tid =
@@ -515,7 +535,7 @@ let run_full config =
       total_steps = Scheduler.total_steps sched;
       wall_seconds = Sys.time () -. t0;
       device_stats = Nvm.Pmem.stats pmem;
-      latencies_cycles = Array.of_list !latency_buf;
+      latencies_cycles = Check.Ivec.to_array latency_buf;
     }
   in
   let wide_dump h root =
@@ -743,19 +763,16 @@ let resume_counters config pmem heap ~h_keys ~max_seq =
   (outcome, !resumed_iters, fold_root)
 
 let run_with_resume config =
-  (match config.workload with
-  | Counters _ -> ()
-  | Mixed _ | Wide _ | Ycsb _ | Transfers _ ->
-      invalid_arg
-        "Runner.run_with_resume: transfers resume trivially (any number of \
-         further transfers preserves conservation); use the counter \
-         workload, whose completion target makes resumption observable");
-  let first, pmem, rheap = run_full config in
   let h_keys =
     match config.workload with
     | Counters { h_keys; _ } -> h_keys
-    | Mixed _ | Wide _ | Ycsb _ | Transfers _ -> assert false
+    | Mixed _ | Wide _ | Ycsb _ | Transfers _ ->
+        invalid_arg
+          "Runner.run_with_resume: transfers resume trivially (any number of \
+           further transfers preserves conservation); use the counter \
+           workload, whose completion target makes resumption observable"
   in
+  let first, pmem, rheap = run_full config in
   let no_resume completion_ok =
     {
       first;

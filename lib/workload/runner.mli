@@ -69,6 +69,16 @@ type config = {
   skip_op_cycles : int;  (** per-operation charge of the skip list *)
   record_latency : bool;
       (** collect per-operation latency samples (YCSB workload only) *)
+  instrument :
+    (Sched.Scheduler.t -> Tsp_maps.Map_intf.ops -> Tsp_maps.Map_intf.ops)
+    option;
+      (** interpose on the map's operation interface after construction —
+          the hook point for the durable-linearizability history recorder
+          ({!Check.History.wrap}) and for mutation harnesses.  The wrapped
+          ops are invoked only from inside simulated threads; population
+          ([set_plain]) and recovery-time dumps bypass it.  [None] (the
+          default) leaves the run bit-identical to an uninstrumented
+          build. *)
 }
 
 val default_config : config

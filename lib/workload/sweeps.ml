@@ -267,7 +267,11 @@ let procrastination_ledger ?(iterations = 1200) ?(crash_step = 100_000) ?jobs
         ]
     with
     | [ a; b ] -> (a, b)
-    | _ -> assert false
+    | rs ->
+        Fmt.invalid_arg
+          "Sweeps.procrastination_ledger: Parallel.map returned %d results \
+           for 2 configs"
+          (List.length rs)
   in
   let _, tsp_crash = tsp_side in
   let no_tsp_run, no_tsp_crash = no_tsp_side in
