@@ -280,7 +280,13 @@ let run_bechamel tests =
      workload run vs the same config with [instrument = None].  The
      recorder timestamps ops with [Scheduler.now] (a field read, no RNG,
      no simulated cost), so simulated cycles must be identical — the
-     cell asserts it — and only the host-side overhead differs. *)
+     cell asserts it — and only the host-side overhead differs; and
+   - the event tracer ([lib/obs]) attached to a full workload run vs
+     the same config with [tracer = None].  Emission packs ints into a
+     flat ring without allocating, drawing randomness or charging
+     cycles, so the traced run must be sim-cycle identical to the
+     untraced one — asserted here, the observability layer's central
+     determinism contract. *)
 
 let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
 
@@ -382,6 +388,12 @@ let quick_sweep_suite ~jobs () =
     (Workload.Sweeps.read_ratio ~iterations:120 ~read_pcts:[ 0; 50 ] ~jobs ()
       : Workload.Sweeps.series_table)
 
+(* Float counters can be non-finite (a cell with zero loads+stores has a
+   NaN hit rate); JSON has no NaN/infinity literals, so render those as
+   null rather than emitting an unparseable token. *)
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.4f" f else "null"
+
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
   String.iter
@@ -407,9 +419,14 @@ let run_quick ~jobs ~out =
           time_and_alloc (fun () -> Workload.Runner.run config)
         in
         if not (Workload.Runner.consistent r) then
-          Fmt.failwith "quick bench: %s inconsistent" name;
-        (normalize_key name, r.Workload.Runner.elapsed_cycles, host_ns,
-         minor_words))
+          Fmt.failwith "quick bench: %s inconsistent (seed %d, %d sim cycles): %a"
+            name config.Workload.Runner.seed r.Workload.Runner.elapsed_cycles
+            Workload.Invariant.pp r.Workload.Runner.invariants;
+        ( normalize_key name,
+          r.Workload.Runner.elapsed_cycles,
+          host_ns,
+          minor_words,
+          Nvm.Stats.hit_rate r.Workload.Runner.device_stats ))
       (List.concat_map
          (fun (pname, platform) ->
            List.map
@@ -515,6 +532,28 @@ let run_quick ~jobs ~out =
     | Some h -> Check.History.length h
     | None -> Fmt.failwith "quick bench: history instrument hook never ran"
   in
+  (* A/B 5: the event tracer on vs off, one full workload run each.
+     Emission writes packed ints into a preallocated ring — no RNG, no
+     cycle charges — so the traced run must be byte-identical in
+     simulated cycles; this cell is the bench-level witness of that
+     contract (test/test_obs.ml holds the unit-level one). *)
+  let tc_config tracer = { (hr_config None) with Workload.Runner.tracer } in
+  let tc_off, tc_off_ns, tc_off_words =
+    time_and_alloc (fun () -> Workload.Runner.run (tc_config None))
+  in
+  let tc_tracer = Obs.Tracer.create ~ring_cap:65536 () in
+  let tc_on, tc_on_ns, tc_on_words =
+    time_and_alloc (fun () -> Workload.Runner.run (tc_config (Some tc_tracer)))
+  in
+  if
+    tc_on.Workload.Runner.elapsed_cycles
+    <> tc_off.Workload.Runner.elapsed_cycles
+  then
+    Fmt.failwith
+      "quick bench: event tracing perturbed the simulation (%d vs %d cycles)"
+      tc_on.Workload.Runner.elapsed_cycles
+      tc_off.Workload.Runner.elapsed_cycles;
+  let tc_events = Obs.Tracer.emitted tc_tracer in
   let b = Buffer.create 4096 in
   let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   pf "{\n";
@@ -523,10 +562,11 @@ let run_quick ~jobs ~out =
   pf "  \"jobs\": %d,\n" jobs;
   pf "  \"cells\": {\n";
   List.iter
-    (fun (name, sim_cycles, host_ns, minor_words) ->
+    (fun (name, sim_cycles, host_ns, minor_words, hit_rate) ->
       pf "    \"%s\": { \"sim_cycles\": %d, \"host_ns\": %d, \
-          \"minor_words\": %.0f },\n"
-        (json_escape name) sim_cycles host_ns minor_words)
+          \"minor_words\": %.0f, \"hit_rate\": %s },\n"
+        (json_escape name) sim_cycles host_ns minor_words
+        (json_float hit_rate))
     cells;
   pf "    \"hot_path_loadstore_raw\": { \"sim_cycles\": %d, \"host_ns\": %d, \
        \"minor_words\": %.0f, \"ops\": %d, \"minor_words_per_op\": %.4f }\n"
@@ -549,10 +589,16 @@ let run_quick ~jobs ~out =
     (float_of_int suite_j1_ns /. float_of_int (max 1 suite_jn_ns));
   pf "    \"history_recording\": { \"sim_cycles\": %d, \"on_host_ns\": %d, \
        \"off_host_ns\": %d, \"overhead\": %.2f, \"on_minor_words\": %.0f, \
-       \"off_minor_words\": %.0f, \"ops_recorded\": %d }\n"
+       \"off_minor_words\": %.0f, \"ops_recorded\": %d },\n"
     hr_on.Workload.Runner.elapsed_cycles hr_on_ns hr_off_ns
     (float_of_int hr_on_ns /. float_of_int (max 1 hr_off_ns))
     hr_on_words hr_off_words hr_ops;
+  pf "    \"trace_recording\": { \"sim_cycles\": %d, \"on_host_ns\": %d, \
+       \"off_host_ns\": %d, \"overhead\": %.2f, \"on_minor_words\": %.0f, \
+       \"off_minor_words\": %.0f, \"events_emitted\": %d }\n"
+    tc_on.Workload.Runner.elapsed_cycles tc_on_ns tc_off_ns
+    (float_of_int tc_on_ns /. float_of_int (max 1 tc_off_ns))
+    tc_on_words tc_off_words tc_events;
   pf "  }\n";
   pf "}\n";
   let oc = open_out out in
@@ -574,7 +620,12 @@ let run_quick ~jobs ~out =
     "  history recording: %.2fx host overhead, %d ops recorded (identical \
      sim cycles)@."
     (float_of_int hr_on_ns /. float_of_int (max 1 hr_off_ns))
-    hr_ops
+    hr_ops;
+  Fmt.pr
+    "  event tracing: %.2fx host overhead, %d events emitted (identical sim \
+     cycles)@."
+    (float_of_int tc_on_ns /. float_of_int (max 1 tc_off_ns))
+    tc_events
 
 (* --- Entry point --- *)
 
@@ -584,11 +635,11 @@ let usage () =
      \  (no flags)  full run: paper reproduction + Bechamel microbenchmarks\n\
      \  --quick     reduced cell set; writes a BENCH JSON snapshot and exits\n\
      \  --jobs N    fan independent cells across N domains (default: cores)\n\
-     \  --out FILE  where --quick writes its JSON (default BENCH_3.json)";
+     \  --out FILE  where --quick writes its JSON (default BENCH_4.json)";
   exit 2
 
 let () =
-  let quick = ref false and jobs = ref None and out = ref "BENCH_3.json" in
+  let quick = ref false and jobs = ref None and out = ref "BENCH_4.json" in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest -> quick := true; parse rest

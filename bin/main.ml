@@ -548,7 +548,7 @@ let wsp_cmd =
 
 let run_cmd =
   let run () platform variant iterations threads seed crash_at hardware
-      failure transfers journal resume =
+      failure transfers journal resume breakdown =
     let base = Workload.Runner.calibrated_config platform in
     let workload =
       if transfers then
@@ -572,11 +572,17 @@ let run_cmd =
     if resume then begin
       let r = Workload.Runner.run_with_resume config in
       Fmt.pr "%a@." Workload.Runner.pp_resume_report r;
+      if breakdown then
+        Fmt.pr "@.device cycle breakdown:@.%a@." Nvm.Stats.pp_breakdown
+          r.Workload.Runner.first.Workload.Runner.device_stats;
       if not r.Workload.Runner.completion_ok then exit 1
     end
     else begin
       let r = Workload.Runner.run config in
       Fmt.pr "%a@." Workload.Runner.pp_result r;
+      if breakdown then
+        Fmt.pr "@.device cycle breakdown:@.%a@." Nvm.Stats.pp_breakdown
+          r.Workload.Runner.device_stats;
       if not (Workload.Runner.consistent r) then exit 1
     end
   in
@@ -619,11 +625,17 @@ let run_cmd =
                    persistent state and run the workload to completion \
                    (counters only).")
   in
+  let breakdown =
+    Arg.(value & flag
+         & info [ "breakdown" ]
+             ~doc:"Also print the per-category device cycle decomposition \
+                   (where the simulated time went).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one configuration and print the full report.")
     Term.(const run $ logs_term $ platform $ variant $ iterations_arg 2000
           $ threads_arg $ seed_arg $ crash_at $ hardware $ failure
-          $ transfers $ journal $ resume)
+          $ transfers $ journal $ resume $ breakdown)
 
 (* ycsb *)
 
@@ -652,6 +664,180 @@ let ycsb_cmd =
     Term.(const run $ logs_term $ preset $ iterations_arg 1500 $ records
           $ jobs_arg)
 
+(* trace *)
+
+let trace_cmd =
+  let run () platform variant iterations threads seed crash_at hardware
+      failure fault_model out exposure ring_cap budget_lines smoke =
+    (* The smoke preset mirrors the faults smoke base (32 KiB cache,
+       small counter workload) with a mid-run crash, so one bounded run
+       exercises the whole pipeline: workload, crash, rescue, recovery
+       phases. *)
+    let platform =
+      if smoke then { platform with Nvm.Config.cache_lines = 512 }
+      else platform
+    in
+    let base = Workload.Runner.calibrated_config platform in
+    let config =
+      {
+        base with
+        Workload.Runner.variant;
+        iterations = (if smoke then 200 else iterations);
+        threads = (if smoke then 4 else threads);
+        seed;
+        crash_at_step = (if smoke then Some 40_000 else crash_at);
+        hardware;
+        failure;
+        fault_model;
+      }
+    in
+    let config =
+      if smoke then
+        {
+          config with
+          Workload.Runner.workload =
+            Workload.Runner.Counters { h_keys = 256; preload = true };
+          n_buckets = 512;
+          log_mib = 1;
+        }
+      else config
+    in
+    (* The exposure budget defaults to the hardware's residual-energy
+       stage-1 rescue capacity: how many dirty lines the platform could
+       actually evacuate if it died right now. *)
+    let budget =
+      match budget_lines with
+      | Some n -> n
+      | None ->
+          Tsp_core.Wsp.line_rescue_budget hardware
+            ~budget_j:hardware.Tsp_core.Hardware.residual_energy_j
+            ~line_size:platform.Nvm.Config.line_size
+    in
+    let tracer = Obs.Tracer.create ~ring_cap ~budget_lines:budget () in
+    let config = { config with Workload.Runner.tracer = Some tracer } in
+    let r = Workload.Runner.run config in
+    Fmt.pr "%a@." Workload.Runner.pp_result r;
+    Obs.Chrome.write_file
+      ~thread_name:(fun tid ->
+        if tid < 0 then "device" else Printf.sprintf "worker-%d" tid)
+      out tracer;
+    Fmt.pr "@.trace: %d events emitted (%d in ring, %d overwritten) -> %s@."
+      (Obs.Tracer.emitted tracer)
+      (Obs.Tracer.length tracer)
+      (Obs.Tracer.dropped tracer)
+      out;
+    Fmt.pr "@.%a@." Obs.Tracer.pp_exposure (Obs.Tracer.exposure tracer);
+    Fmt.pr "@.%a@." Obs.Metrics.pp (Obs.Metrics.of_tracer tracer);
+    if exposure then begin
+      (* Coarse dirty-lines timeline over the surviving ring: max dirty
+         per bucket of the trace's clock envelope, as plot-ready rows. *)
+      let e = Obs.Tracer.exposure tracer in
+      let lo = ref max_int and hi = ref min_int in
+      Obs.Tracer.iter tracer (fun ev ->
+          if ev.Obs.Tracer.ts < !lo then lo := ev.Obs.Tracer.ts;
+          if ev.Obs.Tracer.ts > !hi then hi := ev.Obs.Tracer.ts);
+      if !hi > !lo then begin
+        let buckets = 24 in
+        let peak = Array.make buckets 0 in
+        let span = !hi - !lo in
+        Obs.Tracer.iter tracer (fun ev ->
+            let b =
+              min (buckets - 1) ((ev.Obs.Tracer.ts - !lo) * buckets / span)
+            in
+            if ev.Obs.Tracer.dirty > peak.(b) then
+              peak.(b) <- ev.Obs.Tracer.dirty);
+        Fmt.pr "@.exposure timeline (peak dirty lines per bucket, ring \
+                window only):@.";
+        Array.iteri
+          (fun i p ->
+            Fmt.pr "  t=%-10d %6d%s@." (!lo + (i * span / buckets)) p
+              (if e.Obs.Tracer.budget_lines >= 0
+                  && p > e.Obs.Tracer.budget_lines
+               then "  OVER BUDGET"
+               else ""))
+          peak
+      end
+    end;
+    if not (Workload.Runner.consistent r) then exit 1
+  in
+  let fault_model_conv =
+    let parse s =
+      Result.map_error (fun m -> `Msg m) (Nvm.Fault_model.of_string s)
+    in
+    Arg.conv (parse, Nvm.Fault_model.pp)
+  in
+  let platform =
+    Arg.(value & opt platform_conv Nvm.Config.desktop
+         & info [ "platform" ] ~docv:"P" ~doc:"desktop or server.")
+  in
+  let variant =
+    Arg.(value
+         & opt variant_conv (Workload.Runner.Mutex_map Atlas.Mode.Log_only)
+         & info [ "variant" ] ~docv:"VARIANT" ~doc:"Map variant.")
+  in
+  let crash_at =
+    Arg.(value & opt (some int) None
+         & info [ "crash-at" ] ~docv:"STEP"
+             ~doc:"Inject a crash after STEP simulated memory operations \
+                   and trace through rescue and recovery.")
+  in
+  let hardware =
+    Arg.(value
+         & opt hardware_conv Tsp_core.Hardware.nvram_machine
+         & info [ "hardware" ] ~docv:"HW" ~doc:"Hardware platform model.")
+  in
+  let failure =
+    Arg.(value
+         & opt failure_conv Tsp_core.Failure_class.Process_crash
+         & info [ "failure" ] ~docv:"F" ~doc:"Failure class for --crash-at.")
+  in
+  let fault_model =
+    Arg.(value & opt (some fault_model_conv) None
+         & info [ "fault-model" ] ~docv:"MODEL"
+             ~doc:"Crash fault model for --crash-at (full-rescue, \
+                   full-discard, partial-rescue:J, torn:P, bit-rot:N).")
+  in
+  let out =
+    Arg.(value & opt string "trace.json"
+         & info [ "out"; "o" ] ~docv:"FILE"
+             ~doc:"Chrome trace-event JSON output path (load in Perfetto \
+                   or chrome://tracing).")
+  in
+  let exposure =
+    Arg.(value & flag
+         & info [ "exposure" ]
+             ~doc:"Also print a bucketed dirty-lines-vs-budget timeline \
+                   over the trace window.")
+  in
+  let ring_cap =
+    Arg.(value & opt int 65536
+         & info [ "ring-cap" ] ~docv:"N"
+             ~doc:"Event ring capacity; older events are overwritten once \
+                   exceeded (summary statistics stay exact).")
+  in
+  let budget_lines =
+    Arg.(value & opt (some int) None
+         & info [ "budget-lines" ] ~docv:"N"
+             ~doc:"Override the WSP rescue budget (in cache lines) used by \
+                   the exposure accounting; default is derived from the \
+                   hardware's residual energy.")
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Bounded preset on a 32 KiB cache with a mid-run crash; \
+                   used by dune runtest to validate the trace pipeline.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one configuration with the deterministic event tracer \
+          attached: write a Perfetto-loadable trace and print the \
+          persistence-exposure and psync-complexity summaries.")
+    Term.(const run $ logs_term $ platform $ variant $ iterations_arg 2000
+          $ threads_arg $ seed_arg $ crash_at $ hardware $ failure
+          $ fault_model $ out $ exposure $ ring_cap $ budget_lines $ smoke)
+
 let main_cmd =
   let doc =
     "Timely Sufficient Persistence: reproduction of Nawab et al., \
@@ -660,6 +846,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "tsp" ~version:"1.0.0" ~doc)
     [ table1_cmd; faults_cmd; check_cmd; sweeps_cmd; ycsb_cmd; policy_cmd;
-      wsp_cmd; run_cmd ]
+      wsp_cmd; run_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

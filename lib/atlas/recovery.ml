@@ -120,12 +120,25 @@ let orphan_warning ~tid ~orphans =
          (if orphans = 1 then "entry" else "entries"))
 
 let run_attached ~heap ~pmem ~ulog =
+  (* Recovery phases bracket the log scan and the rollback so the trace
+     (and the per-phase cycle registry) can attribute recovery time. *)
+  let phase_begin p =
+    match Nvm.Pmem.tracer pmem with
+    | None -> ()
+    | Some tr -> Obs.Tracer.phase_begin tr ~phase:p
+  in
+  let phase_end p =
+    match Nvm.Pmem.tracer pmem with
+    | None -> ()
+    | Some tr -> Obs.Tracer.phase_end tr ~phase:p
+  in
   let anomalies = ref [] in
   let degradations = ref [] in
   let truncated = ref 0 in
   let table : (int, rec_ocs) Hashtbl.t = Hashtbl.create 256 in
   let log_entries = ref 0 in
   let max_seq = ref 0 in
+  phase_begin Obs.Event.phase_log_scan;
   for tid = 0 to Undo_log.num_threads ulog - 1 do
     match Undo_log.scan_thread_checked ulog ~tid with
     | Error msg -> degradations := msg :: !degradations
@@ -141,6 +154,8 @@ let run_attached ~heap ~pmem ~ulog =
           entries;
         parse_thread ~anomalies ~table entries
   done;
+  phase_end Obs.Event.phase_log_scan;
+  phase_begin Obs.Event.phase_rollback;
   let watermark = Undo_log.watermark ulog in
   let doomed = rollback_closure ~watermark table in
   let committed = Hashtbl.fold (fun _ r n -> if r.committed then n + 1 else n) table 0 in
@@ -174,6 +189,7 @@ let run_attached ~heap ~pmem ~ulog =
       end)
     updates;
   Nvm.Pmem.persist_all pmem;
+  phase_end Obs.Event.phase_rollback;
   let anomalies = List.rev !anomalies in
   let reasons =
     List.rev !degradations

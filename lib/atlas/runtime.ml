@@ -102,6 +102,14 @@ let mutex_id am = am.amid
 
 let pmem t = Heap.pmem t.heap
 
+(* Tracing rides the device's tracer: Atlas-level events (log appends,
+   OCS begin/commit, dependency edges) land in the same ring as the
+   device ops they interleave with.  Reads and int writes only. *)
+let[@inline] trace t ~code ~a ~b =
+  match Nvm.Pmem.tracer (pmem t) with
+  | None -> ()
+  | Some tr -> Obs.Tracer.emit tr ~code ~a ~b
+
 let append t (ctx : ctx) payload =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
@@ -111,6 +119,7 @@ let append t (ctx : ctx) payload =
   | Some cur -> cur.seg_last <- addr
   | None -> assert false);
   Nvm.Pmem.charge (pmem t) t.costs.log_cycles;
+  trace t ~code:Obs.Event.log_append ~a:seq ~b:0;
   if Mode.flushes t.mode then Undo_log.flush_entry t.ulog ~entry_addr:addr;
   addr
 
@@ -216,6 +225,7 @@ let begin_ocs t ctx =
   Hashtbl.replace t.table id info;
   ctx.current <- Some info;
   Queue.add id ctx.segments;
+  trace t ~code:Obs.Event.ocs_begin ~a:id ~b:0;
   ignore (append t ctx (Log_entry.Begin { ocs = id }) : int)
 
 let record_dep t ctx am =
@@ -228,6 +238,7 @@ let record_dep t ctx am =
         | Some dep_info when not dep_info.stable ->
             cur.deps <- lr :: cur.deps;
             dep_info.rev_deps <- cur.id :: dep_info.rev_deps;
+            trace t ~code:Obs.Event.dep ~a:lr ~b:am.amid;
             ignore
               (append t ctx (Log_entry.Dep { on_ocs = lr; mutex = am.amid })
                 : int)
@@ -256,6 +267,7 @@ let commit t ctx =
       end;
       let commit_seq = t.next_seq in
       ignore (append t ctx (Log_entry.Commit { ocs = cur.id }) : int);
+      trace t ~code:Obs.Event.ocs_commit ~a:cur.id ~b:commit_seq;
       cur.committed <- true;
       ctx.current <- None;
       Intset.clear ctx.logged;

@@ -13,6 +13,13 @@ let expects_loss = function
   | Full_rescue -> false
   | Full_discard | Partial_rescue _ | Torn_lines _ | Bit_rot _ -> true
 
+let tag = function
+  | Full_rescue -> 0
+  | Full_discard -> 1
+  | Partial_rescue _ -> 2
+  | Torn_lines _ -> 3
+  | Bit_rot _ -> 4
+
 let reference =
   [
     Full_rescue;

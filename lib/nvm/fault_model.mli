@@ -38,6 +38,10 @@ val expects_loss : t -> bool
 (** Whether recovery may legitimately observe missing or damaged state
     under this model ([false] only for {!Full_rescue}). *)
 
+val tag : t -> int
+(** Stable small-int constructor index (0 full-rescue .. 4 bit-rot),
+    carried as the [a] argument of {!Obs.Event.crash} trace events. *)
+
 val reference : t list
 (** One representative instance of each model, used by campaign sweeps
     and the [--fault-model all] CLI shorthand. *)

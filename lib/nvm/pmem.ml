@@ -11,6 +11,10 @@ type t = {
       (* route accesses through the retained pre-SoA allocating path;
          A/B measurement only — simulated results are identical *)
   journal : (int * int64) Queue.t option;
+  tracer : Obs.Tracer.t option ref;
+      (* a ref cell rather than a mutable field because the [write_back]
+         closure is built before the record exists and must see later
+         [set_tracer] calls *)
 }
 
 exception Crashed_device
@@ -21,8 +25,12 @@ let create ?(journal = false) cfg =
   | Error msg -> Fmt.invalid_arg "Pmem.create: %s" msg);
   let mem = Memory.create ~size:cfg.Config.region_size in
   let stats = Stats.create () in
+  let tracer = ref None in
   let write_back line_addr =
     stats.Stats.writebacks <- stats.Stats.writebacks + 1;
+    (match !tracer with
+    | None -> ()
+    | Some tr -> Obs.Tracer.emit tr ~code:Obs.Event.writeback ~a:line_addr ~b:0);
     Memory.write_back mem ~line_addr ~len:cfg.Config.line_size
   in
   let cache =
@@ -38,6 +46,7 @@ let create ?(journal = false) cfg =
     crashed = false;
     boxed_access = false;
     journal = (if journal then Some (Queue.create ()) else None);
+    tracer;
   }
 
 let config t = t.cfg
@@ -45,6 +54,25 @@ let stats t = t.stats
 let set_step_hook t f = t.hook <- Some f
 let clear_step_hook t = t.hook <- None
 let set_boxed_access t b = t.boxed_access <- b
+
+let set_tracer t tr =
+  t.tracer := tr;
+  (* Every trace event samples the dirty-line count: the exposure
+     timeline is exactly "lines at risk were the machine to fail now". *)
+  match tr with
+  | None -> ()
+  | Some tr -> Obs.Tracer.set_dirty tr (fun () -> Cache.dirty_count t.cache)
+
+let tracer t = !(t.tracer)
+
+(* All emits sit after the op's [step] charge, so the timestamp is the
+   clock the op completed at.  Emission reads closures and writes ints
+   into a preallocated ring — no allocation, no RNG, no cycles — so
+   traced runs are sim-cycle byte-identical to untraced ones. *)
+let[@inline] trace t ~code ~a ~b =
+  match !(t.tracer) with
+  | None -> ()
+  | Some tr -> Obs.Tracer.emit tr ~code ~a ~b
 
 let step t cost =
   match t.hook with
@@ -86,6 +114,7 @@ let load t addr =
   in
   st.Stats.load_cycles <- st.Stats.load_cycles + cost;
   step t cost;
+  trace t ~code:Obs.Event.load ~a:addr ~b:cost;
   Memory.load t.mem addr
 
 let record_store t addr v =
@@ -119,6 +148,7 @@ let store t addr v =
   let cost = store_cost t ~addr in
   st.Stats.store_cycles <- st.Stats.store_cycles + cost;
   step t cost;
+  trace t ~code:Obs.Event.store ~a:addr ~b:cost;
   Memory.store t.mem addr v;
   record_store t addr v
 
@@ -135,6 +165,7 @@ let cas t addr ~expected ~desired =
      can run between the comparison and the write. *)
   st.Stats.cas_cycles <- st.Stats.cas_cycles + base + t.cfg.Config.cas_extra;
   step t (base + t.cfg.Config.cas_extra);
+  trace t ~code:Obs.Event.cas ~a:addr ~b:(base + t.cfg.Config.cas_extra);
   let actual = Memory.load t.mem addr in
   if Int64.equal actual expected then begin
     Memory.store t.mem addr desired;
@@ -169,6 +200,7 @@ let load_int t addr =
     in
     st.Stats.load_cycles <- st.Stats.load_cycles + cost;
     step t cost;
+    trace t ~code:Obs.Event.load ~a:addr ~b:cost;
     Memory.load_int t.mem addr
   end
 
@@ -181,6 +213,7 @@ let store_int t addr v =
     let cost = store_cost t ~addr in
     st.Stats.store_cycles <- st.Stats.store_cycles + cost;
     step t cost;
+    trace t ~code:Obs.Event.store ~a:addr ~b:cost;
     Memory.store_int t.mem addr v;
     record_store_int t addr v
   end
@@ -199,6 +232,7 @@ let cas_int t addr ~expected ~desired =
     in
     st.Stats.cas_cycles <- st.Stats.cas_cycles + base + t.cfg.Config.cas_extra;
     step t (base + t.cfg.Config.cas_extra);
+    trace t ~code:Obs.Event.cas ~a:addr ~b:(base + t.cfg.Config.cas_extra);
     if Memory.cas_int t.mem addr ~expected ~desired then begin
       record_store_int t addr desired;
       true
@@ -214,17 +248,25 @@ let flush t addr =
   t.stats.Stats.flushes <- t.stats.Stats.flushes + 1;
   t.stats.Stats.flush_cycles <- t.stats.Stats.flush_cycles + t.cfg.Config.flush_cost;
   step t t.cfg.Config.flush_cost;
+  trace t ~code:Obs.Event.flush ~a:addr ~b:t.cfg.Config.flush_cost;
   ignore (Cache.flush_line t.cache ~addr : bool)
 
 let fence t =
   guard t;
   t.stats.Stats.fences <- t.stats.Stats.fences + 1;
   t.stats.Stats.fence_cycles <- t.stats.Stats.fence_cycles + t.cfg.Config.fence_cost;
-  step t t.cfg.Config.fence_cost
+  step t t.cfg.Config.fence_cost;
+  trace t ~code:Obs.Event.fence ~a:0 ~b:t.cfg.Config.fence_cost
 
 let crash t mode =
   guard t;
   t.stats.Stats.crashes <- t.stats.Stats.crashes + 1;
+  (* Emitted before the rescue/drop so the event's dirty-line sample is
+     the exposure at the instant of failure. *)
+  trace t
+    ~code:Obs.Event.crash
+    ~a:(match mode with Rescue -> 0 | Discard -> 1)
+    ~b:0;
   (match mode with
   | Rescue ->
       let n = Cache.write_back_all t.cache in
@@ -247,6 +289,7 @@ let crash_with t ~fault ?(rescue_limit = max_int) ~rng () =
   guard t;
   let st = t.stats in
   st.Stats.crashes <- st.Stats.crashes + 1;
+  trace t ~code:Obs.Event.crash ~a:(Fault_model.tag fault) ~b:0;
   let line_size = t.cfg.Config.line_size in
   let words_per_line = line_size / 8 in
   let rescue_line addr =
@@ -329,7 +372,8 @@ let recover t =
   Memory.discard_current t.mem;
   ignore (Cache.drop_all t.cache : int);
   Option.iter Queue.clear t.journal;
-  t.crashed <- false
+  t.crashed <- false;
+  trace t ~code:Obs.Event.recover ~a:0 ~b:0
 
 let is_crashed t = t.crashed
 

@@ -83,6 +83,18 @@ val set_boxed_access : t -> bool -> unit
     quick benchmark measures both on one binary and asserts so.  A/B
     instrumentation only; defaults to off. *)
 
+val set_tracer : t -> Obs.Tracer.t option -> unit
+(** Attach (or detach) an event tracer.  Every device op then emits one
+    packed event after its cycle charge; attaching also wires the
+    tracer's dirty-line sampler to this device's cache, so each event
+    carries the lines-at-risk exposure at that instant.  Tracing draws
+    no RNG, charges no cycles and allocates nothing: traced runs are
+    sim-cycle byte-identical to untraced ones. *)
+
+val tracer : t -> Obs.Tracer.t option
+(** The attached tracer, for upper layers (Atlas, recovery) that emit
+    their own events against the same ring. *)
+
 val flush : t -> int -> unit
 (** Write the cache line containing the address back to the durable
     image (clwb).  A no-op if the line is clean, but the latency is paid

@@ -87,20 +87,27 @@ let total_cycles t =
   t.load_cycles + t.store_cycles + t.cas_cycles + t.flush_cycles
   + t.fence_cycles + t.compute_cycles
 
-let pp_breakdown ppf t =
-  let total = max 1 (total_cycles t) in
-  let line name v =
-    Fmt.pf ppf "%-8s %12d cycles  %5.1f%%@ " name v
-      (100. *. float_of_int v /. float_of_int total)
-  in
+let cycle_category_names =
+  [| "loads"; "stores"; "cas"; "flushes"; "fences"; "compute" |]
+
+let cycle_totals t =
+  [|
+    t.load_cycles; t.store_cycles; t.cas_cycles; t.flush_cycles;
+    t.fence_cycles; t.compute_cycles;
+  |]
+
+let pp_breakdown_totals ppf totals =
+  let sum = Array.fold_left ( + ) 0 totals in
+  let total = max 1 sum in
   Fmt.pf ppf "@[<v>";
-  line "loads" t.load_cycles;
-  line "stores" t.store_cycles;
-  line "cas" t.cas_cycles;
-  line "flushes" t.flush_cycles;
-  line "fences" t.fence_cycles;
-  line "compute" t.compute_cycles;
-  Fmt.pf ppf "total    %12d cycles@]" (total_cycles t)
+  Array.iteri
+    (fun i v ->
+      Fmt.pf ppf "%-8s %12d cycles  %5.1f%%@ " cycle_category_names.(i) v
+        (100. *. float_of_int v /. float_of_int total))
+    totals;
+  Fmt.pf ppf "total    %12d cycles@]" sum
+
+let pp_breakdown ppf t = pp_breakdown_totals ppf (cycle_totals t)
 
 let pp ppf t =
   Fmt.pf ppf

@@ -50,9 +50,23 @@ val total_cycles : t -> int
 (** Sum of all per-category cycle counters: everything the device ever
     charged, wherever the charge landed (thread clocks or [clock]). *)
 
+val cycle_category_names : string array
+(** Display names of the per-category cycle counters, in the order
+    {!cycle_totals} reports them. *)
+
+val cycle_totals : t -> int array
+(** The per-category cycle counters as a fresh array (loads, stores,
+    cas, flushes, fences, compute) — the element-wise-summable form
+    used by campaign ledgers that aggregate across [Parallel.map]
+    domains. *)
+
 val pp : t Fmt.t
 
 val pp_breakdown : t Fmt.t
 (** One line per cycle category with its share of {!total_cycles} —
     the "where did the time go" view used by the overhead-decomposition
     report. *)
+
+val pp_breakdown_totals : Format.formatter -> int array -> unit
+(** {!pp_breakdown} over an explicit {!cycle_totals}-shaped array, for
+    totals summed across many runs. *)

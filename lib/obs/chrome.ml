@@ -1,0 +1,110 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let default_thread_name tid =
+  if tid < 0 then "device" else Printf.sprintf "thread-%d" tid
+
+(* Chrome tids must be distinct non-negative ints: the device track is
+   0 and simulated thread [t] is [t + 1]. *)
+let chrome_tid tid = tid + 1
+let pid = 1
+
+let to_buffer ?(thread_name = default_thread_name) buf tr =
+  let first = ref true in
+  let event fmt =
+    if !first then begin
+      first := false;
+      Buffer.add_string buf "\n  "
+    end
+    else Buffer.add_string buf ",\n  ";
+    Printf.ksprintf (Buffer.add_string buf) fmt
+  in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  (* Track-name metadata for every tid that appears in the ring. *)
+  let seen = Hashtbl.create 16 in
+  Tracer.iter tr (fun (e : Tracer.event) ->
+      if not (Hashtbl.mem seen e.tid) then begin
+        Hashtbl.add seen e.tid ();
+        event
+          "{\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}"
+          pid (chrome_tid e.tid)
+          (escape (thread_name e.tid))
+      end);
+  (* Span state per chrome tid: open-depth guards against "E" events
+     whose "B" was lost to ring wrap-around. *)
+  let depth = Hashtbl.create 16 in
+  let open_depth ct = try Hashtbl.find depth ct with Not_found -> 0 in
+  let begin_span ct ts name =
+    Hashtbl.replace depth ct (open_depth ct + 1);
+    event "{\"ph\":\"B\",\"pid\":%d,\"tid\":%d,\"ts\":%d,\"name\":\"%s\"}" pid
+      ct ts name
+  in
+  let end_span ct ts =
+    let d = open_depth ct in
+    if d > 0 then begin
+      Hashtbl.replace depth ct (d - 1);
+      event "{\"ph\":\"E\",\"pid\":%d,\"tid\":%d,\"ts\":%d}" pid ct ts
+    end
+  in
+  let last_ts = Hashtbl.create 16 in
+  let last_dirty = ref min_int in
+  Tracer.iter tr (fun (e : Tracer.event) ->
+      let ct = chrome_tid e.tid in
+      Hashtbl.replace last_ts ct e.ts;
+      let instant name =
+        event
+          "{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"ts\":%d,\"s\":\"t\",\"name\":\"%s\",\"args\":{\"a\":%d,\"b\":%d}}"
+          pid ct e.ts name e.a e.b
+      in
+      let code = e.code in
+      if code = Event.ocs_begin then
+        begin_span ct e.ts (Printf.sprintf "ocs-%d" e.a)
+      else if code = Event.ocs_commit then end_span ct e.ts
+      else if code = Event.phase_begin then
+        begin_span ct e.ts (escape (Event.phase_name e.a))
+      else if code = Event.phase_end then end_span ct e.ts
+      else instant (escape (Event.name code));
+      if e.dirty <> !last_dirty then begin
+        last_dirty := e.dirty;
+        event
+          "{\"ph\":\"C\",\"pid\":%d,\"tid\":0,\"ts\":%d,\"name\":\"dirty \
+           lines\",\"args\":{\"dirty\":%d}}"
+          pid e.ts e.dirty
+      end);
+  (* Close spans still open at the end of the ring. *)
+  Hashtbl.iter
+    (fun ct d ->
+      let ts = try Hashtbl.find last_ts ct with Not_found -> 0 in
+      for _ = 1 to d do
+        event "{\"ph\":\"E\",\"pid\":%d,\"tid\":%d,\"ts\":%d}" pid ct ts
+      done)
+    depth;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ns\"}\n"
+
+let to_string ?thread_name tr =
+  let buf = Buffer.create 65536 in
+  to_buffer ?thread_name buf tr;
+  Buffer.contents buf
+
+let write_file ?thread_name file tr =
+  let oc = open_out_bin file in
+  Buffer.output_buffer oc
+    (let buf = Buffer.create 65536 in
+     to_buffer ?thread_name buf tr;
+     buf);
+  close_out oc

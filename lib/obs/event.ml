@@ -1,0 +1,55 @@
+let load = 0
+let store = 1
+let cas = 2
+let flush = 3
+let fence = 4
+let writeback = 5
+let crash = 6
+let recover = 7
+let ocs_begin = 8
+let ocs_commit = 9
+let log_append = 10
+let dep = 11
+let ctx_switch = 12
+let phase_begin = 13
+let phase_end = 14
+let n_codes = 15
+
+let names =
+  [|
+    "load"; "store"; "cas"; "flush"; "fence"; "writeback"; "crash"; "recover";
+    "ocs_begin"; "ocs_commit"; "log_append"; "dep"; "ctx_switch";
+    "phase_begin"; "phase_end";
+  |]
+
+let name code =
+  if code >= 0 && code < n_codes then names.(code)
+  else Printf.sprintf "event-%d" code
+
+let phase_rescue = 0
+let phase_log_scan = 1
+let phase_rollback = 2
+let phase_heap_gc = 3
+let phase_audit = 4
+let n_phases = 5
+
+let phase_names = [| "rescue"; "log_scan"; "rollback"; "heap_gc"; "audit" |]
+
+let phase_name p =
+  if p >= 0 && p < n_phases then phase_names.(p)
+  else Printf.sprintf "phase-%d" p
+
+(* 6 bits of code, 12 bits of tid (stored as tid + 1 so the device
+   context, tid -1, is representable), dirty sample in the rest.  All
+   inputs are clamped rather than asserted: a trace header must never
+   abort a run. *)
+
+let tid_mask = 0xfff
+let[@inline] pack ~code ~tid ~dirty =
+  let tid = (tid + 1) land tid_mask in
+  let dirty = if dirty < 0 then 0 else dirty in
+  code lor (tid lsl 6) lor (dirty lsl 18)
+
+let[@inline] code_of w = w land 0x3f
+let[@inline] tid_of w = ((w lsr 6) land tid_mask) - 1
+let[@inline] dirty_of w = w lsr 18

@@ -1,0 +1,67 @@
+(** Event vocabulary for the packed trace ring.
+
+    Every trace event is four OCaml ints: a packed header word (event
+    code, emitting thread, dirty-lines-at-risk sample), a virtual-clock
+    timestamp, and two event-specific argument words.  The packing is
+    allocation-free on both ends so the tracer can sit on the simulator
+    hot paths without perturbing the run (see {!Tracer}). *)
+
+(** {1 Event codes} *)
+
+val load : int
+val store : int
+val cas : int
+val flush : int
+val fence : int
+val writeback : int
+
+val crash : int
+(** [a] is the {!Nvm.Fault_model} tag: 0 full rescue, 1 full discard,
+    2 partial rescue, 3 torn lines, 4 bit rot. *)
+
+val recover : int
+
+val ocs_begin : int
+(** [a] is the OCS id. *)
+
+val ocs_commit : int
+(** [a] is the OCS id, [b] the commit log seq. *)
+
+val log_append : int
+(** [a] is the undo-log sequence number. *)
+
+val dep : int
+(** [a] is the OCS depended upon, [b] the mutex id. *)
+
+val ctx_switch : int
+(** [a] is the thread resumed. *)
+
+val phase_begin : int
+(** [a] is the recovery-phase id. *)
+
+val phase_end : int
+(** [a] is the phase id, [b] the cycles spent. *)
+
+val n_codes : int
+val name : int -> string
+
+(** {1 Recovery phase ids} (the [a] argument of phase events) *)
+
+val phase_rescue : int
+val phase_log_scan : int
+val phase_rollback : int
+val phase_heap_gc : int
+val phase_audit : int
+val n_phases : int
+val phase_name : int -> string
+
+(** {1 Header-word packing}
+
+    Bits 0..5 hold the code, bits 6..17 hold [tid + 1] (so the
+    out-of-thread device context, tid [-1], packs as 0), and the
+    remaining high bits hold the dirty-line sample. *)
+
+val pack : code:int -> tid:int -> dirty:int -> int
+val code_of : int -> int
+val tid_of : int -> int
+val dirty_of : int -> int

@@ -1,0 +1,74 @@
+type t = {
+  loads : int;
+  stores : int;
+  cas : int;
+  flushes : int;
+  fences : int;
+  writebacks : int;
+  log_appends : int;
+  ocs_begins : int;
+  ocs_commits : int;
+  deps : int;
+  ctx_switches : int;
+  crashes : int;
+  fences_per_commit : float;
+  flushes_per_commit : float;
+  appends_per_commit : float;
+  op_cycles : (string * int) list;
+  phase_cycles : (string * int) list;
+}
+
+let of_tracer tr =
+  let c = Tracer.count tr in
+  let commits = c Event.ocs_commit in
+  let per n = if commits = 0 then 0. else float n /. float commits in
+  {
+    loads = c Event.load;
+    stores = c Event.store;
+    cas = c Event.cas;
+    flushes = c Event.flush;
+    fences = c Event.fence;
+    writebacks = c Event.writeback;
+    log_appends = c Event.log_append;
+    ocs_begins = c Event.ocs_begin;
+    ocs_commits = commits;
+    deps = c Event.dep;
+    ctx_switches = c Event.ctx_switch;
+    crashes = c Event.crash;
+    fences_per_commit = per (c Event.fence);
+    flushes_per_commit = per (c Event.flush);
+    appends_per_commit = per (c Event.log_append);
+    op_cycles =
+      List.map
+        (fun code -> (Event.name code, Tracer.cycles_of tr code))
+        [ Event.load; Event.store; Event.cas; Event.flush; Event.fence ];
+    phase_cycles =
+      List.init Event.n_phases (fun p ->
+          (Event.phase_name p, Tracer.phase_cycles tr p));
+  }
+
+let pp ppf m =
+  Fmt.pf ppf "@[<v>traced ops:@ ";
+  Fmt.pf ppf "  loads %d  stores %d  cas %d  flushes %d  fences %d@ " m.loads
+    m.stores m.cas m.flushes m.fences;
+  Fmt.pf ppf "  writebacks %d  log appends %d  deps %d  ctx switches %d@ "
+    m.writebacks m.log_appends m.deps m.ctx_switches;
+  Fmt.pf ppf "  ocs begun %d  committed %d  crashes %d@ " m.ocs_begins
+    m.ocs_commits m.crashes;
+  if m.ocs_commits > 0 then
+    Fmt.pf ppf
+      "  psync complexity: %.2f fences, %.2f flushes, %.2f log appends per \
+       commit@ "
+      m.fences_per_commit m.flushes_per_commit m.appends_per_commit;
+  Fmt.pf ppf "traced op cycles:";
+  List.iter
+    (fun (name, cy) -> if cy > 0 then Fmt.pf ppf "@   %-8s %10d" name cy)
+    m.op_cycles;
+  let recovered = List.exists (fun (_, cy) -> cy > 0) m.phase_cycles in
+  if recovered then begin
+    Fmt.pf ppf "@ recovery phase cycles:";
+    List.iter
+      (fun (name, cy) -> if cy > 0 then Fmt.pf ppf "@   %-8s %10d" name cy)
+      m.phase_cycles
+  end;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,33 @@
+(** Derived metrics over a tracer's online counters.
+
+    Computed from the exact per-code accumulators, so they remain valid
+    after ring wrap-around.  The per-commit ratios are the dynamic
+    analogue of the static "psync complexity" of the fence-complexity
+    literature: how many fences / flushes / undo-log appends each
+    committed OCS cost at runtime. *)
+
+type t = {
+  loads : int;
+  stores : int;
+  cas : int;
+  flushes : int;
+  fences : int;
+  writebacks : int;
+  log_appends : int;
+  ocs_begins : int;
+  ocs_commits : int;
+  deps : int;
+  ctx_switches : int;
+  crashes : int;
+  fences_per_commit : float;
+  flushes_per_commit : float;
+  appends_per_commit : float;
+  op_cycles : (string * int) list;
+      (** Charged cycles per traced op code (load/store/cas/flush/fence),
+          feeding the same categories as [Nvm.Stats.pp_breakdown]. *)
+  phase_cycles : (string * int) list;
+      (** Recovery cycles per phase, in {!Event} phase order. *)
+}
+
+val of_tracer : Tracer.t -> t
+val pp : t Fmt.t

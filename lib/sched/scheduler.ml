@@ -35,6 +35,10 @@ type t = {
   mutable failure : (exn * Printexc.raw_backtrace) option;
   mutable started : bool;
   mutable next_mutex_id : int;
+  mutable tracer : Obs.Tracer.t option;
+  mutable last_resumed : int;
+      (* thread id the run loop last handed the CPU to; context-switch
+         events fire only when it changes, not on every loop pass *)
 }
 
 type outcome =
@@ -75,6 +79,8 @@ let create ?(seed = 42) ?(cost_jitter = 0) ?(deterministic_slice = default_slice
     failure = None;
     started = false;
     next_mutex_id = 0;
+    tracer = None;
+    last_resumed = -1;
   }
 
 let freeze t =
@@ -102,6 +108,13 @@ let current_thread t =
   t.threads.(t.current)
 
 let self t = (current_thread t).id
+
+(* Non-raising views of the execution context, for tracer closures that
+   must work both inside simulated threads and in out-of-thread harness
+   code (setup, crash handling, recovery). *)
+let in_thread t = t.current >= 0
+let current_id t = t.current
+let set_tracer t tr = t.tracer <- tr
 
 (* Hook point for history recorders: the current thread's virtual clock,
    readable from inside the thread without freezing or scanning the
@@ -242,6 +255,12 @@ let run ?crash_at_step t =
           | Some th ->
               t.current <- th.id;
               t.fast_budget <- t.deterministic_slice;
+              (match t.tracer with
+              | Some tr when th.id <> t.last_resumed ->
+                  t.last_resumed <- th.id;
+                  Obs.Tracer.emit tr ~code:Obs.Event.ctx_switch ~a:th.id
+                    ~b:th.vclock
+              | Some _ | None -> ());
               (match th.state with
               | Runnable r -> begin
                   th.state <- Running;

@@ -81,6 +81,21 @@ val now : t -> int
     charges no cycles, so instrumentation cannot perturb the simulation.
     @raise Invalid_argument outside of {!run}. *)
 
+val in_thread : t -> bool
+(** Whether a simulated thread is currently executing — i.e. whether
+    {!now}/{!self} may be called.  Never raises; tracer clock closures
+    use it to fall back to the device clock in harness code. *)
+
+val current_id : t -> int
+(** The executing thread's id, or [-1] outside of {!run}.  Never
+    raises. *)
+
+val set_tracer : t -> Obs.Tracer.t option -> unit
+(** Attach an event tracer: the run loop emits one
+    {!Obs.Event.ctx_switch} each time the CPU passes to a different
+    thread (the uncontended fast path never switches and emits
+    nothing).  Reads no RNG and charges no cycles. *)
+
 val elapsed_cycles : t -> int
 (** Simulated duration so far: the maximum per-thread virtual clock. *)
 

@@ -28,6 +28,9 @@ type point = {
   ops_pending : int;
   dl : Check.Dl.verdict;
   recovery_verdict : Atlas.Recovery.verdict option;
+  cycle_totals : int array;
+      (* per-category device cycles of this point's run, recorded in its
+         own Parallel.map domain so the summed ledger is jobs-invariant *)
 }
 
 type summary = {
@@ -174,6 +177,7 @@ let one spec ~crash_step =
     dl;
     recovery_verdict =
       Option.map (fun c -> c.Runner.recovery_verdict) r.Runner.crash;
+    cycle_totals = Nvm.Stats.cycle_totals r.Runner.device_stats;
   }
 
 let run ?jobs spec =
@@ -203,6 +207,14 @@ let run ?jobs spec =
 
 let clean s = s.flagged = 0
 
+let breakdown s =
+  let acc = Array.make (Array.length Nvm.Stats.cycle_category_names) 0 in
+  List.iter
+    (fun p ->
+      Array.iteri (fun i v -> acc.(i) <- acc.(i) + v) p.cycle_totals)
+    s.points;
+  acc
+
 let pp_summary ppf s =
   Fmt.pf ppf
     "@[<v>check: %s on %s, exhaustive steps [%d,%d) stride %d, strict \
@@ -216,6 +228,8 @@ let pp_summary ppf s =
      else " [mutant: " ^ s.spec.mutate_label ^ "]")
     s.total s.crashes s.explained s.flagged s.clean_recoveries
     s.degraded_recoveries;
+  Fmt.pf ppf "@ device cycles across all points:@ %a"
+    Nvm.Stats.pp_breakdown_totals (breakdown s);
   let shown = ref 0 in
   let hidden = ref 0 in
   List.iter

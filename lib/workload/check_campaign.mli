@@ -47,6 +47,9 @@ type point = {
   ops_pending : int;
   dl : Check.Dl.verdict;
   recovery_verdict : Atlas.Recovery.verdict option;
+  cycle_totals : int array;
+      (** per-category device cycles ({!Nvm.Stats.cycle_totals}) of this
+          point's run *)
 }
 
 type summary = {
@@ -82,6 +85,10 @@ val run : ?jobs:int -> spec -> summary
 
 val clean : summary -> bool
 (** No flagged points. *)
+
+val breakdown : summary -> int array
+(** Element-wise sum of every point's [cycle_totals], printable with
+    {!Nvm.Stats.pp_breakdown_totals}.  Jobs-invariant. *)
 
 val pp_summary : summary Fmt.t
 (** Header, per-verdict ledger, and one line per flagged point (first 20)

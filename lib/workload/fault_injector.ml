@@ -34,6 +34,7 @@ type run_outcome = {
   cascaded : int;
   gc_freed : int;
   errors : string list;
+  cycle_totals : int array;
 }
 
 type model_tally = {
@@ -216,6 +217,7 @@ let one spec ~fault ~seed ~crash_step =
         cascaded;
         gc_freed;
         errors;
+        cycle_totals = Nvm.Stats.cycle_totals r.Runner.device_stats;
       }
   | exception exn ->
       (* An escaped exception is the one thing no fault model tolerates:
@@ -240,6 +242,8 @@ let one spec ~fault ~seed ~crash_step =
         cascaded = 0;
         gc_freed = 0;
         errors = [ "raised: " ^ msg ];
+        cycle_totals =
+          Array.make (Array.length Nvm.Stats.cycle_category_names) 0;
       }
 
 (* Greedy bounded shrinking: try to halve the crash step and the
@@ -403,6 +407,17 @@ let all_consistent s =
 let violation_rate s =
   if s.crashes = 0 then 0. else float_of_int s.violations /. float_of_int s.crashes
 
+(* Device cycles summed across every run in the campaign.  Each outcome
+   carries its own per-category totals (recorded inside whichever
+   [Parallel.map] domain ran it), so the sum is jobs-invariant. *)
+let breakdown s =
+  let acc = Array.make (Array.length Nvm.Stats.cycle_category_names) 0 in
+  List.iter
+    (fun o ->
+      Array.iteri (fun i v -> acc.(i) <- acc.(i) + v) o.cycle_totals)
+    s.outcomes;
+  acc
+
 let pp_summary ppf s =
   let total_rb = List.fold_left (fun a o -> a + o.rolled_back) 0 s.outcomes in
   let total_casc = List.fold_left (fun a o -> a + o.cascaded) 0 s.outcomes in
@@ -424,6 +439,8 @@ let pp_summary ppf s =
     s.unexpected_violations
     (100. *. violation_rate s)
     total_rb total_casc total_gc;
+  Fmt.pf ppf "@ device cycles across all runs:@ %a" Nvm.Stats.pp_breakdown_totals
+    (breakdown s);
   List.iter
     (fun t ->
       Fmt.pf ppf

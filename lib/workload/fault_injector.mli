@@ -72,6 +72,10 @@ type run_outcome = {
   cascaded : int;
   gc_freed : int;
   errors : string list;
+  cycle_totals : int array;
+      (** per-category device cycles ({!Nvm.Stats.cycle_totals}) of this
+          run, recorded in its own domain so campaign aggregation is
+          jobs-invariant *)
 }
 
 type model_tally = {
@@ -143,6 +147,11 @@ val all_consistent : summary -> bool
 
 val violation_rate : summary -> float
 (** Violations as a fraction of crashed runs. *)
+
+val breakdown : summary -> int array
+(** Element-wise sum of every outcome's [cycle_totals]: where the
+    campaign's simulated device time went, printable with
+    {!Nvm.Stats.pp_breakdown_totals}. *)
 
 val pp_summary : summary Fmt.t
 (** Campaign header, per-fault-model verdict ledger, one line per

@@ -40,6 +40,7 @@ type config = {
   skip_op_cycles : int;
   record_latency : bool;
   instrument : (Scheduler.t -> Tsp_maps.Map_intf.ops -> Tsp_maps.Map_intf.ops) option;
+  tracer : Obs.Tracer.t option;
 }
 
 let default_config =
@@ -64,6 +65,7 @@ let default_config =
     skip_op_cycles = 25;
     record_latency = false;
     instrument = None;
+    tracer = None;
   }
 
 (* Per-platform charges solved so the counter workload reproduces the
@@ -318,6 +320,34 @@ let check_invariants config ?wide_entries entries =
 (* Post-crash pipeline: device-level crash semantics, then recovery,
    then audit.  Every step can fail when the crash was not TSP-covered;
    failures are reported, not raised. *)
+(* Attach the run's tracer (if any) to a device/scheduler pair: ops and
+   ctx switches emit events, each event samples the cache's dirty-line
+   count, and timestamps come from the executing thread's virtual clock
+   — falling back to the device's own clock in harness code (setup,
+   crash handling, recovery), where no thread is running.  Reads only:
+   tracing never perturbs the simulation. *)
+let wire_tracer config pmem sched =
+  match config.tracer with
+  | None -> ()
+  | Some tr ->
+      Nvm.Pmem.set_tracer pmem (Some tr);
+      Scheduler.set_tracer sched (Some tr);
+      Obs.Tracer.set_tid tr (fun () -> Scheduler.current_id sched);
+      let stats = Nvm.Pmem.stats pmem in
+      Obs.Tracer.set_clock tr (fun () ->
+          if Scheduler.in_thread sched then Scheduler.now sched
+          else stats.Nvm.Stats.clock)
+
+(* Bracket a recovery stage with trace phase events when tracing. *)
+let in_phase config phase f =
+  match config.tracer with
+  | None -> f ()
+  | Some tr ->
+      Obs.Tracer.phase_begin tr ~phase;
+      let r = f () in
+      Obs.Tracer.phase_end tr ~phase;
+      r
+
 let recover_and_audit config pmem =
   let errors = ref [] in
   let err fmt = Fmt.kstr (fun s -> errors := s :: !errors) fmt in
@@ -355,14 +385,21 @@ let recover_and_audit config pmem =
     match heap with
     | None -> (None, None)
     | Some heap ->
-        let stats, quarantine = Heap_gc.collect_graceful heap in
+        let stats, quarantine =
+          in_phase config Obs.Event.phase_heap_gc (fun () ->
+              Heap_gc.collect_graceful heap)
+        in
         (Some stats, Some quarantine)
   in
   let heap_audit_ok =
     match heap with
     | None -> false
     | Some heap -> begin
-        match try Heap_gc.verify heap with exn -> Error [ Printexc.to_string exn ] with
+        match
+          in_phase config Obs.Event.phase_audit (fun () ->
+              try Heap_gc.verify heap
+              with exn -> Error [ Printexc.to_string exn ])
+        with
         | Ok () -> true
         | Error es ->
             List.iter (fun e -> err "audit: %s" e) es;
@@ -430,6 +467,7 @@ let run_full config =
   let heap_size = log_base config in
   let heap = Heap.create pmem ~base:0 ~size:heap_size in
   let sched = Scheduler.create ~seed:config.seed ~cost_jitter:config.cost_jitter () in
+  wire_tracer config pmem sched;
   let atlas =
     match config.variant with
     | Mutex_map mode | Mutex_btree mode ->
@@ -564,9 +602,10 @@ let run_full config =
         fun bound -> Rng.int r bound
       in
       let rescue_bill =
-        Tsp_core.Crash_executor.execute ?fault:config.fault_model
-          ~rng:crash_rng pmem ~hardware:config.hardware
-          ~failure:config.failure
+        in_phase config Obs.Event.phase_rescue (fun () ->
+            Tsp_core.Crash_executor.execute ?fault:config.fault_model
+              ~rng:crash_rng pmem ~hardware:config.hardware
+              ~failure:config.failure)
       in
       let verdict = rescue_bill.Tsp_core.Crash_executor.verdict in
       let ( rheap,
@@ -695,6 +734,9 @@ let resume_counters config pmem heap ~h_keys ~max_seq =
   let sched =
     Scheduler.create ~seed:(config.seed + 101) ~cost_jitter:config.cost_jitter ()
   in
+  (* The resumed run gets a fresh scheduler: repoint the tracer's thread
+     and clock closures at it so post-recovery events keep flowing. *)
+  wire_tracer config pmem sched;
   let atlas =
     match config.variant with
     | Mutex_map mode | Mutex_btree mode ->

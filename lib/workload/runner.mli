@@ -79,6 +79,14 @@ type config = {
           ([set_plain]) and recovery-time dumps bypass it.  [None] (the
           default) leaves the run bit-identical to an uninstrumented
           build. *)
+  tracer : Obs.Tracer.t option;
+      (** attach an {!Obs.Tracer} to the run: device ops, undo-log
+          appends, OCS boundaries, context switches, the crash and each
+          recovery phase emit packed events with virtual-clock
+          timestamps and dirty-line exposure samples.  Tracing reads
+          simulation state but never mutates it — no RNG draws, no
+          cycles, no allocation — so a traced run's simulated cycles
+          are byte-identical to an untraced one's. *)
 }
 
 val default_config : config

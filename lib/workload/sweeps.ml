@@ -10,8 +10,12 @@ type series_table = {
 let run_config config =
   let r = Runner.run config in
   if not (Runner.consistent r) then
-    Fmt.failwith "sweep run inconsistent for %s"
-      (Runner.variant_to_string config.Runner.variant);
+    Fmt.failwith
+      "sweep run inconsistent for %s (seed %d, %d threads x %d iterations, %d \
+       sim cycles): %a"
+      (Runner.variant_to_string config.Runner.variant)
+      config.Runner.seed config.Runner.threads config.Runner.iterations
+      r.Runner.elapsed_cycles Invariant.pp r.Runner.invariants;
   r
 
 let miters config = (run_config config).Runner.miters_per_sec

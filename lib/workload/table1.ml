@@ -45,9 +45,12 @@ let run_row ?(threads = 8) ?(iterations = 4000) ?(seed = 11) ?(repeats = 1)
       (fun (variant, config) ->
         let result = Runner.run config in
         if not (Runner.consistent result) then
-          Fmt.failwith "Table 1 run inconsistent for %s on %s"
+          Fmt.failwith
+            "Table 1 run inconsistent for %s on %s (seed %d, %d sim cycles): \
+             %a"
             (Runner.variant_to_string variant)
-            platform.Nvm.Config.name;
+            platform.Nvm.Config.name config.Runner.seed
+            result.Runner.elapsed_cycles Invariant.pp result.Runner.invariants;
         result)
       cell_configs
   in

@@ -355,6 +355,7 @@ let outcome ?(fault = None) ?(violation = false) ?(expected = false)
     cascaded = 0;
     gc_freed = 0;
     errors = [];
+    cycle_totals = Array.make (Array.length Nvm.Stats.cycle_category_names) 0;
   }
 
 let test_tally () =

@@ -4,4 +4,4 @@ let () =
       Test_atlas.suite;
       Test_core.suite; Test_maps.suite; Test_queue.suite; Test_btree.suite;
       Test_workload.suite; Test_determinism.suite; Test_faults.suite;
-      Test_checker.suite ]
+      Test_checker.suite; Test_obs.suite ]

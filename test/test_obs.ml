@@ -1,0 +1,310 @@
+(* Tests for the observability layer (lib/obs): header packing, ring
+   wrap-around vs the online accumulators, the exposure envelope's
+   time-above-budget integral, Chrome JSON escaping and well-formedness,
+   the zero-allocation contracts, and the central determinism invariant
+   — a traced workload run is sim-cycle identical to an untraced one. *)
+
+open Helpers
+module Event = Obs.Event
+module Tracer = Obs.Tracer
+module Chrome = Obs.Chrome
+module Metrics = Obs.Metrics
+module Runner = Workload.Runner
+
+(* Drive the context closures from a script: each emitted event takes
+   the next (ts, tid, dirty) triple. *)
+let scripted tr triples =
+  let q = ref triples in
+  let peek f = match !q with [] -> f (0, -1, 0) | x :: _ -> f x in
+  Tracer.set_clock tr (fun () -> peek (fun (ts, _, _) -> ts));
+  Tracer.set_tid tr (fun () -> peek (fun (_, tid, _) -> tid));
+  Tracer.set_dirty tr (fun () ->
+      peek (fun (_, _, d) ->
+          (* dirty is sampled last in [emit]; advance the script here *)
+          (match !q with [] -> () | _ :: rest -> q := rest);
+          d))
+
+(* --- Event: header packing roundtrip --- *)
+
+let test_pack_roundtrip () =
+  List.iter
+    (fun (code, tid, dirty) ->
+      let w = Event.pack ~code ~tid ~dirty in
+      Alcotest.(check int) "code" code (Event.code_of w);
+      Alcotest.(check int) "tid" tid (Event.tid_of w);
+      Alcotest.(check int) "dirty" dirty (Event.dirty_of w))
+    [
+      (Event.load, -1, 0);
+      (Event.store, 0, 1);
+      (Event.phase_end, 42, 123_456);
+      (Event.ocs_commit, 4094, 1 lsl 30);
+    ];
+  (* clamping: negative dirty floors at 0, codes/tids mask cleanly *)
+  let w = Event.pack ~code:Event.fence ~tid:7 ~dirty:(-5) in
+  Alcotest.(check int) "negative dirty clamps" 0 (Event.dirty_of w)
+
+(* --- Tracer: wrap-around loses raw events but no accounting --- *)
+
+let feed tr n =
+  (* a deterministic mixed stream: codes cycle, clocks advance, dirty
+     ramps up and down *)
+  let triples =
+    List.init n (fun i -> (i * 10, i mod 3, (i * 7 mod 50) + 1))
+  in
+  scripted tr triples;
+  List.iteri
+    (fun i _ ->
+      let code = i mod Event.n_codes in
+      Tracer.emit tr ~code ~a:i ~b:(i land 15))
+    triples
+
+let test_ring_wrap () =
+  let small = Tracer.create ~ring_cap:8 ~budget_lines:25 () in
+  let large = Tracer.create ~ring_cap:4096 ~budget_lines:25 () in
+  let n = 100 in
+  feed small n;
+  feed large n;
+  Alcotest.(check int) "emitted small" n (Tracer.emitted small);
+  Alcotest.(check int) "emitted large" n (Tracer.emitted large);
+  Alcotest.(check int) "length small" 8 (Tracer.length small);
+  Alcotest.(check int) "dropped small" (n - 8) (Tracer.dropped small);
+  Alcotest.(check int) "length large" n (Tracer.length large);
+  Alcotest.(check int) "dropped large" 0 (Tracer.dropped large);
+  (* every online summary is identical despite 92 overwritten events *)
+  for code = 0 to Event.n_codes - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "count %s" (Event.name code))
+      (Tracer.count large code) (Tracer.count small code);
+    Alcotest.(check int)
+      (Printf.sprintf "cycles %s" (Event.name code))
+      (Tracer.cycles_of large code)
+      (Tracer.cycles_of small code)
+  done;
+  let es = Tracer.exposure small and el = Tracer.exposure large in
+  Alcotest.(check int) "samples" el.Tracer.samples es.Tracer.samples;
+  Alcotest.(check int) "peak" el.Tracer.peak_dirty es.Tracer.peak_dirty;
+  Alcotest.(check (float 1e-9)) "mean" el.Tracer.mean_dirty es.Tracer.mean_dirty;
+  Alcotest.(check int) "duration" el.Tracer.duration es.Tracer.duration;
+  Alcotest.(check int) "time above"
+    el.Tracer.time_above_budget es.Tracer.time_above_budget;
+  (* the small ring's oldest survivor is event n-8 of the stream *)
+  let oldest = Tracer.nth small 0 in
+  Alcotest.(check int) "oldest ts" ((n - 8) * 10) oldest.Tracer.ts;
+  Alcotest.(check int) "oldest a" (n - 8) oldest.Tracer.a;
+  Alcotest.check_raises "nth out of range" (Invalid_argument "Tracer.nth")
+    (fun () -> ignore (Tracer.nth small 8 : Tracer.event))
+
+let test_exposure_budget () =
+  let tr = Tracer.create ~ring_cap:64 ~budget_lines:10 () in
+  (* envelope: dirty 5 @0, 15 @10, 8 @30, 12 @40, 0 @45.  The level is
+     above budget on [10,30) and [40,45), so 25 cycles of the 45. *)
+  scripted tr [ (0, 0, 5); (10, 0, 15); (30, 0, 8); (40, 0, 12); (45, 0, 0) ];
+  for i = 1 to 5 do
+    Tracer.emit tr ~code:Event.store ~a:i ~b:0
+  done;
+  let e = Tracer.exposure tr in
+  Alcotest.(check int) "samples" 5 e.Tracer.samples;
+  Alcotest.(check int) "peak" 15 e.Tracer.peak_dirty;
+  Alcotest.(check (float 1e-9)) "mean" 8.0 e.Tracer.mean_dirty;
+  Alcotest.(check int) "last" 0 e.Tracer.last_dirty;
+  Alcotest.(check int) "duration" 45 e.Tracer.duration;
+  Alcotest.(check int) "time above budget" 25 e.Tracer.time_above_budget;
+  (* an out-of-order timestamp (a worker vclock behind the envelope)
+     contributes a sample but never rewinds the time integral *)
+  scripted tr [ (20, 1, 999) ];
+  Tracer.emit tr ~code:Event.store ~a:6 ~b:0;
+  let e = Tracer.exposure tr in
+  Alcotest.(check int) "peak includes stale sample" 999 e.Tracer.peak_dirty;
+  Alcotest.(check int) "duration unchanged" 45 e.Tracer.duration;
+  Alcotest.(check int) "time above unchanged" 25 e.Tracer.time_above_budget
+
+(* --- Chrome export --- *)
+
+let test_chrome_escape () =
+  Alcotest.(check string) "quotes/backslash" "a\\\"b\\\\c"
+    (Chrome.escape "a\"b\\c");
+  Alcotest.(check string) "newline/tab" "x\\ny\\tz" (Chrome.escape "x\ny\tz");
+  Alcotest.(check string) "control chars" "\\u0001\\u001f"
+    (Chrome.escape "\x01\x1f");
+  Alcotest.(check string) "plain passthrough" "worker-3 [ocs]"
+    (Chrome.escape "worker-3 [ocs]")
+
+(* A minimal structural JSON scanner: strings must contain no raw
+   control characters and only legal escapes; braces and brackets must
+   balance outside strings.  Not a full parser — dune runtest also runs
+   the strict RFC 8259 checker over a real [tsp trace --smoke] export —
+   but enough to catch escaping bugs at the unit level. *)
+let check_json_shape s =
+  let depth = ref 0 and i = ref 0 and n = String.length s in
+  while !i < n do
+    (match s.[!i] with
+    | '"' ->
+        incr i;
+        let closed = ref false in
+        while not !closed do
+          if !i >= n then Alcotest.fail "unterminated string";
+          (match s.[!i] with
+          | '"' -> closed := true
+          | '\\' ->
+              incr i;
+              if !i >= n then Alcotest.fail "dangling escape";
+              (match s.[!i] with
+              | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> ()
+              | 'u' -> i := !i + 4
+              | c -> Alcotest.failf "illegal escape \\%c" c)
+          | c when Char.code c < 0x20 ->
+              Alcotest.failf "raw control char %#x in string" (Char.code c)
+          | _ -> ());
+          if not !closed then incr i
+        done
+    | '{' | '[' -> incr depth
+    | '}' | ']' -> decr depth
+    | _ -> ());
+    incr i
+  done;
+  Alcotest.(check int) "balanced braces/brackets" 0 !depth
+
+let test_chrome_wellformed () =
+  let tr = Tracer.create ~ring_cap:256 () in
+  let clk = ref 0 in
+  Tracer.set_clock tr (fun () -> incr clk; !clk);
+  (* spans on two tracks (one the device), instants, a counter, and an
+     orphaned end from a "wrapped" begin *)
+  Tracer.set_tid tr (fun () -> 0);
+  Tracer.emit tr ~code:Event.ocs_begin ~a:1 ~b:0;
+  Tracer.emit tr ~code:Event.store ~a:64 ~b:12;
+  Tracer.emit tr ~code:Event.ocs_commit ~a:1 ~b:1;
+  Tracer.emit tr ~code:Event.ocs_commit ~a:99 ~b:2 (* orphaned end *);
+  Tracer.set_tid tr (fun () -> -1);
+  Tracer.emit tr ~code:Event.crash ~a:0 ~b:0;
+  Tracer.phase_begin tr ~phase:Event.phase_log_scan;
+  Tracer.phase_end tr ~phase:Event.phase_log_scan;
+  Tracer.phase_begin tr ~phase:Event.phase_rollback (* left open: closer *);
+  let hostile tid = Printf.sprintf "w\"%d\\\n\x02" tid in
+  let s = Chrome.to_string ~thread_name:hostile tr in
+  Alcotest.(check bool) "has traceEvents" true
+    (String.length s > 16 && String.sub s 0 16 = "{\"traceEvents\":[");
+  check_json_shape s
+
+(* --- Zero-allocation contracts --- *)
+
+let words_per_op f ops =
+  let w0 = Gc.minor_words () in
+  f ();
+  (Gc.minor_words () -. w0) /. float_of_int ops
+
+(* The tracing-disabled hot path: a device with no tracer attached must
+   stay allocation-free through the [trace] match in every op. *)
+let test_no_alloc_disabled () =
+  let pmem = small_pmem () in
+  let ops = 100_000 in
+  (* warm the cache/closures outside the measured window *)
+  Nvm.Pmem.store_int pmem 0 1;
+  let per_op =
+    words_per_op
+      (fun () ->
+        for i = 1 to ops do
+          let addr = i * 8 land 0xFF8 in
+          Nvm.Pmem.store_int pmem addr i;
+          ignore (Nvm.Pmem.load_int pmem addr : int)
+        done)
+      (2 * ops)
+  in
+  if per_op > 0.01 then
+    Alcotest.failf "tracing-disabled path allocates %.4f minor words/op" per_op
+
+(* Emission itself: packed ints into a preallocated ring. *)
+let test_no_alloc_emit () =
+  let tr = Tracer.create ~ring_cap:1024 ~budget_lines:100 () in
+  let clk = ref 0 in
+  Tracer.set_clock tr (fun () -> incr clk; !clk);
+  Tracer.set_tid tr (fun () -> 2);
+  Tracer.set_dirty tr (fun () -> !clk land 255);
+  let ops = 100_000 in
+  Tracer.emit tr ~code:Event.store ~a:0 ~b:0;
+  let per_op =
+    words_per_op
+      (fun () ->
+        for i = 1 to ops do
+          Tracer.emit tr ~code:Event.store ~a:i ~b:4
+        done)
+      ops
+  in
+  if per_op > 0.01 then
+    Alcotest.failf "emit allocates %.4f minor words/op" per_op
+
+(* --- Determinism: traced run == untraced run, through a crash --- *)
+
+let traced_config tracer =
+  {
+    (Runner.calibrated_config
+       { Nvm.Config.desktop with Nvm.Config.cache_lines = 512 })
+    with
+    Runner.variant = Runner.Mutex_map Atlas.Mode.Log_only;
+    workload = Runner.Counters { h_keys = 64; preload = true };
+    threads = 2;
+    iterations = 150;
+    n_buckets = 128;
+    log_mib = 1;
+    crash_at_step = Some 12_000;
+    tracer;
+  }
+
+let test_traced_identical () =
+  let off = Runner.run (traced_config None) in
+  let tr = Tracer.create ~ring_cap:4096 () in
+  let on = Runner.run (traced_config (Some tr)) in
+  Alcotest.(check bool) "untraced consistent" true (Runner.consistent off);
+  Alcotest.(check bool) "traced consistent" true (Runner.consistent on);
+  Alcotest.(check int) "identical sim cycles" off.Runner.elapsed_cycles
+    on.Runner.elapsed_cycles;
+  Alcotest.(check bool) "events were emitted" true (Tracer.emitted tr > 0);
+  (* the run crashed and recovered, so the trace saw it *)
+  Alcotest.(check int) "one crash" 1 (Tracer.count tr Event.crash);
+  Alcotest.(check int) "one recover" 1 (Tracer.count tr Event.recover);
+  Alcotest.(check bool) "log scan phase timed" true
+    (Tracer.phase_cycles tr Event.phase_log_scan > 0)
+
+(* --- Metrics --- *)
+
+let test_metrics_counts () =
+  let tr = Tracer.create ~ring_cap:64 () in
+  List.iter
+    (fun (code, b) -> Tracer.emit tr ~code ~a:0 ~b)
+    [
+      (Event.load, 3); (Event.load, 4); (Event.store, 5);
+      (Event.flush, 7); (Event.flush, 7); (Event.flush, 7);
+      (Event.fence, 9);
+      (Event.ocs_begin, 0); (Event.ocs_begin, 0);
+      (Event.ocs_commit, 0); (Event.ocs_commit, 0);
+      (Event.log_append, 0); (Event.log_append, 0); (Event.log_append, 0);
+      (Event.log_append, 0);
+    ];
+  let m = Metrics.of_tracer tr in
+  Alcotest.(check int) "loads" 2 m.Metrics.loads;
+  Alcotest.(check int) "stores" 1 m.Metrics.stores;
+  Alcotest.(check int) "flushes" 3 m.Metrics.flushes;
+  Alcotest.(check int) "commits" 2 m.Metrics.ocs_commits;
+  Alcotest.(check (float 1e-9)) "fences/commit" 0.5 m.Metrics.fences_per_commit;
+  Alcotest.(check (float 1e-9)) "flushes/commit" 1.5
+    m.Metrics.flushes_per_commit;
+  Alcotest.(check (float 1e-9)) "appends/commit" 2.0
+    m.Metrics.appends_per_commit;
+  Alcotest.(check int) "load cycles" 7
+    (List.assoc "load" m.Metrics.op_cycles);
+  Alcotest.(check int) "flush cycles" 21
+    (List.assoc "flush" m.Metrics.op_cycles)
+
+let suite =
+  ( "obs",
+    [
+      case "event/pack-roundtrip" test_pack_roundtrip;
+      case "tracer/ring-wrap" test_ring_wrap;
+      case "tracer/exposure-budget" test_exposure_budget;
+      case "chrome/escape" test_chrome_escape;
+      case "chrome/wellformed-hostile-names" test_chrome_wellformed;
+      case "tracer/no-alloc-disabled" test_no_alloc_disabled;
+      case "tracer/no-alloc-emit" test_no_alloc_emit;
+      case "runner/traced-identical" test_traced_identical;
+      case "metrics/counts" test_metrics_counts;
+    ] )
