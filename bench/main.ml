@@ -286,7 +286,17 @@ let run_bechamel tests =
      flat ring without allocating, drawing randomness or charging
      cycles, so the traced run must be sim-cycle identical to the
      untraced one — asserted here, the observability layer's central
-     determinism contract. *)
+     determinism contract; and
+   - batched-quantum execution on the single-thread hot-path workload:
+     quanta on vs slice-only vs per-op scheduling (slice 0), byte-equal
+     simulated cycles and step counts asserted across all three; and
+   - an exhaustive crash-window fault campaign with quanta on vs off,
+     whose rendered verdict ledgers must be string-identical — the
+     campaign-level witness that quanta never move a crash point.
+
+   After writing the snapshot, --quick prints a one-line host-throughput
+   delta (geomean over shared cells) against the newest committed
+   BENCH_*.json, or against --compare FILE; --no-compare suppresses it. *)
 
 let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
 
@@ -317,12 +327,15 @@ let normalize_key s =
 (* The hot path in isolation: one simulated thread hammering the device
    through the scheduler step hook, with the fast path enabled (default
    slice) or disabled (slice 0, the historical suspend-per-step path).
-   Identical simulated results are asserted; only host time differs. *)
-let hot_path_cell ~ops ~slice =
+   Identical simulated results are asserted; only host time differs.
+   [quantum] additionally wires the batched-execution handle, so
+   uncontended loads/stores bypass the hook entirely. *)
+let hot_path_cell ~ops ~slice ~quantum =
   let cfg = Nvm.Config.with_region_size Nvm.Config.desktop (1024 * 1024) in
   let pmem = Nvm.Pmem.create cfg in
   let sched =
-    Sched.Scheduler.create ~seed:7 ~cost_jitter:3 ~deterministic_slice:slice ()
+    Sched.Scheduler.create ~seed:7 ~cost_jitter:3 ~deterministic_slice:slice
+      ~quantum ()
   in
   ignore
     (Sched.Scheduler.spawn sched ~name:"hot" (fun () ->
@@ -337,10 +350,11 @@ let hot_path_cell ~ops ~slice =
          done)
       : int);
   Nvm.Pmem.set_step_hook pmem (fun ~cost -> Sched.Scheduler.step sched ~cost);
+  Nvm.Pmem.set_quantum pmem (Sched.Scheduler.quantum_handle sched);
   (match Sched.Scheduler.run sched with
   | Sched.Scheduler.Completed -> ()
   | _ -> failwith "hot-path cell did not complete");
-  Sched.Scheduler.elapsed_cycles sched
+  (Sched.Scheduler.elapsed_cycles sched, Sched.Scheduler.total_steps sched)
 
 (* The memory hierarchy alone: a load/store/periodic-cas loop against
    the device with no scheduler attached, so every nanosecond is cache
@@ -408,8 +422,133 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let run_quick ~jobs ~out =
+type compare_mode = Auto | Compare_with of string | No_compare
+
+(* Read (name, sim_cycles, host_ns) triples back out of a snapshot this
+   harness wrote.  The writer puts one cell per line, so a line scanner
+   is exact on our own format (check_json holds the real parser; this
+   one only feeds the throughput-delta report). *)
+let scan_snapshot_cells file =
+  let find_int line key =
+    let pat = Printf.sprintf "\"%s\": " key in
+    let n = String.length line and m = String.length pat in
+    let rec at i =
+      if i + m > n then None
+      else if String.equal (String.sub line i m) pat then begin
+        let j = ref (i + m) in
+        while !j < n && (match line.[!j] with '0' .. '9' -> true | _ -> false) do
+          incr j
+        done;
+        if !j > i + m then int_of_string_opt (String.sub line (i + m) (!j - i - m))
+        else None
+      end
+      else at (i + 1)
+    in
+    at 0
+  in
+  let ic = open_in file in
+  let cells = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match String.index_opt line '"' with
+       | None -> ()
+       | Some q0 -> (
+           match String.index_from_opt line (q0 + 1) '"' with
+           | None -> ()
+           | Some q1 -> (
+               let name = String.sub line (q0 + 1) (q1 - q0 - 1) in
+               match (find_int line "sim_cycles", find_int line "host_ns") with
+               | Some cy, Some ns -> cells := (name, (cy, ns)) :: !cells
+               | _ -> ()))
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !cells
+
+(* The newest committed BENCH_<n>.json sitting next to [out] (older than
+   [out] itself when [out] is one of them). *)
+let previous_snapshot ~out =
+  let dir = Filename.dirname out in
+  let parse_n name =
+    let pre = "BENCH_" and suf = ".json" in
+    let lp = String.length pre and ls = String.length suf in
+    let l = String.length name in
+    if l > lp + ls
+       && String.equal (String.sub name 0 lp) pre
+       && Filename.check_suffix name suf
+    then int_of_string_opt (String.sub name lp (l - lp - ls))
+    else None
+  in
+  let self_n = parse_n (Filename.basename out) in
+  Array.to_list (try Sys.readdir dir with Sys_error _ -> [||])
+  |> List.filter_map (fun f ->
+         match parse_n f with
+         | Some n when (match self_n with Some s -> n < s | None -> true) ->
+             Some (n, Filename.concat dir f)
+         | _ -> None)
+  |> List.sort (fun (a, _) (b, _) -> compare b a)
+  |> function
+  | (_, f) :: _ -> Some f
+  | [] -> None
+
+(* Host-throughput delta vs the previous snapshot: simulated cycles per
+   host second is the simulator's speed, and shared cells have identical
+   sim_cycles (check_json enforces it), so the ratio is a pure host-time
+   comparison.  One summary line (the geomean), one detail line per
+   shared cell. *)
+let compare_with_previous ~out ~mode =
+  let prev =
+    match mode with
+    | No_compare -> None
+    | Compare_with f -> Some f
+    | Auto -> previous_snapshot ~out
+  in
+  match prev with
+  | None -> Fmt.pr "  (no previous BENCH_*.json to compare against)@."
+  | Some prev_file ->
+      let prev_cells = scan_snapshot_cells prev_file in
+      let cur_cells = scan_snapshot_cells out in
+      let shared =
+        List.filter_map
+          (fun (name, (cy, ns)) ->
+            match List.assoc_opt name prev_cells with
+            | Some (pcy, pns) -> Some (name, (pcy, pns), (cy, ns))
+            | None -> None)
+          cur_cells
+      in
+      if shared = [] then
+        Fmt.pr "  (no cells shared with %s)@." prev_file
+      else begin
+        let tp cy ns = 1e3 *. float_of_int cy /. float_of_int (max 1 ns) in
+        let log_sum = ref 0.0 in
+        List.iter
+          (fun (name, (pcy, pns), (cy, ns)) ->
+            let sp = tp cy ns /. tp pcy pns in
+            log_sum := !log_sum +. log sp;
+            Fmt.pr "    %-40s %8.1f -> %8.1f Msimc/s (%.2fx)@." name
+              (tp pcy pns) (tp cy ns) sp)
+          shared;
+        let geo = exp (!log_sum /. float_of_int (List.length shared)) in
+        Fmt.pr "  host throughput vs %s: %.2fx geomean over %d shared cells@."
+          prev_file geo (List.length shared)
+      end
+
+let run_quick ~jobs ~out ~compare_mode =
   let jobs = match jobs with Some j -> j | None -> Workload.Parallel.default_jobs () in
+  (* The single-thread hot-path workload: the cell the quantum A/B below
+     re-runs under each execution mode. *)
+  let hot1_config =
+    {
+      (Workload.Runner.calibrated_config Nvm.Config.desktop) with
+      Workload.Runner.variant = Workload.Runner.Mutex_map Atlas.Mode.Log_only;
+      threads = 1;
+      iterations = 4000;
+      workload = Workload.Runner.Counters { h_keys = 2048; preload = true };
+      n_buckets = 1024;
+      log_mib = 2;
+    }
+  in
   (* Per-cell measurements: the Table 1 grid plus a single-thread cell
      that isolates the scheduler/cache hot path. *)
   let cells =
@@ -436,20 +575,7 @@ let run_quick ~jobs ~out =
                  quick_table1_config platform variant ))
              Workload.Table1.variants)
          [ ("desktop", Nvm.Config.desktop); ("server", Nvm.Config.server) ]
-      @ [
-          ( "hot_path_log_only_1thread",
-            {
-              (Workload.Runner.calibrated_config Nvm.Config.desktop) with
-              Workload.Runner.variant =
-                Workload.Runner.Mutex_map Atlas.Mode.Log_only;
-              threads = 1;
-              iterations = 4000;
-              workload =
-                Workload.Runner.Counters { h_keys = 2048; preload = true };
-              n_buckets = 1024;
-              log_mib = 2;
-            } );
-        ])
+      @ [ ("hot_path_log_only_1thread", hot1_config) ])
   in
   (* The allocation cell: the memory hierarchy alone, on the unboxed
      fast path.  Its contract is zero minor words per operation; the
@@ -465,13 +591,20 @@ let run_quick ~jobs ~out =
     Fmt.failwith
       "quick bench: unboxed fast path allocates (%.4f minor words/op)"
       raw_words_per_op;
-  (* A/B 1: scheduler fast path on vs off, same simulated results. *)
+  (* A/B 1: scheduler fast path on vs off, same simulated results.  Both
+     legs run without quanta so the cell keeps measuring exactly what it
+     measured when BENCH_1..4 were recorded: the slice fast path alone. *)
   let ops = 400_000 in
-  let cy_on, fast_on_ns = time_ns (fun () -> hot_path_cell ~ops ~slice:Sched.Scheduler.default_slice) in
-  let cy_off, fast_off_ns = time_ns (fun () -> hot_path_cell ~ops ~slice:0) in
+  let cy_on, fast_on_ns =
+    time_ns (fun () ->
+        hot_path_cell ~ops ~slice:Sched.Scheduler.default_slice ~quantum:false)
+  in
+  let cy_off, fast_off_ns =
+    time_ns (fun () -> hot_path_cell ~ops ~slice:0 ~quantum:false)
+  in
   if cy_on <> cy_off then
     Fmt.failwith "quick bench: fast path changed simulated cycles (%d vs %d)"
-      cy_on cy_off;
+      (fst cy_on) (fst cy_off);
   (* A/B 2: SoA/unboxed access path vs the retained boxed path.  Same
      simulated cycles by construction, asserted here on one binary. *)
   let soa_cycles, soa_on_ns, soa_on_words =
@@ -554,6 +687,81 @@ let run_quick ~jobs ~out =
       tc_on.Workload.Runner.elapsed_cycles
       tc_off.Workload.Runner.elapsed_cycles;
   let tc_events = Obs.Tracer.emitted tc_tracer in
+  (* A/B 6: batched-quantum execution on the single-thread hot path —
+     the same device-op loop the sched_fast_path pair measures, where
+     per-operation scheduling cost is the whole bill.  Three execution
+     modes of the same loop:
+     - on:         quanta + default slice (the default configuration);
+     - slice_only: no quanta, default slice (PR 1's fast path alone);
+     - off:        no quanta, slice 0 — every operation re-enters the
+                   scheduler through an effect, the historical baseline
+                   the tentpole is measured against.
+     All three must agree on simulated cycles and step counts (byte-
+     identical interleavings — the full-workload version of this
+     identity, across every Table 1 variant, lives in test_quantum.ml);
+     the JSON records all three host timings so both the headline ratio
+     (off/on) and the increment over the slice fast path
+     (slice_only/on) stay visible.  The quantum itself allocates
+     nothing, so the on leg's minor words are guarded against the
+     slice-only leg's. *)
+  let qb_ops = 400_000 in
+  let qb_run ~quantum ~slice =
+    time_and_alloc (fun () -> hot_path_cell ~ops:qb_ops ~slice ~quantum)
+  in
+  let qb_on, qb_on_ns, qb_on_words =
+    qb_run ~quantum:true ~slice:Sched.Scheduler.default_slice
+  in
+  let qb_slice, qb_slice_ns, qb_slice_words =
+    qb_run ~quantum:false ~slice:Sched.Scheduler.default_slice
+  in
+  let qb_off, qb_off_ns, _qb_off_words = qb_run ~quantum:false ~slice:0 in
+  if qb_on <> qb_slice || qb_on <> qb_off then
+    Fmt.failwith
+      "quick bench: quantum batching changed the simulation (%d/%d, %d/%d, \
+       %d/%d cycles/steps)"
+      (fst qb_on) (snd qb_on) (fst qb_slice) (snd qb_slice) (fst qb_off)
+      (snd qb_off);
+  if qb_on_words > (qb_slice_words *. 1.10) +. 65536.0 then
+    Fmt.failwith
+      "quick bench: quantum batching allocates (%.0f minor words vs %.0f \
+       without quanta)"
+      qb_on_words qb_slice_words;
+  let qb_speedup = float_of_int qb_off_ns /. float_of_int (max 1 qb_on_ns) in
+  (* A/B 7: an exhaustive crash-window fault campaign with quanta on vs
+     off.  The verdict ledger — every crash step, recovery verdict,
+     violation judgement and reproducer — must render identically, which
+     is the campaign-level witness that quanta never move a crash point
+     or change what recovery sees. *)
+  let qc_spec quantum =
+    {
+      (Workload.Fault_injector.default_spec
+         {
+           hot1_config with
+           Workload.Runner.threads = 2;
+           iterations = 300;
+           workload = Workload.Runner.Counters { h_keys = 1024; preload = true };
+           quantum;
+         })
+      with
+      Workload.Fault_injector.exhaustive =
+        Some
+          { Workload.Fault_injector.from_step = 30_000; window = 1_500; stride = 150 };
+    }
+  in
+  let qc_on, qc_on_ns =
+    time_ns (fun () -> Workload.Fault_injector.run ~jobs (qc_spec true))
+  in
+  let qc_off, qc_off_ns =
+    time_ns (fun () -> Workload.Fault_injector.run ~jobs (qc_spec false))
+  in
+  let qc_ledger s = Fmt.str "%a" Workload.Fault_injector.pp_summary s in
+  if not (String.equal (qc_ledger qc_on) (qc_ledger qc_off)) then
+    Fmt.failwith
+      "quick bench: quanta changed the crash-campaign verdict ledger:@.--- \
+       with quanta ---@.%s@.--- without ---@.%s"
+      (qc_ledger qc_on) (qc_ledger qc_off);
+  if qc_on.Workload.Fault_injector.unexpected_violations <> 0 then
+    Fmt.failwith "quick bench: quantum crash campaign found violations";
   let b = Buffer.create 4096 in
   let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   pf "{\n";
@@ -575,7 +783,7 @@ let run_quick ~jobs ~out =
   pf "  \"ab\": {\n";
   pf "    \"sched_fast_path\": { \"sim_cycles\": %d, \"on_host_ns\": %d, \
        \"off_host_ns\": %d, \"speedup\": %.2f },\n"
-    cy_on fast_on_ns fast_off_ns
+    (fst cy_on) fast_on_ns fast_off_ns
     (float_of_int fast_off_ns /. float_of_int (max 1 fast_on_ns));
   pf "    \"soa_unboxed_access\": { \"sim_cycles\": %d, \"on_host_ns\": %d, \
        \"off_host_ns\": %d, \"speedup\": %.2f, \"on_minor_words\": %.0f, \
@@ -595,10 +803,23 @@ let run_quick ~jobs ~out =
     hr_on_words hr_off_words hr_ops;
   pf "    \"trace_recording\": { \"sim_cycles\": %d, \"on_host_ns\": %d, \
        \"off_host_ns\": %d, \"overhead\": %.2f, \"on_minor_words\": %.0f, \
-       \"off_minor_words\": %.0f, \"events_emitted\": %d }\n"
+       \"off_minor_words\": %.0f, \"events_emitted\": %d },\n"
     tc_on.Workload.Runner.elapsed_cycles tc_on_ns tc_off_ns
     (float_of_int tc_on_ns /. float_of_int (max 1 tc_off_ns))
     tc_on_words tc_off_words tc_events;
+  pf "    \"quantum_batching\": { \"sim_cycles\": %d, \"total_steps\": %d, \
+       \"on_host_ns\": %d, \"off_host_ns\": %d, \"slice_only_host_ns\": %d, \
+       \"speedup\": %.2f, \"speedup_vs_slice_only\": %.2f, \
+       \"on_minor_words\": %.0f, \"slice_only_minor_words\": %.0f },\n"
+    (fst qb_on) (snd qb_on) qb_on_ns qb_off_ns qb_slice_ns qb_speedup
+    (float_of_int qb_slice_ns /. float_of_int (max 1 qb_on_ns))
+    qb_on_words qb_slice_words;
+  pf "    \"quantum_crash_campaign\": { \"crash_points\": %d, \"crashes\": %d, \
+       \"violations\": %d, \"on_host_ns\": %d, \"off_host_ns\": %d, \
+       \"speedup\": %.2f }\n"
+    qc_on.Workload.Fault_injector.total qc_on.Workload.Fault_injector.crashes
+    qc_on.Workload.Fault_injector.violations qc_on_ns qc_off_ns
+    (float_of_int qc_off_ns /. float_of_int (max 1 qc_on_ns));
   pf "  }\n";
   pf "}\n";
   let oc = open_out out in
@@ -625,34 +846,55 @@ let run_quick ~jobs ~out =
     "  event tracing: %.2fx host overhead, %d events emitted (identical sim \
      cycles)@."
     (float_of_int tc_on_ns /. float_of_int (max 1 tc_off_ns))
-    tc_events
+    tc_events;
+  Fmt.pr
+    "  quantum batching: %.2fx host speedup vs per-op scheduling, %.2fx vs \
+     slice-only (identical sim cycles)@."
+    qb_speedup
+    (float_of_int qb_slice_ns /. float_of_int (max 1 qb_on_ns));
+  Fmt.pr
+    "  quantum crash campaign: %d crash points, identical verdict ledger, \
+     %.2fx host speedup@."
+    qc_on.Workload.Fault_injector.total
+    (float_of_int qc_off_ns /. float_of_int (max 1 qc_on_ns));
+  compare_with_previous ~out ~mode:compare_mode
 
 (* --- Entry point --- *)
 
 let usage () =
   prerr_endline
-    "usage: bench [--quick] [--jobs N] [--out FILE]\n\
-     \  (no flags)  full run: paper reproduction + Bechamel microbenchmarks\n\
-     \  --quick     reduced cell set; writes a BENCH JSON snapshot and exits\n\
-     \  --jobs N    fan independent cells across N domains (default: cores)\n\
-     \  --out FILE  where --quick writes its JSON (default BENCH_4.json)";
+    "usage: bench [--quick] [--jobs N|auto] [--out FILE] [--compare FILE] \
+     [--no-compare]\n\
+     \  (no flags)      full run: paper reproduction + Bechamel microbenchmarks\n\
+     \  --quick         reduced cell set; writes a BENCH JSON snapshot and exits\n\
+     \  --jobs N|auto   fan independent cells across N domains; auto (the\n\
+     \                  default) clamps to the host's cores and runs\n\
+     \                  sequentially when that is 1\n\
+     \  --out FILE      where --quick writes its JSON (default BENCH_5.json)\n\
+     \  --compare FILE  diff --quick host throughput against FILE instead of\n\
+     \                  the newest committed BENCH_*.json\n\
+     \  --no-compare    skip the throughput delta report";
   exit 2
 
 let () =
-  let quick = ref false and jobs = ref None and out = ref "BENCH_4.json" in
+  let quick = ref false and jobs = ref None and out = ref "BENCH_5.json" in
+  let compare_mode = ref Auto in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest -> quick := true; parse rest
+    | "--jobs" :: "auto" :: rest -> jobs := None; parse rest
     | "--jobs" :: n :: rest -> begin
         match int_of_string_opt n with
         | Some n when n >= 1 -> jobs := Some n; parse rest
         | _ -> usage ()
       end
     | "--out" :: f :: rest -> out := f; parse rest
+    | "--compare" :: f :: rest -> compare_mode := Compare_with f; parse rest
+    | "--no-compare" :: rest -> compare_mode := No_compare; parse rest
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !quick then run_quick ~jobs:!jobs ~out:!out
+  if !quick then run_quick ~jobs:!jobs ~out:!out ~compare_mode:!compare_mode
   else begin
     reproduce_table1 ?jobs:!jobs ();
     reproduce_sweeps ?jobs:!jobs ();

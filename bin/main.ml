@@ -75,13 +75,38 @@ let seed_arg =
   Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED"
          ~doc:"Deterministic seed; a run is a pure function of it.")
 
+(* [--jobs] accepts a positive count or "auto" (the default): adapt to
+   the host — clamp to [Domain.recommended_domain_count ()] and take the
+   sequential no-domain path when that is 1, so a 1-core host never pays
+   domain spawn/GC overhead for zero parallelism. *)
+let jobs_conv =
+  let parse s =
+    if String.lowercase_ascii s = "auto" then Ok None
+    else
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok (Some n)
+      | Some _ | None ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "invalid jobs %S: expected a positive integer or \"auto\"" s))
+  in
+  let print ppf = function
+    | None -> Format.pp_print_string ppf "auto"
+    | Some n -> Format.pp_print_int ppf n
+  in
+  Arg.conv (parse, print)
+
 let jobs_arg =
-  Arg.(value & opt (some int) None
+  Arg.(value & opt jobs_conv None
        & info [ "jobs"; "j" ] ~docv:"N"
-           ~doc:"Fan the independent simulation cells across N domains \
-                 (default: the host core count).  Cells are deterministic \
-                 and collected in order, so results are identical for any \
-                 N; $(b,--jobs 1) additionally spawns no domains at all.")
+           ~doc:"Fan the independent simulation cells across N domains.  \
+                 $(docv) may be $(b,auto) (the default): use the host's \
+                 recommended domain count, falling back to sequential \
+                 dispatch — no domains at all — when that is 1.  Cells are \
+                 deterministic and collected in order, so results are \
+                 identical for any N; $(b,--jobs 1) also spawns no \
+                 domains.")
 
 (* table1 *)
 

@@ -1,3 +1,5 @@
+module Scheduler = Sched.Scheduler
+
 type crash_mode = Rescue | Discard
 
 type t = {
@@ -6,6 +8,10 @@ type t = {
   cache : Cache.t;
   stats : Stats.t;
   mutable hook : (cost:int -> unit) option;
+  mutable quantum : Scheduler.quantum;
+      (* burst-charge handle for plain loads/stores; [null_quantum]
+         (never grants) until a scheduler is wired in, so the hot path
+         needs no option match *)
   mutable crashed : bool;
   mutable boxed_access : bool;
       (* route accesses through the retained pre-SoA allocating path;
@@ -43,6 +49,7 @@ let create ?(journal = false) cfg =
     cache;
     stats;
     hook = None;
+    quantum = Scheduler.null_quantum;
     crashed = false;
     boxed_access = false;
     journal = (if journal then Some (Queue.create ()) else None);
@@ -53,6 +60,9 @@ let config t = t.cfg
 let stats t = t.stats
 let set_step_hook t f = t.hook <- Some f
 let clear_step_hook t = t.hook <- None
+let set_quantum t q = t.quantum <- q
+let clear_quantum t = t.quantum <- Scheduler.null_quantum
+let quantum_barrier t = Scheduler.quantum_settle t.quantum
 let set_boxed_access t b = t.boxed_access <- b
 
 let set_tracer t tr =
@@ -78,6 +88,15 @@ let step t cost =
   match t.hook with
   | Some f -> f ~cost
   | None -> t.stats.Stats.clock <- t.stats.Stats.clock + cost
+
+(* Fused charge for plain (uncontended) accesses: consume the scheduler
+   quantum when one is held — a branch and a clock add, no closure call,
+   no effect — and fall back to the full [step] road otherwise.  Only
+   loads and stores come through here; CAS, flush, fence and compute
+   charges are synchronisation points and always take [step], which
+   settles any outstanding quantum first. *)
+let[@inline] qstep t cost =
+  if not (Scheduler.quantum_try_charge t.quantum ~cost) then step t cost
 
 let charge t cycles =
   if cycles > 0 then begin
@@ -113,7 +132,7 @@ let load t addr =
     end
   in
   st.Stats.load_cycles <- st.Stats.load_cycles + cost;
-  step t cost;
+  qstep t cost;
   trace t ~code:Obs.Event.load ~a:addr ~b:cost;
   Memory.load t.mem addr
 
@@ -147,7 +166,7 @@ let store t addr v =
   st.Stats.stores <- st.Stats.stores + 1;
   let cost = store_cost t ~addr in
   st.Stats.store_cycles <- st.Stats.store_cycles + cost;
-  step t cost;
+  qstep t cost;
   trace t ~code:Obs.Event.store ~a:addr ~b:cost;
   Memory.store t.mem addr v;
   record_store t addr v
@@ -199,7 +218,7 @@ let load_int t addr =
       end
     in
     st.Stats.load_cycles <- st.Stats.load_cycles + cost;
-    step t cost;
+    qstep t cost;
     trace t ~code:Obs.Event.load ~a:addr ~b:cost;
     Memory.load_int t.mem addr
   end
@@ -212,7 +231,7 @@ let store_int t addr v =
     st.Stats.stores <- st.Stats.stores + 1;
     let cost = store_cost t ~addr in
     st.Stats.store_cycles <- st.Stats.store_cycles + cost;
-    step t cost;
+    qstep t cost;
     trace t ~code:Obs.Event.store ~a:addr ~b:cost;
     Memory.store_int t.mem addr v;
     record_store_int t addr v
@@ -260,6 +279,11 @@ let fence t =
 
 let crash t mode =
   guard t;
+  (* Crash injection aborts any in-flight burst: whatever the quantum
+     had accrued is folded into the scheduler before the device dies
+     (normally a no-op — the scheduler settles before abandoning its
+     threads — but crashes forced from harness code hit this). *)
+  quantum_barrier t;
   t.stats.Stats.crashes <- t.stats.Stats.crashes + 1;
   (* Emitted before the rescue/drop so the event's dirty-line sample is
      the exposure at the instant of failure. *)
@@ -287,6 +311,7 @@ let no_damage = { rescued = 0; torn = 0; dropped = 0; bit_flips = 0 }
 
 let crash_with t ~fault ?(rescue_limit = max_int) ~rng () =
   guard t;
+  quantum_barrier t;
   let st = t.stats in
   st.Stats.crashes <- st.Stats.crashes + 1;
   trace t ~code:Obs.Event.crash ~a:(Fault_model.tag fault) ~b:0;

@@ -48,6 +48,23 @@ val set_step_hook : t -> (cost:int -> unit) -> unit
 
 val clear_step_hook : t -> unit
 
+val set_quantum : t -> Sched.Scheduler.quantum -> unit
+(** Install the scheduler's batched-execution handle: plain loads and
+    stores first try {!Sched.Scheduler.quantum_try_charge} and only fall
+    back to the step hook when no quantum is held.  CAS, flush, fence
+    and {!charge} always go through the hook (they are synchronisation
+    points).  Wired alongside {!set_step_hook}; until then the device
+    holds {!Sched.Scheduler.null_quantum}, which never grants. *)
+
+val clear_quantum : t -> unit
+(** Reinstall {!Sched.Scheduler.null_quantum}. *)
+
+val quantum_barrier : t -> unit
+(** Settle any outstanding quantum ({!Sched.Scheduler.quantum_settle}):
+    the next access charges through the step hook.  Used by runtime
+    layers at durability boundaries (log appends, section begin/commit)
+    and before crash injection. *)
+
 val charge : t -> int -> unit
 (** Account [cycles] of pure computation (hashing, RNG, loop overhead) to
     the issuing thread.  Models the instruction stream between memory

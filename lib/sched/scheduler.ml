@@ -39,6 +39,30 @@ type t = {
   mutable last_resumed : int;
       (* thread id the run loop last handed the CPU to; context-switch
          events fire only when it changes, not on every loop pass *)
+  quantum_on : bool;
+  quantum : quantum;
+}
+
+(* A batched-execution quantum: permission for the device layer to
+   charge up to [q_budget] uncontended steps straight onto the granted
+   thread's clock without calling {!step} at all.  The scheduler grants
+   one only when a charge through {!step} could not have suspended,
+   drawn differently, or crashed — exactly one runnable thread, inline
+   budget left, and the crash window clamped out of reach — so a
+   quantum-charged burst is observationally identical to the same ops
+   charged one [step] at a time (DESIGN.md, "Quantum accounting").
+
+   [q_used] steps are accrued per-op onto [q_thread.vclock] (so clock
+   reads mid-quantum are always settled) but folded into [t.steps] /
+   [t.fast_budget] only at the next settle point: a {!step} entry, a
+   mutex block or hand-off, thread exit, or an explicit barrier. *)
+and quantum = {
+  q_sched : t;
+  q_rng : Sim_rng.t;  (* alias of [q_sched.rng]: same draw stream *)
+  q_jitter : int;
+  mutable q_thread : thread;
+  mutable q_budget : int;  (* remaining grant; 0 = no quantum held *)
+  mutable q_used : int;  (* charged but not yet folded into [t.steps] *)
 }
 
 type outcome =
@@ -59,29 +83,48 @@ type _ Effect.t +=
 
 let default_slice = 4096
 
+(* Placeholder for [q_thread] while no quantum is held.  Never charged:
+   [q_budget] is 0 whenever it is installed. *)
+let no_thread = { id = -1; name = "<no-quantum>"; vclock = 0; state = Done }
+
 let create ?(seed = 42) ?(cost_jitter = 0) ?(deterministic_slice = default_slice)
-    () =
+    ?(quantum = true) () =
   if deterministic_slice < 0 then
     invalid_arg "Scheduler.create: deterministic_slice must be >= 0";
-  {
-    threads = [||];
-    pending_rev = [];
-    n_threads = 0;
-    rng = Sim_rng.create ~seed;
-    cost_jitter;
-    deterministic_slice;
-    fast_budget = 0;
-    runnable_count = 0;
-    steps = 0;
-    crash_at_step = None;
-    crashed = false;
-    current = -1;
-    failure = None;
-    started = false;
-    next_mutex_id = 0;
-    tracer = None;
-    last_resumed = -1;
-  }
+  let rng = Sim_rng.create ~seed in
+  let rec t =
+    {
+      threads = [||];
+      pending_rev = [];
+      n_threads = 0;
+      rng;
+      cost_jitter;
+      deterministic_slice;
+      fast_budget = 0;
+      runnable_count = 0;
+      steps = 0;
+      crash_at_step = None;
+      crashed = false;
+      current = -1;
+      failure = None;
+      started = false;
+      next_mutex_id = 0;
+      tracer = None;
+      last_resumed = -1;
+      quantum_on = quantum;
+      quantum = q;
+    }
+  and q =
+    {
+      q_sched = t;
+      q_rng = rng;
+      q_jitter = cost_jitter;
+      q_thread = no_thread;
+      q_budget = 0;
+      q_used = 0;
+    }
+  in
+  t
 
 let freeze t =
   if t.pending_rev <> [] then begin
@@ -119,8 +162,75 @@ let set_tracer t tr = t.tracer <- tr
 (* Hook point for history recorders: the current thread's virtual clock,
    readable from inside the thread without freezing or scanning the
    thread table.  One field load — cheap enough to bracket every map
-   operation with two calls. *)
+   operation with two calls.  Quantum charges write the thread's vclock
+   per-op, so this read is settled even in the middle of a burst. *)
 let now t = (current_thread t).vclock
+
+(* ------------------------------------------------------------------ *)
+(* Quantum grant / settle                                              *)
+
+(* Revoke the quantum and fold its accrued steps into the scheduler
+   counters.  Called at every point where scheduling state could change
+   or be observed: [step] entry, thread exit (retc/exnc), mutex block
+   and hand-off, and explicit device barriers.  Idempotent and cheap
+   when no quantum is outstanding (two field tests). *)
+let[@inline] settle_quantum q =
+  q.q_budget <- 0;
+  if q.q_used > 0 then begin
+    let t = q.q_sched in
+    t.steps <- t.steps + q.q_used;
+    t.fast_budget <- t.fast_budget - q.q_used;
+    q.q_used <- 0
+  end
+
+let quantum_settle q = settle_quantum q
+let quantum_handle t = t.quantum
+let quantum_enabled t = t.quantum_on
+
+(* Charge one uncontended step against a held quantum: same clock
+   update and the same jitter draw from the same stream as the [step]
+   fast path, minus every per-op scheduler check (those were hoisted
+   into the grant).  Returns false when no quantum is held, sending the
+   caller down the ordinary [step] road. *)
+let[@inline] quantum_try_charge q ~cost =
+  let b = q.q_budget in
+  if b <= 0 then false
+  else begin
+    let jitter =
+      if q.q_jitter > 0 then Sim_rng.int q.q_rng (q.q_jitter + 1) else 0
+    in
+    q.q_thread.vclock <- q.q_thread.vclock + cost + jitter;
+    q.q_budget <- b - 1;
+    q.q_used <- q.q_used + 1;
+    true
+  end
+
+(* Grant a quantum to the executing thread if a burst of inline charges
+   is provably equivalent to charging through [step]: it must be the
+   only runnable thread (no interleaving, no tie-break draws), within
+   the deterministic slice (same forced-suspension cadence), and the
+   budget is clamped so the step that would open the crash window — and
+   every step after it — still goes through the effect handler. *)
+let[@inline] maybe_grant t =
+  if t.quantum_on && t.runnable_count = 1 && t.current >= 0 then begin
+    let budget =
+      match t.crash_at_step with
+      | None -> t.fast_budget
+      | Some c ->
+          let d = c - t.steps - 1 in
+          if d < t.fast_budget then d else t.fast_budget
+    in
+    if budget > 0 then begin
+      let q = t.quantum in
+      q.q_thread <- t.threads.(t.current);
+      q.q_budget <- budget
+    end
+  end
+
+(* A quantum handle that never grants: what a [Pmem] charges against
+   before a scheduler is wired in.  Owned by a throwaway scheduler that
+   never runs, so its budget stays 0 forever. *)
+let null_quantum = (create ()).quantum
 
 (* The hot path of the whole simulator: one call per simulated memory
    access.  When the calling thread is the only runnable one — every
@@ -135,6 +245,7 @@ let now t = (current_thread t).vclock
    window, so crash injection always goes through the handler, which
    abandons the continuation — observable crash states are unchanged. *)
 let step t ~cost =
+  settle_quantum t.quantum;
   let th = current_thread t in
   let crash_imminent =
     match t.crash_at_step with Some c -> t.steps + 1 >= c | None -> false
@@ -147,7 +258,11 @@ let step t ~cost =
     t.steps <- t.steps + 1;
     t.fast_budget <- t.fast_budget - 1
   end
-  else Effect.perform (Step_eff cost)
+  else Effect.perform (Step_eff cost);
+  (* Reaching here means the charge completed without a crash — offer
+     the device layer a fresh burst (this also re-grants right after a
+     resumption, since [perform] returns into this frame). *)
+  maybe_grant t
 
 let yield t = step t ~cost:0
 
@@ -155,7 +270,7 @@ let elapsed_cycles t =
   freeze t;
   Array.fold_left (fun acc th -> max acc th.vclock) 0 t.threads
 
-let total_steps t = t.steps
+let total_steps t = t.steps + t.quantum.q_used
 
 let thread_cycles t id =
   freeze t;
@@ -170,10 +285,12 @@ let handler t th =
   {
     Effect.Deep.retc =
       (fun () ->
+        settle_quantum t.quantum;
         th.state <- Done;
         t.runnable_count <- t.runnable_count - 1);
     exnc =
       (fun e ->
+        settle_quantum t.quantum;
         th.state <- Done;
         t.runnable_count <- t.runnable_count - 1;
         if t.failure = None then
@@ -200,6 +317,9 @@ let handler t th =
         | Block_eff m ->
             Some
               (fun (k : (a, unit) Effect.Deep.continuation) ->
+                (* Performed straight from [Mutex.lock], not via [step]:
+                   an outstanding quantum must be settled here. *)
+                settle_quantum t.quantum;
                 th.state <- Blocked;
                 t.runnable_count <- t.runnable_count - 1;
                 Queue.add (th, k) m.waiters)
@@ -303,6 +423,10 @@ module Mutex = struct
     | Some o when o = me.id -> begin
         match Queue.take_opt m.waiters with
         | Some (th, k) ->
+            (* The wake makes a second thread runnable: any quantum the
+               releaser still holds is no longer uncontended — revoke it
+               so its next charge goes back through the effect path. *)
+            settle_quantum m.sched.quantum;
             m.owner <- Some th.id;
             (* The waiter could not have proceeded before the release, so
                its clock jumps forward to the release instant. *)

@@ -41,7 +41,12 @@ val default_slice : int
 (** Default [deterministic_slice]: 4096 inline steps per resumption. *)
 
 val create :
-  ?seed:int -> ?cost_jitter:int -> ?deterministic_slice:int -> unit -> t
+  ?seed:int ->
+  ?cost_jitter:int ->
+  ?deterministic_slice:int ->
+  ?quantum:bool ->
+  unit ->
+  t
 (** [cost_jitter] (default 0) adds a uniform random 0..jitter cycles to
     every step, perturbing interleavings between seeds — useful for
     fault-injection diversity.
@@ -51,7 +56,12 @@ val create :
     forced back through the scheduler loop.  [0] disables the fast path
     altogether, reproducing the historical suspend-per-step execution.
     The value never changes simulated results — only how often the
-    host-level loop runs. *)
+    host-level loop runs.
+
+    [quantum] (default [true]) lets the scheduler grant batched
+    execution quanta to the device layer (see {!quantum_handle});
+    [false] confines every charge to {!step}.  Like the slice, the flag
+    never changes simulated results. *)
 
 val spawn : t -> ?name:string -> (unit -> unit) -> int
 (** Register a thread; returns its id (0, 1, ... in spawn order).  Must be
@@ -65,7 +75,59 @@ val run : ?crash_at_step:int -> t -> outcome
 val step : t -> cost:int -> unit
 (** Charge [cost] cycles to the calling thread and yield.  Must be called
     from inside a simulated thread; this is what gets wired into
-    [Pmem.set_step_hook]. *)
+    [Pmem.set_step_hook].  Settles any outstanding quantum on entry and
+    offers a fresh grant on the way out, so interleaving charges through
+    [step] and through a quantum handle is always coherent. *)
+
+(** {2 Batched-execution quanta}
+
+    The remaining per-op cost of the [deterministic_slice] fast path is
+    the call into [step] itself: a hook-closure invocation plus the
+    runnable/budget/crash checks, per simulated memory access.  A
+    {e quantum} hoists those checks out of the loop: when exactly one
+    thread is runnable, the scheduler hands the device layer a bounded
+    burst budget, and each access then costs one branch and one add on
+    the thread's clock ({!quantum_try_charge}) with no scheduler
+    re-entry at all.
+
+    Grant/settle invariants (see DESIGN.md, "Quantum accounting"):
+    grants happen only with one runnable thread, never extend past the
+    deterministic slice, and are clamped short of the crash window, so
+    the step that would crash — and any step that could contend — still
+    travels the effect path.  Charges write the granted thread's vclock
+    per-op, so {!now}, {!thread_cycles} and {!elapsed_cycles} are exact
+    mid-burst; {!total_steps} folds the unsettled count in.  A quantum
+    is revoked (settled) at every [step] entry, mutex block/hand-off,
+    thread exit, and {!quantum_settle} barrier.  Simulated results are
+    bit-identical with quanta on or off. *)
+
+type quantum
+(** A revocable burst-charge handle owned by one scheduler. *)
+
+val quantum_handle : t -> quantum
+(** The scheduler's (single, reusable) quantum handle, to be installed
+    into the device layer ([Pmem.set_quantum]).  Holding the handle
+    grants nothing: the budget only becomes positive when the scheduler
+    decides a burst is safe. *)
+
+val null_quantum : quantum
+(** A handle that never grants: charging against it always returns
+    [false].  The device layer's state before a scheduler is wired. *)
+
+val quantum_try_charge : quantum -> cost:int -> bool
+(** Charge one step's [cost] (plus the usual jitter draw) against a held
+    quantum.  [false] when no quantum is held — the caller must then
+    charge through {!step}.  Performs the same clock update and RNG
+    draw the [step] fast path would. *)
+
+val quantum_settle : quantum -> unit
+(** Explicit barrier: revoke the current grant (if any) and fold accrued
+    steps into the scheduler's counters.  Idempotent; safe from harness
+    code.  Device-level synchronisation points (log appends, OCS
+    boundaries) use this to force their charge through {!step}. *)
+
+val quantum_enabled : t -> bool
+(** Whether {!create} was given [~quantum:true] (the default). *)
 
 val yield : t -> unit
 (** [step t ~cost:0]. *)

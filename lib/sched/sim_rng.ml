@@ -1,26 +1,116 @@
-type t = { mutable state : int64 }
+(* Splitmix64, carried as two 32-bit halves in native ints.
 
-let golden_gamma = 0x9E3779B97F4A7C15L
+   The straightforward implementation over boxed [int64] allocates ~9
+   Int64 boxes per draw; with per-step cost jitter enabled that made the
+   RNG the single largest minor-heap allocator in the whole simulator
+   (BENCH_4: ~3.9M minor words on the hot single-thread cell, almost all
+   of it jitter draws).  Splitting the 64-bit state into [hi]/[lo] native
+   ints makes every draw allocation-free while producing bit-identical
+   output: each operation below is the exact mod-2^64 arithmetic of the
+   reference splitmix64, decomposed into 32-bit limbs.
 
-let create ~seed = { state = Int64.of_int seed }
-let copy t = { state = t.state }
+   Native ints are 63-bit, so a product of two 32-bit limbs can exceed
+   the native range and wrap mod 2^63.  That wrap is harmless wherever
+   only the low 32 bits of the product are kept, because 2^32 divides
+   2^63; full 64-bit products are assembled from 16-bit limbs instead.
+
+   The mixed output of a draw is left in [out_hi]/[out_lo] (pure scratch,
+   always written before read) so that [advance] needs no return-value
+   boxing. *)
+
+type t = {
+  mutable hi : int;  (* bits 32..63 of the splitmix64 state *)
+  mutable lo : int;  (* bits 0..31 *)
+  mutable out_hi : int;  (* bits 32..63 of the last mixed output *)
+  mutable out_lo : int;  (* bits 0..31 *)
+}
+
+let mask32 = 0xFFFFFFFF
+
+(* golden_gamma = 0x9E3779B97F4A7C15; mix multipliers per Steele et al. *)
+let gamma_hi = 0x9E3779B9
+let gamma_lo = 0x7F4A7C15
+let m1_hi = 0xBF58476D
+let m1_lo = 0x1CE4E5B9
+let m2_hi = 0x94D049BB
+let m2_lo = 0x133111EB
+
+(* High 32 bits of the exact 64-bit product of two 32-bit values,
+   via 16-bit limbs (the low 32 bits are just [(a * b) land mask32]). *)
+let[@inline] umul_hi32 a b =
+  let al = a land 0xFFFF and ah = a lsr 16 in
+  let bl = b land 0xFFFF and bh = b lsr 16 in
+  let ll = al * bl in
+  let mid = (al * bh) + (ah * bl) in
+  let lo = ll + ((mid land 0xFFFF) lsl 16) in
+  ((ah * bh) + (mid lsr 16) + (lo lsr 32)) land mask32
+
+(* One splitmix64 draw: state += gamma, then the 30/27/31 xorshift-
+   multiply finalizer.  Leaves the output in [out_hi]/[out_lo]. *)
+let[@inline] advance t =
+  let slo = t.lo + gamma_lo in
+  let shi = (t.hi + gamma_hi + (slo lsr 32)) land mask32 in
+  let slo = slo land mask32 in
+  t.hi <- shi;
+  t.lo <- slo;
+  (* z ^= z >>> 30 *)
+  let zlo = slo lxor (((shi lsl 2) lor (slo lsr 30)) land mask32) in
+  let zhi = shi lxor (shi lsr 30) in
+  (* z *= m1 *)
+  let mlo = (zlo * m1_lo) land mask32 in
+  let mhi = (umul_hi32 zlo m1_lo + (zlo * m1_hi) + (zhi * m1_lo)) land mask32 in
+  (* z ^= z >>> 27 *)
+  let zlo = mlo lxor (((mhi lsl 5) lor (mlo lsr 27)) land mask32) in
+  let zhi = mhi lxor (mhi lsr 27) in
+  (* z *= m2 *)
+  let mlo = (zlo * m2_lo) land mask32 in
+  let mhi = (umul_hi32 zlo m2_lo + (zlo * m2_hi) + (zhi * m2_lo)) land mask32 in
+  (* z ^= z >>> 31 *)
+  t.out_lo <- mlo lxor (((mhi lsl 1) lor (mlo lsr 31)) land mask32);
+  t.out_hi <- mhi lxor (mhi lsr 31)
+
+(* Matches [Int64.of_int seed]: [asr] sign-extends, so bit 63 of the
+   widened seed lands in bit 31 of [hi]. *)
+let create ~seed =
+  { hi = (seed asr 32) land mask32; lo = seed land mask32; out_hi = 0; out_lo = 0 }
+
+let copy t = { hi = t.hi; lo = t.lo; out_hi = t.out_hi; out_lo = t.out_lo }
 
 let next t =
-  t.state <- Int64.add t.state golden_gamma;
-  let z = t.state in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
+  advance t;
+  Int64.logor
+    (Int64.shift_left (Int64.of_int t.out_hi) 32)
+    (Int64.of_int t.out_lo)
 
-let split t = { state = next t }
+let split t =
+  advance t;
+  { hi = t.out_hi; lo = t.out_lo; out_hi = 0; out_lo = 0 }
 
 let int t n =
   if n <= 0 then Fmt.invalid_arg "Sim_rng.int: bound %d must be positive" n;
-  (* Rejection-free modulo is fine here: n is always far below 2^62. *)
-  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int n))
+  advance t;
+  (* v = output >>> 1, a 63-bit value split as vhi * 2^32 + vlo. *)
+  let vhi = t.out_hi lsr 1 in
+  let vlo = ((t.out_hi land 1) lsl 31) lor (t.out_lo lsr 1) in
+  if n <= 0x40000000 then
+    (* v mod n limb-wise: vhi*2^32 ≡ (vhi mod n)*(2^32 mod n) (mod n);
+       the product is < 2^60, so the sum stays in native range. *)
+    (((vhi mod n) * (0x100000000 mod n)) + (vlo mod n)) mod n
+  else
+    (* Bounds this large never occur on hot paths; take the boxed road. *)
+    Int64.to_int
+      (Int64.rem
+         (Int64.logor
+            (Int64.shift_left (Int64.of_int vhi) 32)
+            (Int64.of_int vlo))
+         (Int64.of_int n))
 
-let bool t = Int64.logand (next t) 1L = 1L
+let bool t =
+  advance t;
+  t.out_lo land 1 = 1
 
 let float t x =
-  let u = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  advance t;
+  (* output >>> 11 is < 2^53: exact as a float and within native range. *)
+  let u = float_of_int ((t.out_hi lsl 21) lor (t.out_lo lsr 11)) in
   x *. (u /. 9007199254740992.0 (* 2^53 *))

@@ -7,7 +7,11 @@
     of jobs affects wall-clock time only. *)
 
 val default_jobs : unit -> int
-(** [Domain.recommended_domain_count ()]: one job per available core. *)
+(** [Domain.recommended_domain_count ()]: one job per available core.
+    This is what [--jobs auto] (the CLI and bench default) resolves to,
+    so on a single-core host every fan-out degrades to the sequential
+    path below and dispatch costs nothing — parallelism is only paid
+    for where it can win. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] applies [f] to every element of [xs] using at most

@@ -41,6 +41,12 @@ type config = {
   record_latency : bool;
   instrument : (Scheduler.t -> Tsp_maps.Map_intf.ops -> Tsp_maps.Map_intf.ops) option;
   tracer : Obs.Tracer.t option;
+  quantum : bool;
+      (* let the scheduler grant batched-execution quanta (host-speed
+         only; simulated results are bit-identical either way) *)
+  deterministic_slice : int;
+      (* scheduler inline-step slice; 0 = suspend per step.  Host-speed
+         only, like [quantum] *)
 }
 
 let default_config =
@@ -66,6 +72,8 @@ let default_config =
     record_latency = false;
     instrument = None;
     tracer = None;
+    quantum = true;
+    deterministic_slice = Scheduler.default_slice;
   }
 
 (* Per-platform charges solved so the counter workload reproduces the
@@ -466,7 +474,10 @@ let run_full config =
   let pmem = Nvm.Pmem.create ~journal:config.journal config.platform in
   let heap_size = log_base config in
   let heap = Heap.create pmem ~base:0 ~size:heap_size in
-  let sched = Scheduler.create ~seed:config.seed ~cost_jitter:config.cost_jitter () in
+  let sched =
+    Scheduler.create ~seed:config.seed ~cost_jitter:config.cost_jitter
+      ~quantum:config.quantum ~deterministic_slice:config.deterministic_slice ()
+  in
   wire_tracer config pmem sched;
   let atlas =
     match config.variant with
@@ -549,9 +560,12 @@ let run_full config =
     spawn_worker tid
   done;
   Nvm.Pmem.set_step_hook pmem (fun ~cost -> Scheduler.step sched ~cost);
+  Nvm.Pmem.set_quantum pmem (Scheduler.quantum_handle sched);
   let sched_outcome =
     Fun.protect
-      ~finally:(fun () -> Nvm.Pmem.clear_step_hook pmem)
+      ~finally:(fun () ->
+        Nvm.Pmem.clear_quantum pmem;
+        Nvm.Pmem.clear_step_hook pmem)
       (fun () -> Scheduler.run ?crash_at_step:config.crash_at_step sched)
   in
   let iterations_done = Array.fold_left ( + ) 0 progress in
@@ -732,7 +746,8 @@ type resume_report = {
 
 let resume_counters config pmem heap ~h_keys ~max_seq =
   let sched =
-    Scheduler.create ~seed:(config.seed + 101) ~cost_jitter:config.cost_jitter ()
+    Scheduler.create ~seed:(config.seed + 101) ~cost_jitter:config.cost_jitter
+      ~quantum:config.quantum ~deterministic_slice:config.deterministic_slice ()
   in
   (* The resumed run gets a fresh scheduler: repoint the tracer's thread
      and clock closures at it so post-recovery events keep flowing. *)
@@ -797,9 +812,12 @@ let resume_counters config pmem heap ~h_keys ~max_seq =
         : int)
   done;
   Nvm.Pmem.set_step_hook pmem (fun ~cost -> Scheduler.step sched ~cost);
+  Nvm.Pmem.set_quantum pmem (Scheduler.quantum_handle sched);
   let outcome =
     Fun.protect
-      ~finally:(fun () -> Nvm.Pmem.clear_step_hook pmem)
+      ~finally:(fun () ->
+        Nvm.Pmem.clear_quantum pmem;
+        Nvm.Pmem.clear_step_hook pmem)
       (fun () -> Scheduler.run sched)
   in
   (outcome, !resumed_iters, fold_root)

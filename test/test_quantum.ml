@@ -1,0 +1,312 @@
+(* Batched-quantum execution (the PR 6 tentpole) must be a pure
+   host-speed optimisation: with quanta granted, bursts of uncontended
+   loads/stores charge the thread clock without re-entering the
+   scheduler, yet every simulated observable — cycles, step counts,
+   interleavings, crash points, durable images, traces, histories —
+   stays bit-identical to the suspend-per-step slow path.  These tests
+   pin that contract from every angle the bench's single A/B cell
+   cannot: all Table 1 variants, exhaustive crash enumeration, the
+   tracer and history observers, and randomised slice/quantum sizes. *)
+
+open Helpers
+module Runner = Workload.Runner
+module Table1 = Workload.Table1
+module FI = Workload.Fault_injector
+module Tracer = Obs.Tracer
+module History = Check.History
+module Mutex = Scheduler.Mutex
+
+(* Everything a run exposes about the simulation (host wall time and
+   latency sample buffers excluded). *)
+let observables (r : Runner.result) =
+  ( r.Runner.elapsed_cycles,
+    r.Runner.total_steps,
+    r.Runner.iterations_done,
+    r.Runner.outcome,
+    r.Runner.entries,
+    r.Runner.device_stats )
+
+let variant_config variant =
+  {
+    (Runner.calibrated_config Nvm.Config.desktop) with
+    Runner.variant;
+    threads = 3;
+    iterations = 120;
+    workload = Runner.Counters { h_keys = 512; preload = true };
+    n_buckets = 512;
+    log_mib = 2;
+  }
+
+(* 1. Full-workload identity across every Table 1 variant: the quantum
+   path runs the map, Atlas and recovery machinery end to end, so any
+   accounting slip (a missed settle, a double charge, a skipped jitter
+   draw) shows up as a cycle or entry diff here. *)
+let test_table1_variants_identical () =
+  List.iter
+    (fun variant ->
+      let name = Runner.variant_to_string variant in
+      let run quantum =
+        Runner.run { (variant_config variant) with Runner.quantum }
+      in
+      let on = run true and off = run false in
+      Alcotest.(check bool) (name ^ ": consistent") true (Runner.consistent on);
+      Alcotest.(check int)
+        (name ^ ": elapsed cycles")
+        off.Runner.elapsed_cycles on.Runner.elapsed_cycles;
+      Alcotest.(check bool)
+        (name ^ ": all observables identical")
+        true
+        (observables on = observables off))
+    Table1.variants
+
+(* 2. Crash fidelity, directly: a crash injected at a fixed step must
+   fire at that step and leave the same durable image whether or not
+   the crashed burst was running inside a quantum (grant budgets are
+   clamped to the crash boundary, so the handler path takes over for
+   the final pre-crash step). *)
+let test_crash_image_identical () =
+  let crashed ~quantum =
+    let pmem = desktop_pmem ~region_mib:1 () in
+    let sched = Scheduler.create ~seed:11 ~quantum () in
+    ignore
+      (Scheduler.spawn sched (fun () ->
+           for i = 0 to 9_999 do
+             Pmem.store_int pmem ((i * 8) land 0xFFFF) i
+           done)
+        : int);
+    Pmem.set_step_hook pmem (fun ~cost -> Scheduler.step sched ~cost);
+    Pmem.set_quantum pmem (Scheduler.quantum_handle sched);
+    let outcome = Scheduler.run ~crash_at_step:1234 sched in
+    Pmem.clear_quantum pmem;
+    Pmem.clear_step_hook pmem;
+    (match outcome with
+    | Scheduler.Crashed { at_step } ->
+        Alcotest.(check int) "crash step" 1234 at_step
+    | _ -> Alcotest.fail "expected a crash");
+    Pmem.crash pmem Pmem.Rescue;
+    Pmem.durable_snapshot pmem
+  in
+  Alcotest.(check bool)
+    "post-crash durable image identical" true
+    (String.equal (crashed ~quantum:true) (crashed ~quantum:false))
+
+(* 3. Crash-point-set equality over an exhaustive enumeration: the
+   campaign visits every stride-th boundary of a window, and each run's
+   full outcome — crash step, recovery verdict, rollback work, per-run
+   device cycles, reproducer — must be identical with and without
+   quanta, and the rendered ledger byte-identical across --jobs. *)
+let test_exhaustive_campaign_identical () =
+  let spec quantum =
+    let base =
+      {
+        (Runner.calibrated_config Nvm.Config.desktop) with
+        Runner.variant = Runner.Mutex_map Atlas.Mode.Log_only;
+        threads = 2;
+        iterations = 150;
+        workload = Runner.Counters { h_keys = 256; preload = true };
+        n_buckets = 512;
+        log_mib = 1;
+        quantum;
+      }
+    in
+    {
+      (FI.default_spec base) with
+      FI.exhaustive = Some { FI.from_step = 10_000; window = 800; stride = 100 };
+    }
+  in
+  let on = FI.run ~jobs:1 (spec true) in
+  let off = FI.run ~jobs:1 (spec false) in
+  Alcotest.(check (list int))
+    "crash-point set identical"
+    (List.map (fun (o : FI.run_outcome) -> o.FI.crash_step) off.FI.outcomes)
+    (List.map (fun (o : FI.run_outcome) -> o.FI.crash_step) on.FI.outcomes);
+  Alcotest.(check bool)
+    "every run outcome identical" true
+    (on.FI.outcomes = off.FI.outcomes);
+  let render s = Fmt.str "%a" FI.pp_summary s in
+  Alcotest.(check bool)
+    "verdict ledger identical" true
+    (String.equal (render on) (render off));
+  Alcotest.(check bool)
+    "ledger byte-identical across --jobs (quanta on)" true
+    (String.equal (render on) (render (FI.run ~jobs:2 (spec true))))
+
+(* 4. The tracer under quanta: emitted events (codes, tids, virtual
+   timestamps, payloads) must match the slow path byte for byte —
+   including the ctx-switch dedup, which must not see phantom switches
+   at quantum boundaries. *)
+let test_tracer_identical () =
+  let run quantum =
+    let tracer = Tracer.create ~ring_cap:65536 () in
+    let r =
+      Runner.run
+        {
+          (variant_config (Runner.Mutex_map Atlas.Mode.Log_only)) with
+          Runner.quantum;
+          tracer = Some tracer;
+        }
+    in
+    Alcotest.(check bool) "consistent" true (Runner.consistent r);
+    let evs = ref [] in
+    Tracer.iter tracer (fun e -> evs := e :: !evs);
+    (Tracer.emitted tracer, Tracer.dropped tracer, List.rev !evs)
+  in
+  let em_on, dr_on, evs_on = run true in
+  let em_off, dr_off, evs_off = run false in
+  Alcotest.(check int) "events emitted" em_off em_on;
+  Alcotest.(check int) "events dropped" dr_off dr_on;
+  Alcotest.(check bool) "event streams identical" true (evs_on = evs_off)
+
+(* 5. The ISSUE-6 bugfix regression: a history record's t0/t1 read the
+   virtual clock mid-burst, and must observe the settled per-op cycle —
+   not the cycle at which the quantum was granted.  Records (op, key,
+   tid, timestamps, results) must be identical across quantum on/off. *)
+let test_history_timestamps_identical () =
+  let run quantum =
+    let recorder = ref None in
+    let instrument sched ops =
+      let h = History.create ~sched ~capacity:4096 () in
+      recorder := Some h;
+      History.wrap h ops
+    in
+    let r =
+      Runner.run
+        {
+          (variant_config (Runner.Mutex_map Atlas.Mode.Log_only)) with
+          Runner.quantum;
+          instrument = Some instrument;
+        }
+    in
+    Alcotest.(check bool) "consistent" true (Runner.consistent r);
+    match !recorder with
+    | Some h -> History.records h
+    | None -> Alcotest.fail "instrument hook never ran"
+  in
+  let on = run true and off = run false in
+  Alcotest.(check int) "ops recorded" (List.length off) (List.length on);
+  Alcotest.(check bool)
+    "records (incl. t0/t1 timestamps) identical" true (on = off)
+
+(* 6. Randomised equivalence: a contended-then-uncontended two-thread
+   workload at an arbitrary slice (which also bounds the quantum size)
+   must match the suspend-per-step reference in every observable. *)
+let mini_observables ~seed ~slice ~quantum =
+  let pmem = desktop_pmem ~region_mib:1 () in
+  let sched =
+    Scheduler.create ~seed ~cost_jitter:3 ~deterministic_slice:slice ~quantum ()
+  in
+  let m = Mutex.create sched in
+  let body tid () =
+    for i = 0 to 199 do
+      Mutex.lock m;
+      let addr = (i * 64) land 0xFFFF in
+      Pmem.store_int pmem addr ((tid * 100_000) + i);
+      ignore (Pmem.load_int pmem addr : int);
+      if i land 31 = 0 then begin
+        Pmem.flush pmem addr;
+        Pmem.fence pmem
+      end;
+      Mutex.unlock m
+    done;
+    (* Uncontended tail for thread 0: where quanta actually grant. *)
+    if tid = 0 then
+      for i = 0 to 999 do
+        Pmem.store_int pmem ((i * 8) land 0xFFFF) i
+      done
+  in
+  ignore (Scheduler.spawn sched ~name:"t0" (body 0) : int);
+  ignore (Scheduler.spawn sched ~name:"t1" (body 1) : int);
+  Pmem.set_step_hook pmem (fun ~cost -> Scheduler.step sched ~cost);
+  Pmem.set_quantum pmem (Scheduler.quantum_handle sched);
+  (match Scheduler.run sched with
+  | Scheduler.Completed -> ()
+  | _ -> Alcotest.fail "expected completion");
+  Pmem.clear_quantum pmem;
+  Pmem.clear_step_hook pmem;
+  ( Pmem.stats pmem,
+    Pmem.durable_snapshot pmem,
+    Scheduler.elapsed_cycles sched,
+    Scheduler.total_steps sched )
+
+let qcheck_quantum_equiv =
+  qcheck ~count:25 "random slice/quantum matches the slow path"
+    QCheck2.Gen.(triple (int_bound 9_999) (int_bound 64) bool)
+    (fun (seed, slice, quantum) ->
+      mini_observables ~seed ~slice ~quantum
+      = mini_observables ~seed ~slice:0 ~quantum:false)
+
+(* 7. The allocation-free Sim_rng rewrite that feeds per-op jitter draws
+   inside quanta: its two-limb native-int stream must match the boxed
+   int64 splitmix64 reference draw by draw, across every public
+   operation and both [int] bound regimes (limb-wise modulo below
+   2^30, the int64 fallback above). *)
+module Rng_ref = struct
+  type t = { mutable state : int64 }
+
+  let golden_gamma = 0x9E3779B97F4A7C15L
+  let create ~seed = { state = Int64.of_int seed }
+
+  let next t =
+    t.state <- Int64.add t.state golden_gamma;
+    let z = t.state in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let int t n =
+    Int64.to_int
+      (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int n))
+
+  let bool t = Int64.logand (next t) 1L = 1L
+
+  let float t x =
+    let u = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+    x *. (u /. 9007199254740992.0)
+end
+
+let rng_bounds =
+  [ 1; 2; 3; 7; 100; 12_289; 1 lsl 20; 0x3FFFFFFF; 0x40000000; 0x40000001;
+    1 lsl 40; max_int ]
+
+let qcheck_rng_reference =
+  qcheck ~count:500 "Sim_rng matches the boxed int64 reference"
+    QCheck2.Gen.int
+    (fun seed ->
+      let r = Rng.create ~seed and f = Rng_ref.create ~seed in
+      let ok = ref true in
+      for _ = 1 to 8 do
+        ok := !ok && Int64.equal (Rng.next r) (Rng_ref.next f);
+        List.iter (fun n -> ok := !ok && Rng.int r n = Rng_ref.int f n)
+          rng_bounds;
+        ok := !ok && Bool.equal (Rng.bool r) (Rng_ref.bool f);
+        ok := !ok && Float.equal (Rng.float r 3.5) (Rng_ref.float f 3.5)
+      done;
+      (* split derives the child from the next raw draw; copy preserves
+         the stream position. *)
+      let rc = Rng.split r and fc = { Rng_ref.state = Rng_ref.next f } in
+      ok := !ok && Int64.equal (Rng.next rc) (Rng_ref.next fc);
+      let rd = Rng.copy r in
+      ok := !ok && Int64.equal (Rng.next rd) (Rng.next r);
+      !ok)
+
+let suite =
+  ( "quantum",
+    [
+      case "quantum invisible across all Table 1 variants"
+        test_table1_variants_identical;
+      case "crash image identical across quantum on/off"
+        test_crash_image_identical;
+      slow_case "exhaustive crash enumeration identical with quanta"
+        test_exhaustive_campaign_identical;
+      case "tracer byte-identical under quanta" test_tracer_identical;
+      case "history timestamps settle per op inside quanta"
+        test_history_timestamps_identical;
+      qcheck_quantum_equiv;
+      qcheck_rng_reference;
+    ] )
