@@ -762,6 +762,79 @@ let run_quick ~jobs ~out ~compare_mode =
       (qc_ledger qc_on) (qc_ledger qc_off);
   if qc_on.Workload.Fault_injector.unexpected_violations <> 0 then
     Fmt.failwith "quick bench: quantum crash campaign found violations";
+  (* A/B 8: the sharded KV service, one shard crashed and recovered
+     online vs nobody crashed.  Shards are independent simulation cells
+     behind a deterministic router, so the crash parameters never reach
+     the survivors: their witnesses (request fates, step counts, device
+     and scheduler clocks) must be identical in both legs — the
+     bench-level blast-radius guarantee.  The snapshot records the
+     victim's full timeline (down, recovery, back up) with its final
+     scheduler clock as the sim_cycles witness. *)
+  let sv_config =
+    {
+      Service.Serve.smoke_config with
+      Service.Serve.shards = 3;
+      seed = 23;
+      keys = 2048;
+      requests = 1200;
+      rate_per_mcycle = 250.;
+      crash_shard = Some 1;
+      n_buckets = Some 512;
+      windows = 6;
+    }
+  in
+  let sv_crash, sv_crash_ns =
+    time_ns (fun () -> Service.Serve.run ~jobs sv_config)
+  in
+  let sv_base, sv_base_ns =
+    time_ns (fun () ->
+        Service.Serve.run ~jobs
+          { sv_config with Service.Serve.crash_shard = None })
+  in
+  let sv_witness (s : Service.Serve.shard_report) =
+    ( s.Service.Serve.served,
+      s.Service.Serve.shed,
+      s.Service.Serve.timed_out,
+      s.Service.Serve.steps,
+      s.Service.Serve.sim_cycles,
+      s.Service.Serve.elapsed_cycles )
+  in
+  Array.iteri
+    (fun i (s : Service.Serve.shard_report) ->
+      if i <> 1 && sv_witness s <> sv_witness sv_base.Service.Serve.shards.(i)
+      then
+        Fmt.failwith
+          "quick bench: shard %d witness differs between crashed and \
+           crash-free service runs (blast radius leaked)"
+          i)
+    sv_crash.Service.Serve.shards;
+  let sv_victim = sv_crash.Service.Serve.shards.(1) in
+  if not (String.equal sv_victim.Service.Serve.outcome "crashed+recovered")
+  then
+    Fmt.failwith "quick bench: service victim shard outcome is %S"
+      sv_victim.Service.Serve.outcome;
+  let sv_rec =
+    match sv_victim.Service.Serve.recovery with
+    | Some r -> r
+    | None -> Fmt.failwith "quick bench: service victim has no recovery report"
+  in
+  (match sv_rec.Service.Serve.dl with
+  | Some v when Check.Dl.is_explained v -> ()
+  | Some v ->
+      Fmt.failwith "quick bench: service victim failed the DL check: %a"
+        Check.Dl.pp_verdict v
+  | None ->
+      Fmt.failwith "quick bench: service victim DL check was skipped (%s)"
+        sv_rec.Service.Serve.dl_note);
+  let sv_tally (r : Service.Serve.report) =
+    Array.fold_left
+      (fun (srv, shd, t_o) (s : Service.Serve.shard_report) ->
+        ( srv + s.Service.Serve.served,
+          shd + s.Service.Serve.shed,
+          t_o + s.Service.Serve.timed_out ))
+      (0, 0, 0) r.Service.Serve.shards
+  in
+  let sv_served, sv_shed, sv_timed_out = sv_tally sv_crash in
   let b = Buffer.create 4096 in
   let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   pf "{\n";
@@ -816,10 +889,18 @@ let run_quick ~jobs ~out ~compare_mode =
     qb_on_words qb_slice_words;
   pf "    \"quantum_crash_campaign\": { \"crash_points\": %d, \"crashes\": %d, \
        \"violations\": %d, \"on_host_ns\": %d, \"off_host_ns\": %d, \
-       \"speedup\": %.2f }\n"
+       \"speedup\": %.2f },\n"
     qc_on.Workload.Fault_injector.total qc_on.Workload.Fault_injector.crashes
     qc_on.Workload.Fault_injector.violations qc_on_ns qc_off_ns
     (float_of_int qc_off_ns /. float_of_int (max 1 qc_on_ns));
+  pf "    \"shard_service\": { \"sim_cycles\": %d, \"t_down\": %d, \
+       \"t_up\": %d, \"recovery_cycles\": %d, \"rescued_lines\": %d, \
+       \"served\": %d, \"shed\": %d, \"timed_out\": %d, \
+       \"crash_host_ns\": %d, \"baseline_host_ns\": %d }\n"
+    sv_victim.Service.Serve.elapsed_cycles sv_rec.Service.Serve.t_down
+    sv_rec.Service.Serve.t_up sv_rec.Service.Serve.recovery_cycles
+    sv_rec.Service.Serve.rescued_lines sv_served sv_shed sv_timed_out
+    sv_crash_ns sv_base_ns;
   pf "  }\n";
   pf "}\n";
   let oc = open_out out in
@@ -857,6 +938,10 @@ let run_quick ~jobs ~out ~compare_mode =
      %.2fx host speedup@."
     qc_on.Workload.Fault_injector.total
     (float_of_int qc_off_ns /. float_of_int (max 1 qc_on_ns));
+  Fmt.pr
+    "  shard service: victim down %d cycles (%d lines rescued), survivors \
+     byte-identical to the crash-free run@."
+    sv_rec.Service.Serve.recovery_cycles sv_rec.Service.Serve.rescued_lines;
   compare_with_previous ~out ~mode:compare_mode
 
 (* --- Entry point --- *)
@@ -870,14 +955,14 @@ let usage () =
      \  --jobs N|auto   fan independent cells across N domains; auto (the\n\
      \                  default) clamps to the host's cores and runs\n\
      \                  sequentially when that is 1\n\
-     \  --out FILE      where --quick writes its JSON (default BENCH_5.json)\n\
+     \  --out FILE      where --quick writes its JSON (default BENCH_6.json)\n\
      \  --compare FILE  diff --quick host throughput against FILE instead of\n\
      \                  the newest committed BENCH_*.json\n\
      \  --no-compare    skip the throughput delta report";
   exit 2
 
 let () =
-  let quick = ref false and jobs = ref None and out = ref "BENCH_5.json" in
+  let quick = ref false and jobs = ref None and out = ref "BENCH_6.json" in
   let compare_mode = ref Auto in
   let rec parse = function
     | [] -> ()

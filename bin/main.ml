@@ -863,6 +863,170 @@ let trace_cmd =
           $ threads_arg $ seed_arg $ crash_at $ hardware $ failure
           $ fault_model $ out $ exposure $ ring_cap $ budget_lines $ smoke)
 
+(* serve *)
+
+let serve_cmd =
+  let degraded_conv =
+    let parse s = Result.map_error (fun m -> `Msg m) (Service.Degraded.of_string s) in
+    Arg.conv (parse, Service.Degraded.pp)
+  in
+  let preset_conv =
+    let parse s =
+      Result.map_error (fun m -> `Msg m) (Workload.Ycsb.preset_of_string s)
+    in
+    Arg.conv (parse, fun ppf p -> Fmt.string ppf (Workload.Ycsb.preset_to_string p))
+  in
+  let fault_model_conv =
+    let parse s = Result.map_error (fun m -> `Msg m) (Nvm.Fault_model.of_string s) in
+    Arg.conv (parse, Nvm.Fault_model.pp)
+  in
+  let run () smoke platform variant shards seed keys requests rate theta preset
+      crash_shard crash_at fault_model degraded trace_out jobs windows =
+    let base =
+      if smoke then Service.Serve.smoke_config else Service.Serve.default_config
+    in
+    let override v f = Option.fold ~none:v ~some:f in
+    let cfg =
+      {
+        base with
+        Service.Serve.platform;
+        variant;
+        shards = override base.Service.Serve.shards Fun.id shards;
+        seed = override base.Service.Serve.seed Fun.id seed;
+        keys = override base.Service.Serve.keys Fun.id keys;
+        requests = override base.Service.Serve.requests Fun.id requests;
+        rate_per_mcycle = override base.Service.Serve.rate_per_mcycle Fun.id rate;
+        theta = override base.Service.Serve.theta Fun.id theta;
+        preset = override base.Service.Serve.preset Fun.id preset;
+        crash_shard =
+          override base.Service.Serve.crash_shard Option.some crash_shard;
+        crash_at_step = crash_at;
+        fault_model;
+        degraded = override base.Service.Serve.degraded Fun.id degraded;
+        trace = trace_out <> None;
+        windows = override base.Service.Serve.windows Fun.id windows;
+      }
+    in
+    let r = Service.Serve.run ?jobs cfg in
+    print_string (Service.Serve.render r);
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+        if Service.Serve.write_trace r ~path then
+          Fmt.pr "@.trace written to %s@." path);
+    (* Under rescue-class crash semantics the service must come back
+       consistent; a lost shard or a DL violation is a real failure.
+       Adversarial fault models are allowed to lose the shard. *)
+    let adversarial =
+      match cfg.Service.Serve.fault_model with
+      | Some fm -> Nvm.Fault_model.expects_loss fm
+      | None -> false
+    in
+    let bad (s : Service.Serve.shard_report) =
+      s.Service.Serve.outcome = "deadlocked"
+      || ((not adversarial) && s.Service.Serve.outcome = "crashed+lost")
+      || (match s.Service.Serve.recovery with
+         | Some { Service.Serve.dl = Some v; _ } ->
+             not (Check.Dl.is_explained v)
+         | _ -> false)
+    in
+    if Array.exists bad r.Service.Serve.shards then exit 1
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Seconds-scale CI preset: 4 shards, 16 Ki keys, 6000 \
+                   requests, a crash on shard 1.  Explicit options still \
+                   override it.")
+  in
+  let platform =
+    Arg.(value & opt platform_conv Nvm.Config.desktop
+         & info [ "platform" ] ~docv:"P" ~doc:"desktop or server.")
+  in
+  let variant =
+    Arg.(value
+         & opt variant_conv (Workload.Runner.Mutex_map Atlas.Mode.Log_only)
+         & info [ "variant" ] ~docv:"VARIANT" ~doc:"Per-shard map variant.")
+  in
+  let shards =
+    Arg.(value & opt (some int) None
+         & info [ "shards" ] ~docv:"N" ~doc:"Number of independent shards.")
+  in
+  let seed =
+    Arg.(value & opt (some int) None
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Deterministic seed; the whole report is a pure function \
+                   of it.")
+  in
+  let keys =
+    Arg.(value & opt (some int) None
+         & info [ "keys" ] ~docv:"K"
+             ~doc:"Global keyspace size (keys are hashed onto shards).")
+  in
+  let requests =
+    Arg.(value & opt (some int) None
+         & info [ "requests" ] ~docv:"N" ~doc:"Open-loop requests to issue.")
+  in
+  let rate =
+    Arg.(value & opt (some float) None
+         & info [ "arrival-rate" ] ~docv:"R"
+             ~doc:"Aggregate Poisson arrival rate, requests per simulated \
+                   Mcycle.")
+  in
+  let theta =
+    Arg.(value & opt (some float) None
+         & info [ "theta" ] ~docv:"T"
+             ~doc:"Zipfian skew in [0, 1); 0 is the uniform degenerate case.")
+  in
+  let preset =
+    Arg.(value & opt (some preset_conv) None
+         & info [ "preset" ] ~docv:"PRESET"
+             ~doc:"YCSB operation mix: A, B, C or F.")
+  in
+  let crash_shard =
+    Arg.(value & opt (some int) None
+         & info [ "crash-shard" ] ~docv:"S"
+             ~doc:"Crash shard S mid-traffic and recover it online while the \
+                   others keep serving.")
+  in
+  let crash_at =
+    Arg.(value & opt (some int) None
+         & info [ "crash-at" ] ~docv:"STEP"
+             ~doc:"Crash after STEP simulated memory operations on the \
+                   victim shard (default: half its crash-free step count).")
+  in
+  let fault_model =
+    Arg.(value & opt (some fault_model_conv) None
+         & info [ "fault-model" ] ~docv:"FM"
+             ~doc:"Adversarial crash semantics for the victim shard.")
+  in
+  let degraded =
+    Arg.(value & opt (some degraded_conv) None
+         & info [ "degraded-mode" ] ~docv:"MODE"
+             ~doc:"What the router does with requests for a down shard: \
+                   $(b,shed), $(b,queue[:deadline]) or \
+                   $(b,retry[:backoff[:max]]).")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a Perfetto trace with one process group per shard.")
+  in
+  let windows =
+    Arg.(value & opt (some int) None
+         & info [ "windows" ] ~docv:"W"
+             ~doc:"Availability-timeline resolution (number of windows).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Sharded KV service under open-loop load: N independent machines \
+          behind a deterministic router, with online crash recovery of one \
+          shard, graceful degradation, and availability accounting.")
+    Term.(const run $ logs_term $ smoke $ platform $ variant $ shards $ seed
+          $ keys $ requests $ rate $ theta $ preset $ crash_shard $ crash_at
+          $ fault_model $ degraded $ trace_out $ jobs_arg $ windows)
+
 let main_cmd =
   let doc =
     "Timely Sufficient Persistence: reproduction of Nawab et al., \
@@ -871,6 +1035,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "tsp" ~version:"1.0.0" ~doc)
     [ table1_cmd; faults_cmd; check_cmd; sweeps_cmd; ycsb_cmd; policy_cmd;
-      wsp_cmd; run_cmd; trace_cmd ]
+      wsp_cmd; run_cmd; trace_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

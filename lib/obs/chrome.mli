@@ -29,3 +29,22 @@ val to_buffer : ?thread_name:(int -> string) -> Buffer.t -> Tracer.t -> unit
 
 val to_string : ?thread_name:(int -> string) -> Tracer.t -> string
 val write_file : ?thread_name:(int -> string) -> string -> Tracer.t -> unit
+
+(** {1 Multi-tracer export}
+
+    A sharded run carries one tracer per shard (the context closures a
+    tracer registers are per-ring, so shards must not share one).  The
+    [_multi] exporters merge the rings into a single trace in which each
+    [(label, tracer)] pair is its own process — Perfetto renders one
+    named group per shard, with that shard's thread and device tracks
+    (and dirty-line counter) inside it.  [thread_name] applies within
+    every shard. *)
+
+val to_buffer_multi :
+  ?thread_name:(int -> string) -> Buffer.t -> (string * Tracer.t) list -> unit
+
+val to_string_multi :
+  ?thread_name:(int -> string) -> (string * Tracer.t) list -> string
+
+val write_file_multi :
+  ?thread_name:(int -> string) -> string -> (string * Tracer.t) list -> unit

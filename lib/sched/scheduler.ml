@@ -388,7 +388,21 @@ let run ?crash_at_step t =
                   | Fresh f -> Effect.Deep.match_with f () (handler t th)
                   | Suspended k -> Effect.Deep.continue k ()
                 end
-              | Running | Blocked | Done -> assert false);
+              | (Running | Blocked | Done) as st ->
+                  (* [pick] only ever returns [Runnable] threads; seeing
+                     anything else means the thread table was mutated
+                     behind the run loop's back (e.g. two schedulers
+                     wired to one device). *)
+                  Fmt.invalid_arg
+                    "Scheduler.run: picked thread %d (%s) is %s, not \
+                     runnable, at step %d (vclock %d)"
+                    th.id th.name
+                    (match st with
+                    | Running -> "already running"
+                    | Blocked -> "blocked"
+                    | Done -> "done"
+                    | Runnable _ -> "runnable")
+                    t.steps th.vclock);
               t.current <- -1;
               loop ()
         end

@@ -1,0 +1,60 @@
+module Rng = Sched.Sim_rng
+module Ycsb = Workload.Ycsb
+
+type stream = { times : int array; ranks : int array; ops : int array }
+
+let op_read = 0
+let op_update = 1
+let op_rmw = 2
+
+let op_code = function
+  | Ycsb.Read -> op_read
+  | Ycsb.Update -> op_update
+  | Ycsb.Rmw -> op_rmw
+
+let generate ~seed ~rate_per_mcycle ~theta ~keys ~preset ~requests =
+  if rate_per_mcycle <= 0. then
+    Fmt.invalid_arg "Arrival.generate: rate %g req/Mcycle must be positive"
+      rate_per_mcycle;
+  if keys <= 0 then
+    Fmt.invalid_arg "Arrival.generate: keyspace size %d must be positive" keys;
+  if requests < 0 then
+    Fmt.invalid_arg "Arrival.generate: request count %d must be >= 0" requests;
+  let rng = Rng.create ~seed in
+  let zipf = Ycsb.Zipf.create ~theta ~n:keys () in
+  let times = Array.make requests 0 in
+  let ranks = Array.make requests 0 in
+  let ops = Array.make requests 0 in
+  let mean_gap = 1_000_000. /. rate_per_mcycle in
+  let clock = ref 0. in
+  for i = 0 to requests - 1 do
+    (* Exponential interarrival via inversion; [u < 1.] always, so the
+       log argument is positive.  The clock accumulates in float and is
+       truncated per arrival, keeping long streams drift-free. *)
+    let u = Rng.float rng 1.0 in
+    clock := !clock +. (-.Float.log (1. -. u) *. mean_gap);
+    times.(i) <- int_of_float !clock;
+    ranks.(i) <- Ycsb.Zipf.sample zipf rng;
+    ops.(i) <- op_code (Ycsb.pick_op preset rng)
+  done;
+  { times; ranks; ops }
+
+let horizon s =
+  let n = Array.length s.times in
+  if n = 0 then 1 else s.times.(n - 1) + 1
+
+(* splitmix64-style finalising mixer on the native int, constants
+   truncated to 62 bits so they are valid OCaml literals; quality is
+   ample for scattering [h_key]'s arithmetic key sequence. *)
+let mix k =
+  let k = k lxor (k lsr 31) in
+  let k = k * 0x2545F4914F6CDD1D in
+  let k = k lxor (k lsr 29) in
+  let k = k * 0x27BB2EE687B0B0FD in
+  let k = k lxor (k lsr 32) in
+  k land max_int
+
+let route ~shards key =
+  if shards <= 0 then
+    Fmt.invalid_arg "Arrival.route: shard count %d must be positive" shards;
+  mix key mod shards

@@ -1,0 +1,47 @@
+type t =
+  | Shed
+  | Queue of { deadline : int }
+  | Retry of { backoff : int; max_retries : int }
+
+let default_deadline = 2_000_000
+let default_backoff = 50_000
+let default_max_retries = 8
+let default = Queue { deadline = default_deadline }
+
+let to_string = function
+  | Shed -> "shed"
+  | Queue { deadline } -> Printf.sprintf "queue:%d" deadline
+  | Retry { backoff; max_retries } ->
+      Printf.sprintf "retry:%d:%d" backoff max_retries
+
+let of_string s =
+  let positive name v =
+    match int_of_string_opt v with
+    | Some n when n > 0 -> Ok n
+    | Some n -> Error (Printf.sprintf "%s must be positive, got %d" name n)
+    | None -> Error (Printf.sprintf "%s must be an integer, got %S" name v)
+  in
+  let ( let* ) = Result.bind in
+  match String.split_on_char ':' s with
+  | [ "shed" ] -> Ok Shed
+  | [ "queue" ] -> Ok (Queue { deadline = default_deadline })
+  | [ "queue"; d ] ->
+      let* deadline = positive "queue deadline" d in
+      Ok (Queue { deadline })
+  | [ "retry" ] ->
+      Ok (Retry { backoff = default_backoff; max_retries = default_max_retries })
+  | [ "retry"; b ] ->
+      let* backoff = positive "retry backoff" b in
+      Ok (Retry { backoff; max_retries = default_max_retries })
+  | [ "retry"; b; k ] ->
+      let* backoff = positive "retry backoff" b in
+      let* max_retries = positive "retry count" k in
+      Ok (Retry { backoff; max_retries })
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown degraded mode %S (shed | queue[:deadline] | \
+            retry[:backoff[:max]])"
+           s)
+
+let pp ppf t = Fmt.string ppf (to_string t)

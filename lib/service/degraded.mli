@@ -1,0 +1,39 @@
+(** Degraded-mode policy: what the service does with requests routed to
+    a shard that is down (crashed, rescuing, recovering).
+
+    All three policies are pure, deterministic transformations of a
+    request's arrival time given the outage window [\[t_down, t_up)], so
+    a crash scenario stays byte-reproducible. *)
+
+type t =
+  | Shed
+      (** reject immediately with an error verdict; the client does not
+          come back *)
+  | Queue of { deadline : int }
+      (** hold the request in the shard's queue and serve it after
+          recovery — unless, at dequeue time, it has been waiting longer
+          than [deadline] cycles, in which case it times out *)
+  | Retry of { backoff : int; max_retries : int }
+      (** the client retries with exponential backoff: attempt [k]
+          (1-based) happens [backoff * (2^k - 1)] cycles after the
+          original arrival; the first attempt at or after [t_up] is
+          served, and a request whose [max_retries] attempts all land
+          inside the outage times out *)
+
+val default_deadline : int
+val default_backoff : int
+val default_max_retries : int
+
+val default : t
+(** [Queue {deadline = default_deadline}]. *)
+
+val to_string : t -> string
+(** Round-trips with {!of_string}: ["shed"], ["queue:<deadline>"],
+    ["retry:<backoff>:<max_retries>"]. *)
+
+val of_string : string -> (t, string) result
+(** Accepts ["shed"], ["queue"], ["queue:<deadline>"], ["retry"],
+    ["retry:<backoff>"], ["retry:<backoff>:<max_retries>"]; bare forms
+    take the defaults above. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,352 @@
+module Heap = Pheap.Heap
+module Heap_gc = Pheap.Heap_gc
+module Rt = Atlas.Runtime
+module Scheduler = Sched.Scheduler
+module Rng = Sched.Sim_rng
+module Hashmap = Tsp_maps.Chained_hashmap
+module Skiplist = Tsp_maps.Lockfree_skiplist
+module Btree = Tsp_maps.Btree
+
+type variant =
+  | Mutex_map of Atlas.Mode.t
+  | Mutex_btree of Atlas.Mode.t
+  | Nonblocking_map
+
+let variant_to_string = function
+  | Mutex_map m -> "mutex/" ^ Atlas.Mode.to_string m
+  | Mutex_btree m -> "btree/" ^ Atlas.Mode.to_string m
+  | Nonblocking_map -> "non-blocking"
+
+type spec = {
+  platform : Nvm.Config.t;
+  variant : variant;
+  threads : int;
+  seed : int;
+  journal : bool;
+  n_buckets : int;
+  log_mib : int;
+  atlas_costs : Atlas.Runtime.costs;
+  cost_jitter : int;
+  hash_op_cycles : int;
+  skip_op_cycles : int;
+  value_words : int;
+  quantum : bool;
+  deterministic_slice : int;
+  tracer : Obs.Tracer.t option;
+  hardware : Tsp_core.Hardware.t;
+  failure : Tsp_core.Failure_class.t;
+}
+
+type map = {
+  map_ops : Tsp_maps.Map_intf.ops;
+  set_plain : key:int -> value:int64 -> unit;
+  fold_root :
+    Heap.t ->
+    root:Heap.addr ->
+    (int -> int64 -> (int * int64) list -> (int * int64) list) ->
+    (int * int64) list;
+  hashmap : Hashmap.t option;
+}
+
+type t = {
+  spec : spec;
+  pmem : Nvm.Pmem.t;
+  mutable heap : Heap.t;
+  mutable sched : Scheduler.t;
+  mutable atlas : Rt.t option;
+  mutable map : map;
+}
+
+let log_base spec = spec.platform.Nvm.Config.region_size - (spec.log_mib * 1024 * 1024)
+let log_size spec = spec.log_mib * 1024 * 1024
+
+(* Attach the machine's tracer (if any) to its device/scheduler pair:
+   ops and ctx switches emit events, each event samples the cache's
+   dirty-line count, and timestamps come from the executing thread's
+   virtual clock — falling back to the device's own clock in harness
+   code (setup, crash handling, recovery), where no thread is running.
+   Reads only: tracing never perturbs the simulation.  The context
+   closures are per-tracer, which is why a tracer must be private to
+   one machine. *)
+let wire_tracer spec pmem sched =
+  match spec.tracer with
+  | None -> ()
+  | Some tr ->
+      Nvm.Pmem.set_tracer pmem (Some tr);
+      Scheduler.set_tracer sched (Some tr);
+      Obs.Tracer.set_tid tr (fun () -> Scheduler.current_id sched);
+      let stats = Nvm.Pmem.stats pmem in
+      Obs.Tracer.set_clock tr (fun () ->
+          if Scheduler.in_thread sched then Scheduler.now sched
+          else stats.Nvm.Stats.clock)
+
+let in_phase m phase f =
+  match m.spec.tracer with
+  | None -> f ()
+  | Some tr ->
+      Obs.Tracer.phase_begin tr ~phase;
+      let r = f () in
+      Obs.Tracer.phase_end tr ~phase;
+      r
+
+let build_map spec heap atlas sched =
+  match spec.variant with
+  | Mutex_map _ ->
+      let atlas = Option.get atlas in
+      let hm =
+        Hashmap.create heap ~atlas ~sched ~n_buckets:spec.n_buckets
+          ~op_cycles:spec.hash_op_cycles ~value_words:spec.value_words ()
+      in
+      {
+        map_ops = Hashmap.ops hm;
+        set_plain = (fun ~key ~value -> Hashmap.set_plain hm ~key ~value);
+        fold_root = (fun h ~root f -> Hashmap.fold_plain h ~root f []);
+        hashmap = Some hm;
+      }
+  | Mutex_btree _ ->
+      let atlas = Option.get atlas in
+      let bt = Btree.create heap ~atlas ~sched ~op_cycles:spec.hash_op_cycles () in
+      {
+        map_ops = Btree.ops bt;
+        set_plain = (fun ~key ~value -> Btree.set_plain bt ~key ~value);
+        fold_root = (fun h ~root f -> Btree.fold_plain h ~root f []);
+        hashmap = None;
+      }
+  | Nonblocking_map ->
+      let sl =
+        Skiplist.create heap ~num_threads:spec.threads
+          ~op_cycles:spec.skip_op_cycles ~seed:(spec.seed + 7) ()
+      in
+      {
+        map_ops = Skiplist.ops sl;
+        set_plain = (fun ~key ~value -> Skiplist.set_plain sl ~key ~value);
+        fold_root = (fun h ~root f -> Skiplist.fold_plain h ~root f []);
+        hashmap = None;
+      }
+
+let create spec =
+  let pmem = Nvm.Pmem.create ~journal:spec.journal spec.platform in
+  let heap = Heap.create pmem ~base:0 ~size:(log_base spec) in
+  let sched =
+    Scheduler.create ~seed:spec.seed ~cost_jitter:spec.cost_jitter
+      ~quantum:spec.quantum ~deterministic_slice:spec.deterministic_slice ()
+  in
+  wire_tracer spec pmem sched;
+  let atlas =
+    match spec.variant with
+    | Mutex_map mode | Mutex_btree mode ->
+        Some
+          (Rt.create ~costs:spec.atlas_costs ~mode ~heap
+             ~log_base:(log_base spec) ~log_size:(log_size spec)
+             ~num_threads:spec.threads ())
+    | Nonblocking_map -> None
+  in
+  let map = build_map spec heap atlas sched in
+  { spec; pmem; heap; sched; atlas; map }
+
+let instrument m wrap = m.map <- { m.map with map_ops = wrap m.map.map_ops }
+
+let execute ?crash_at_step m =
+  Nvm.Pmem.set_step_hook m.pmem (fun ~cost -> Scheduler.step m.sched ~cost);
+  Nvm.Pmem.set_quantum m.pmem (Scheduler.quantum_handle m.sched);
+  Fun.protect
+    ~finally:(fun () ->
+      Nvm.Pmem.clear_quantum m.pmem;
+      Nvm.Pmem.clear_step_hook m.pmem)
+    (fun () -> Scheduler.run ?crash_at_step m.sched)
+
+let crash_execute ?fault m =
+  (* The crash draws (torn-word counts, bit-flip targets) come from
+     their own seed-derived stream, so a given (spec, crash step) is
+     bit-reproducible regardless of what the workload drew. *)
+  let crash_rng =
+    let r = Rng.create ~seed:((m.spec.seed * 31) + 17) in
+    fun bound -> Rng.int r bound
+  in
+  in_phase m Obs.Event.phase_rescue (fun () ->
+      Tsp_core.Crash_executor.execute ?fault ~rng:crash_rng m.pmem
+        ~hardware:m.spec.hardware ~failure:m.spec.failure)
+
+type recovery = {
+  heap : Heap.t option;
+  observer : Tsp_core.Recovery_observer.verdict option;
+  atlas_recovery : Atlas.Recovery.report option;
+  gc : Heap_gc.stats option;
+  gc_quarantine : Heap_gc.quarantine option;
+  recovery_verdict : Atlas.Recovery.verdict;
+  heap_audit_ok : bool;
+  recovery_errors : string list;
+}
+
+(* Post-crash pipeline: device-level crash semantics, then recovery,
+   then audit.  Every step can fail when the crash was not TSP-covered;
+   failures are reported, not raised. *)
+let recover m =
+  let spec = m.spec in
+  let pmem = m.pmem in
+  let errors = ref [] in
+  let err fmt = Fmt.kstr (fun s -> errors := s :: !errors) fmt in
+  let observer =
+    if spec.journal then Some (Tsp_core.Recovery_observer.observe pmem)
+    else None
+  in
+  Nvm.Pmem.recover pmem;
+  let heap =
+    (* [Invalid_argument] too: after bit rot the persisted header fields
+       can be arbitrary garbage, not merely inconsistent. *)
+    try Some (Heap.attach pmem ~base:0 ~size:(log_base spec)) with
+    | Heap.Corrupt msg ->
+        err "heap attach failed: %s" msg;
+        None
+    | Invalid_argument msg ->
+        err "heap attach failed: %s" msg;
+        None
+  in
+  let atlas_recovery =
+    match (heap, spec.variant) with
+    | Some heap, (Mutex_map _ | Mutex_btree _) -> begin
+        (* [Recovery.run] is graceful by construction; the handler is a
+           belt-and-braces backstop so one buggy path cannot take the
+           whole campaign down. *)
+        try Some (Atlas.Recovery.run ~heap ~log_base:(log_base spec))
+        with exn ->
+          err "atlas recovery failed: %s" (Printexc.to_string exn);
+          None
+      end
+    | _ -> None
+  in
+  let gc, gc_quarantine =
+    match heap with
+    | None -> (None, None)
+    | Some heap ->
+        let stats, quarantine =
+          in_phase m Obs.Event.phase_heap_gc (fun () ->
+              Heap_gc.collect_graceful heap)
+        in
+        (Some stats, Some quarantine)
+  in
+  let heap_audit_ok =
+    match heap with
+    | None -> false
+    | Some heap -> begin
+        match
+          in_phase m Obs.Event.phase_audit (fun () ->
+              try Heap_gc.verify heap
+              with exn -> Error [ Printexc.to_string exn ])
+        with
+        | Ok () -> true
+        | Error es ->
+            List.iter (fun e -> err "audit: %s" e) es;
+            false
+      end
+  in
+  let recovery_verdict =
+    match heap with
+    | None ->
+        Atlas.Recovery.Unrecoverable
+          (match List.rev !errors with e :: _ -> e | [] -> "heap unrecoverable")
+    | Some _ ->
+        let reasons =
+          (match atlas_recovery with
+          | Some a -> begin
+              match a.Atlas.Recovery.verdict with
+              | Atlas.Recovery.Clean -> []
+              | Atlas.Recovery.Degraded rs -> rs
+              | Atlas.Recovery.Unrecoverable m ->
+                  [ "undo log unrecoverable: " ^ m ]
+            end
+          | None -> [])
+          @ (match gc_quarantine with
+            | Some q
+              when q.Heap_gc.unscannable > 0 || q.Heap_gc.quarantined_words > 0
+              ->
+                q.Heap_gc.reasons
+            | _ -> [])
+          @ if heap_audit_ok then [] else [ "heap audit failed" ]
+        in
+        (match reasons with
+        | [] -> Atlas.Recovery.Clean
+        | rs -> Atlas.Recovery.Degraded rs)
+  in
+  (match heap with
+  | Some h ->
+      m.heap <- h;
+      (* the old runtime and map handles point into the pre-crash heap;
+         [reattach] rebuilds them *)
+      m.atlas <- None
+  | None -> ());
+  {
+    heap;
+    observer;
+    atlas_recovery;
+    gc;
+    gc_quarantine;
+    recovery_verdict;
+    heap_audit_ok;
+    recovery_errors = List.rev !errors;
+  }
+
+let reattach (m : t) ~seed ~first_seq =
+  let spec = m.spec in
+  let sched =
+    Scheduler.create ~seed ~cost_jitter:spec.cost_jitter ~quantum:spec.quantum
+      ~deterministic_slice:spec.deterministic_slice ()
+  in
+  (* The restarted machine gets a fresh scheduler: repoint the tracer's
+     thread and clock closures at it so post-recovery events keep
+     flowing. *)
+  wire_tracer spec m.pmem sched;
+  let atlas =
+    match spec.variant with
+    | Mutex_map mode | Mutex_btree mode ->
+        Some
+          (Rt.create ~costs:spec.atlas_costs ~mode ~heap:m.heap
+             ~log_base:(log_base spec) ~log_size:(log_size spec)
+             ~num_threads:spec.threads ~first_seq ())
+    | Nonblocking_map -> None
+  in
+  let root = Heap.get_root m.heap in
+  let map =
+    match spec.variant with
+    | Mutex_map _ ->
+        let hm =
+          Hashmap.attach m.heap ~atlas:(Option.get atlas) ~sched
+            ~op_cycles:spec.hash_op_cycles root
+        in
+        {
+          map_ops = Hashmap.ops hm;
+          set_plain = (fun ~key ~value -> Hashmap.set_plain hm ~key ~value);
+          fold_root = (fun h ~root f -> Hashmap.fold_plain h ~root f []);
+          hashmap = Some hm;
+        }
+    | Mutex_btree _ ->
+        let bt =
+          Btree.attach m.heap ~atlas:(Option.get atlas) ~sched
+            ~op_cycles:spec.hash_op_cycles root
+        in
+        {
+          map_ops = Btree.ops bt;
+          set_plain = (fun ~key ~value -> Btree.set_plain bt ~key ~value);
+          fold_root = (fun h ~root f -> Btree.fold_plain h ~root f []);
+          hashmap = None;
+        }
+    | Nonblocking_map ->
+        let sl =
+          Skiplist.attach m.heap ~op_cycles:spec.skip_op_cycles
+            ~num_threads:spec.threads ~seed:(spec.seed + 7) root
+        in
+        {
+          map_ops = Skiplist.ops sl;
+          set_plain = (fun ~key ~value -> Skiplist.set_plain sl ~key ~value);
+          fold_root = (fun h ~root f -> Skiplist.fold_plain h ~root f []);
+          hashmap = None;
+        }
+  in
+  m.sched <- sched;
+  m.atlas <- atlas;
+  m.map <- map;
+  root
+
+let dump (m : t) =
+  let root = Heap.get_root m.heap in
+  m.map.fold_root m.heap ~root (fun k v acc -> (k, v) :: acc)

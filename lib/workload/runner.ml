@@ -4,10 +4,9 @@ module Rt = Atlas.Runtime
 module Scheduler = Sched.Scheduler
 module Rng = Sched.Sim_rng
 module Hashmap = Tsp_maps.Chained_hashmap
-module Skiplist = Tsp_maps.Lockfree_skiplist
 module Btree = Tsp_maps.Btree
 
-type variant =
+type variant = Machine.variant =
   | Mutex_map of Atlas.Mode.t
   | Mutex_btree of Atlas.Mode.t
   | Nonblocking_map
@@ -141,92 +140,63 @@ type result = {
       (* per-operation latency samples, empty unless record_latency *)
 }
 
-let variant_to_string = function
-  | Mutex_map m -> "mutex/" ^ Atlas.Mode.to_string m
-  | Mutex_btree m -> "btree/" ^ Atlas.Mode.to_string m
-  | Nonblocking_map -> "non-blocking"
+let variant_to_string = Machine.variant_to_string
 
-let log_base config = config.platform.Nvm.Config.region_size - (config.log_mib * 1024 * 1024)
-
-(* The map under test, dispatched per variant.  [fold_root] dumps the
-   persistent structure with plain loads; it is also what recovery-time
-   verification uses, so it must not depend on any volatile handle. *)
-type map_under_test = {
-  map_ops : Tsp_maps.Map_intf.ops;
-  set_plain : key:int -> value:int64 -> unit;
-  fold_root : Heap.t -> root:Heap.addr -> (int -> int64 -> (int * int64) list -> (int * int64) list) -> (int * int64) list;
-  hashmap : Hashmap.t option;  (* transfers need the richer interface *)
-}
-
-let build_map config heap atlas sched =
-  match config.variant with
-  | Mutex_map _ ->
-      let atlas = Option.get atlas in
-      let value_words =
-        match config.workload with Wide { value_words; _ } -> value_words | _ -> 1
-      in
-      let hm =
-        Hashmap.create heap ~atlas ~sched ~n_buckets:config.n_buckets
-          ~op_cycles:config.hash_op_cycles ~value_words ()
-      in
-      {
-        map_ops = Hashmap.ops hm;
-        set_plain = (fun ~key ~value -> Hashmap.set_plain hm ~key ~value);
-        fold_root = (fun h ~root f -> Hashmap.fold_plain h ~root f []);
-        hashmap = Some hm;
-      }
-  | Mutex_btree _ ->
-      let atlas = Option.get atlas in
-      let bt =
-        Btree.create heap ~atlas ~sched ~op_cycles:config.hash_op_cycles ()
-      in
-      {
-        map_ops = Btree.ops bt;
-        set_plain = (fun ~key ~value -> Btree.set_plain bt ~key ~value);
-        fold_root = (fun h ~root f -> Btree.fold_plain h ~root f []);
-        hashmap = None;
-      }
-  | Nonblocking_map ->
-      let sl =
-        Skiplist.create heap ~num_threads:config.threads
-          ~op_cycles:config.skip_op_cycles ~seed:(config.seed + 7) ()
-      in
-      {
-        map_ops = Skiplist.ops sl;
-        set_plain = (fun ~key ~value -> Skiplist.set_plain sl ~key ~value);
-        fold_root = (fun h ~root f -> Skiplist.fold_plain h ~root f []);
-        hashmap = None;
-      }
+(* The per-shard "machine" (device + scheduler + atlas + map) this
+   driver runs the workload on; the construction, crash, recovery and
+   reattach logic lives in {!Machine} so the sharded service layer can
+   instantiate many of them. *)
+let machine_spec config =
+  {
+    Machine.platform = config.platform;
+    variant = config.variant;
+    threads = config.threads;
+    seed = config.seed;
+    journal = config.journal;
+    n_buckets = config.n_buckets;
+    log_mib = config.log_mib;
+    atlas_costs = config.atlas_costs;
+    cost_jitter = config.cost_jitter;
+    hash_op_cycles = config.hash_op_cycles;
+    skip_op_cycles = config.skip_op_cycles;
+    value_words =
+      (match config.workload with Wide { value_words; _ } -> value_words | _ -> 1);
+    quantum = config.quantum;
+    deterministic_slice = config.deterministic_slice;
+    tracer = config.tracer;
+    hardware = config.hardware;
+    failure = config.failure;
+  }
 
 let populate config map =
   (match config.workload with
   | Mixed { h_keys; _ } | Counters { h_keys; preload = true } ->
       for tid = 0 to config.threads - 1 do
-        map.set_plain ~key:(Key_space.c1 ~tid) ~value:0L;
-        map.set_plain ~key:(Key_space.c2 ~tid) ~value:0L
+        map.Machine.set_plain ~key:(Key_space.c1 ~tid) ~value:0L;
+        map.Machine.set_plain ~key:(Key_space.c2 ~tid) ~value:0L
       done;
       for i = 0 to h_keys - 1 do
-        map.set_plain ~key:(Key_space.h_key i) ~value:0L
+        map.Machine.set_plain ~key:(Key_space.h_key i) ~value:0L
       done
   | Counters { h_keys = _; preload = false } ->
       for tid = 0 to config.threads - 1 do
-        map.set_plain ~key:(Key_space.c1 ~tid) ~value:0L;
-        map.set_plain ~key:(Key_space.c2 ~tid) ~value:0L
+        map.Machine.set_plain ~key:(Key_space.c1 ~tid) ~value:0L;
+        map.Machine.set_plain ~key:(Key_space.c2 ~tid) ~value:0L
       done
   | Wide { h_keys; _ } ->
       for i = 0 to h_keys - 1 do
-        map.set_plain ~key:(Key_space.h_key i) ~value:0L
+        map.Machine.set_plain ~key:(Key_space.h_key i) ~value:0L
       done
   | Ycsb { records; _ } ->
       (* Records are self-describing: value congruent to key modulo the
          record count, an invariant every read-back can check. *)
       for i = 0 to records - 1 do
         let k = Key_space.h_key i in
-        map.set_plain ~key:k ~value:(Int64.of_int k)
+        map.Machine.set_plain ~key:k ~value:(Int64.of_int k)
       done
   | Transfers { accounts; initial_balance } ->
       for i = 0 to accounts - 1 do
-        map.set_plain ~key:(Key_space.h_key i)
+        map.Machine.set_plain ~key:(Key_space.h_key i)
           ~value:(Int64.of_int initial_balance)
       done)
 
@@ -325,145 +295,17 @@ let check_invariants config ?wide_entries entries =
       Invariant.transfers ~entries
         ~expected_total:(Int64.of_int (accounts * initial_balance))
 
-(* Post-crash pipeline: device-level crash semantics, then recovery,
-   then audit.  Every step can fail when the crash was not TSP-covered;
-   failures are reported, not raised. *)
-(* Attach the run's tracer (if any) to a device/scheduler pair: ops and
-   ctx switches emit events, each event samples the cache's dirty-line
-   count, and timestamps come from the executing thread's virtual clock
-   — falling back to the device's own clock in harness code (setup,
-   crash handling, recovery), where no thread is running.  Reads only:
-   tracing never perturbs the simulation. *)
-let wire_tracer config pmem sched =
-  match config.tracer with
-  | None -> ()
-  | Some tr ->
-      Nvm.Pmem.set_tracer pmem (Some tr);
-      Scheduler.set_tracer sched (Some tr);
-      Obs.Tracer.set_tid tr (fun () -> Scheduler.current_id sched);
-      let stats = Nvm.Pmem.stats pmem in
-      Obs.Tracer.set_clock tr (fun () ->
-          if Scheduler.in_thread sched then Scheduler.now sched
-          else stats.Nvm.Stats.clock)
-
-(* Bracket a recovery stage with trace phase events when tracing. *)
-let in_phase config phase f =
-  match config.tracer with
-  | None -> f ()
-  | Some tr ->
-      Obs.Tracer.phase_begin tr ~phase;
-      let r = f () in
-      Obs.Tracer.phase_end tr ~phase;
-      r
-
-let recover_and_audit config pmem =
-  let errors = ref [] in
-  let err fmt = Fmt.kstr (fun s -> errors := s :: !errors) fmt in
-  let observer =
-    if config.journal then Some (Tsp_core.Recovery_observer.observe pmem)
-    else None
-  in
-  Nvm.Pmem.recover pmem;
-  let heap_size = log_base config in
-  let heap =
-    (* [Invalid_argument] too: after bit rot the persisted header fields
-       can be arbitrary garbage, not merely inconsistent. *)
-    try Some (Heap.attach pmem ~base:0 ~size:heap_size) with
-    | Heap.Corrupt msg ->
-        err "heap attach failed: %s" msg;
-        None
-    | Invalid_argument msg ->
-        err "heap attach failed: %s" msg;
-        None
-  in
-  let atlas_recovery =
-    match (heap, config.variant) with
-    | Some heap, (Mutex_map _ | Mutex_btree _) -> begin
-        (* [Recovery.run] is graceful by construction; the handler is a
-           belt-and-braces backstop so one buggy path cannot take the
-           whole campaign down. *)
-        try Some (Atlas.Recovery.run ~heap ~log_base:(log_base config))
-        with exn ->
-          err "atlas recovery failed: %s" (Printexc.to_string exn);
-          None
-      end
-    | _ -> None
-  in
-  let gc, gc_quarantine =
-    match heap with
-    | None -> (None, None)
-    | Some heap ->
-        let stats, quarantine =
-          in_phase config Obs.Event.phase_heap_gc (fun () ->
-              Heap_gc.collect_graceful heap)
-        in
-        (Some stats, Some quarantine)
-  in
-  let heap_audit_ok =
-    match heap with
-    | None -> false
-    | Some heap -> begin
-        match
-          in_phase config Obs.Event.phase_audit (fun () ->
-              try Heap_gc.verify heap
-              with exn -> Error [ Printexc.to_string exn ])
-        with
-        | Ok () -> true
-        | Error es ->
-            List.iter (fun e -> err "audit: %s" e) es;
-            false
-      end
-  in
-  let recovery_verdict =
-    match heap with
-    | None ->
-        Atlas.Recovery.Unrecoverable
-          (match List.rev !errors with e :: _ -> e | [] -> "heap unrecoverable")
-    | Some _ ->
-        let reasons =
-          (match atlas_recovery with
-          | Some a -> begin
-              match a.Atlas.Recovery.verdict with
-              | Atlas.Recovery.Clean -> []
-              | Atlas.Recovery.Degraded rs -> rs
-              | Atlas.Recovery.Unrecoverable m ->
-                  [ "undo log unrecoverable: " ^ m ]
-            end
-          | None -> [])
-          @ (match gc_quarantine with
-            | Some q
-              when q.Heap_gc.unscannable > 0 || q.Heap_gc.quarantined_words > 0
-              ->
-                q.Heap_gc.reasons
-            | _ -> [])
-          @ if heap_audit_ok then [] else [ "heap audit failed" ]
-        in
-        (match reasons with
-        | [] -> Atlas.Recovery.Clean
-        | rs -> Atlas.Recovery.Degraded rs)
-  in
-  ( heap,
-    observer,
-    atlas_recovery,
-    gc,
-    gc_quarantine,
-    recovery_verdict,
-    heap_audit_ok,
-    List.rev !errors )
-
-let crash_report_of config pmem ~verdict ~observer ~atlas_recovery ~gc
-    ~gc_quarantine ~recovery_verdict ~heap_audit_ok ~recovery_errors
-    ~clock_before ~rescue_bill =
-  ignore config;
+let crash_report_of pmem ~verdict ~(recovery : Machine.recovery) ~clock_before
+    ~rescue_bill =
   {
     verdict;
-    observer;
-    atlas_recovery;
-    gc;
-    gc_quarantine;
-    recovery_verdict;
-    heap_audit_ok;
-    recovery_errors;
+    observer = recovery.Machine.observer;
+    atlas_recovery = recovery.Machine.atlas_recovery;
+    gc = recovery.Machine.gc;
+    gc_quarantine = recovery.Machine.gc_quarantine;
+    recovery_verdict = recovery.Machine.recovery_verdict;
+    heap_audit_ok = recovery.Machine.heap_audit_ok;
+    recovery_errors = recovery.Machine.recovery_errors;
     recovery_cycles = (Nvm.Pmem.stats pmem).Nvm.Stats.clock - clock_before;
     rescued_lines = (Nvm.Pmem.stats pmem).Nvm.Stats.rescued_lines;
     rescue_bill;
@@ -471,35 +313,19 @@ let crash_report_of config pmem ~verdict ~observer ~atlas_recovery ~gc
 
 let run_full config =
   let t0 = Sys.time () in
-  let pmem = Nvm.Pmem.create ~journal:config.journal config.platform in
-  let heap_size = log_base config in
-  let heap = Heap.create pmem ~base:0 ~size:heap_size in
-  let sched =
-    Scheduler.create ~seed:config.seed ~cost_jitter:config.cost_jitter
-      ~quantum:config.quantum ~deterministic_slice:config.deterministic_slice ()
-  in
-  wire_tracer config pmem sched;
-  let atlas =
-    match config.variant with
-    | Mutex_map mode | Mutex_btree mode ->
-        Some
-          (Rt.create ~costs:config.atlas_costs ~mode ~heap
-             ~log_base:(log_base config)
-             ~log_size:(config.log_mib * 1024 * 1024)
-             ~num_threads:config.threads ())
-    | Nonblocking_map -> None
-  in
-  let map = build_map config heap atlas sched in
+  let m = Machine.create (machine_spec config) in
+  let pmem = m.Machine.pmem in
+  let sched = m.Machine.sched in
+  let heap = m.Machine.heap in
   (* Interpose on the operation interface (history recorders, mutation
      harnesses).  [None] leaves the record untouched, so the default run
      is bit-identical to an uninstrumented build; the wrapped ops are
      only invoked from inside simulated threads.  [set_plain] population
      and recovery-time [fold_root] dumps bypass the wrapper. *)
-  let map =
-    match config.instrument with
-    | None -> map
-    | Some wrap -> { map with map_ops = wrap sched map.map_ops }
-  in
+  (match config.instrument with
+  | None -> ()
+  | Some wrap -> Machine.instrument m (wrap sched));
+  let map = m.Machine.map in
   populate config map;
   Nvm.Pmem.persist_all pmem;
   let progress = Array.make config.threads 0 in
@@ -529,12 +355,13 @@ let run_full config =
     let body =
       match config.workload with
       | Counters { h_keys; _ } ->
-          counter_body config pmem map.map_ops ~tid ~rng ~h_keys ~progress
-      | Mixed { h_keys; read_pct } ->
-          mixed_body config pmem map.map_ops ~tid ~rng ~h_keys ~read_pct
+          counter_body config pmem map.Machine.map_ops ~tid ~rng ~h_keys
             ~progress
+      | Mixed { h_keys; read_pct } ->
+          mixed_body config pmem map.Machine.map_ops ~tid ~rng ~h_keys
+            ~read_pct ~progress
       | Wide { h_keys; value_words } -> begin
-          match map.hashmap with
+          match map.Machine.hashmap with
           | Some hm ->
               wide_body config pmem hm ~tid ~rng ~h_keys ~value_words ~progress
           | None ->
@@ -543,11 +370,12 @@ let run_full config =
         end
       | Ycsb { preset; records } ->
           let zipf = Lazy.force zipf in
-          ycsb_body config pmem map.map_ops ~tid ~rng ~preset ~records ~zipf
-            ~latencies ~now:(fun () -> Scheduler.thread_cycles sched tid)
+          ycsb_body config pmem map.Machine.map_ops ~tid ~rng ~preset ~records
+            ~zipf ~latencies
+            ~now:(fun () -> Scheduler.thread_cycles sched tid)
             ~progress
       | Transfers { accounts; _ } -> begin
-          match map.hashmap with
+          match map.Machine.hashmap with
           | Some hm -> transfer_body config pmem hm ~tid ~rng ~accounts ~progress
           | None ->
               invalid_arg
@@ -559,15 +387,7 @@ let run_full config =
   for tid = 0 to config.threads - 1 do
     spawn_worker tid
   done;
-  Nvm.Pmem.set_step_hook pmem (fun ~cost -> Scheduler.step sched ~cost);
-  Nvm.Pmem.set_quantum pmem (Scheduler.quantum_handle sched);
-  let sched_outcome =
-    Fun.protect
-      ~finally:(fun () ->
-        Nvm.Pmem.clear_quantum pmem;
-        Nvm.Pmem.clear_step_hook pmem)
-      (fun () -> Scheduler.run ?crash_at_step:config.crash_at_step sched)
-  in
+  let sched_outcome = Machine.execute ?crash_at_step:config.crash_at_step m in
   let iterations_done = Array.fold_left ( + ) 0 progress in
   let elapsed_cycles = Scheduler.elapsed_cycles sched in
   let miters =
@@ -599,42 +419,24 @@ let run_full config =
   match sched_outcome with
   | Scheduler.Completed ->
       let root = Heap.get_root heap in
-      let entries = map.fold_root heap ~root (fun k v acc -> (k, v) :: acc) in
+      let entries =
+        map.Machine.fold_root heap ~root (fun k v acc -> (k, v) :: acc)
+      in
       let wide_entries = wide_dump heap root in
       ( finish Completed (check_invariants config ?wide_entries entries) None entries,
-        pmem,
+        m,
         Some heap )
   | Scheduler.Deadlocked { blocked } ->
-      (finish (Deadlocked blocked) (Invariant.failed "deadlocked") None [], pmem, None)
+      (finish (Deadlocked blocked) (Invariant.failed "deadlocked") None [], m, None)
   | Scheduler.Crashed { at_step } ->
       let clock_before = (Nvm.Pmem.stats pmem).Nvm.Stats.clock in
-      (* The crash draws (torn-word counts, bit-flip targets) come from
-         their own seed-derived stream, so a given (config, crash step)
-         is bit-reproducible regardless of what the workload drew. *)
-      let crash_rng =
-        let r = Rng.create ~seed:((config.seed * 31) + 17) in
-        fun bound -> Rng.int r bound
-      in
-      let rescue_bill =
-        in_phase config Obs.Event.phase_rescue (fun () ->
-            Tsp_core.Crash_executor.execute ?fault:config.fault_model
-              ~rng:crash_rng pmem ~hardware:config.hardware
-              ~failure:config.failure)
-      in
+      let rescue_bill = Machine.crash_execute ?fault:config.fault_model m in
       let verdict = rescue_bill.Tsp_core.Crash_executor.verdict in
-      let ( rheap,
-            observer,
-            atlas_recovery,
-            gc,
-            gc_quarantine,
-            recovery_verdict,
-            heap_audit_ok,
-            recovery_errors ) =
-        recover_and_audit config pmem
-      in
+      let recovery = Machine.recover m in
+      let rheap = recovery.Machine.heap in
       let entries, invariants =
         match rheap with
-        | Some rheap when heap_audit_ok -> begin
+        | Some rheap when recovery.Machine.heap_audit_ok -> begin
             try
               let root = Heap.get_root rheap in
               (match config.variant with
@@ -645,7 +447,7 @@ let run_full config =
                 end
               | Mutex_map _ | Nonblocking_map -> ());
               let entries =
-                map.fold_root rheap ~root (fun k v acc -> (k, v) :: acc)
+                map.Machine.fold_root rheap ~root (fun k v acc -> (k, v) :: acc)
               in
               let wide_entries = wide_dump rheap root in
               (entries, check_invariants config ?wide_entries entries)
@@ -656,12 +458,9 @@ let run_full config =
         | None -> ([], Invariant.failed "heap unrecoverable")
       in
       let crash =
-        Some
-          (crash_report_of config pmem ~verdict ~observer ~atlas_recovery ~gc
-             ~gc_quarantine ~recovery_verdict ~heap_audit_ok ~recovery_errors
-             ~clock_before ~rescue_bill)
+        Some (crash_report_of pmem ~verdict ~recovery ~clock_before ~rescue_bill)
       in
-      (finish (Crashed at_step) invariants crash entries, pmem, rheap)
+      (finish (Crashed at_step) invariants crash entries, m, rheap)
 
 let run config =
   let r, _, _ = run_full config in
@@ -744,46 +543,13 @@ type resume_report = {
   duplicated_increments : int;  (** counters: 0 <= duplicates <= T *)
 }
 
-let resume_counters config pmem heap ~h_keys ~max_seq =
-  let sched =
-    Scheduler.create ~seed:(config.seed + 101) ~cost_jitter:config.cost_jitter
-      ~quantum:config.quantum ~deterministic_slice:config.deterministic_slice ()
-  in
-  (* The resumed run gets a fresh scheduler: repoint the tracer's thread
-     and clock closures at it so post-recovery events keep flowing. *)
-  wire_tracer config pmem sched;
-  let atlas =
-    match config.variant with
-    | Mutex_map mode | Mutex_btree mode ->
-        Some
-          (Rt.create ~costs:config.atlas_costs ~mode ~heap
-             ~log_base:(log_base config)
-             ~log_size:(config.log_mib * 1024 * 1024)
-             ~num_threads:config.threads ~first_seq:(max_seq + 1) ())
-    | Nonblocking_map -> None
-  in
-  let root = Heap.get_root heap in
-  let map_ops, fold_root =
-    match config.variant with
-    | Mutex_map _ ->
-        let hm =
-          Hashmap.attach heap ~atlas:(Option.get atlas) ~sched
-            ~op_cycles:config.hash_op_cycles root
-        in
-        (Hashmap.ops hm, fun f -> Hashmap.fold_plain heap ~root f [])
-    | Mutex_btree _ ->
-        let bt =
-          Btree.attach heap ~atlas:(Option.get atlas) ~sched
-            ~op_cycles:config.hash_op_cycles root
-        in
-        (Btree.ops bt, fun f -> Btree.fold_plain heap ~root f [])
-    | Nonblocking_map ->
-        let sl =
-          Skiplist.attach heap ~op_cycles:config.skip_op_cycles
-            ~num_threads:config.threads ~seed:(config.seed + 7) root
-        in
-        (Skiplist.ops sl, fun f -> Skiplist.fold_plain heap ~root f [])
-  in
+let resume_counters config (m : Machine.t) ~h_keys ~max_seq =
+  let root = Machine.reattach m ~seed:(config.seed + 101) ~first_seq:(max_seq + 1) in
+  let pmem = m.Machine.pmem in
+  let sched = m.Machine.sched in
+  let heap = m.Machine.heap in
+  let map = m.Machine.map in
+  let fold_root f = map.Machine.fold_root heap ~root f in
   (* Each thread derives its restart point from the persistent heap. *)
   let entries = fold_root (fun k v acc -> (k, v) :: acc) in
   let resume_from tid =
@@ -801,25 +567,17 @@ let resume_counters config pmem heap ~h_keys ~max_seq =
          (fun () ->
            for i = start to config.iterations do
              Nvm.Pmem.charge pmem config.iter_cycles;
-             map_ops.Tsp_maps.Map_intf.set ~tid ~key:(Key_space.c1 ~tid)
-               ~value:(Int64.of_int i);
+             map.Machine.map_ops.Tsp_maps.Map_intf.set ~tid
+               ~key:(Key_space.c1 ~tid) ~value:(Int64.of_int i);
              let k = Key_space.h_key (Rng.int rng h_keys) in
-             map_ops.Tsp_maps.Map_intf.incr ~tid ~key:k ~by:1L;
-             map_ops.Tsp_maps.Map_intf.set ~tid ~key:(Key_space.c2 ~tid)
-               ~value:(Int64.of_int i);
+             map.Machine.map_ops.Tsp_maps.Map_intf.incr ~tid ~key:k ~by:1L;
+             map.Machine.map_ops.Tsp_maps.Map_intf.set ~tid
+               ~key:(Key_space.c2 ~tid) ~value:(Int64.of_int i);
              incr resumed_iters
            done)
         : int)
   done;
-  Nvm.Pmem.set_step_hook pmem (fun ~cost -> Scheduler.step sched ~cost);
-  Nvm.Pmem.set_quantum pmem (Scheduler.quantum_handle sched);
-  let outcome =
-    Fun.protect
-      ~finally:(fun () ->
-        Nvm.Pmem.clear_quantum pmem;
-        Nvm.Pmem.clear_step_hook pmem)
-      (fun () -> Scheduler.run sched)
-  in
+  let outcome = Machine.execute m in
   (outcome, !resumed_iters, fold_root)
 
 let run_with_resume config =
@@ -832,7 +590,7 @@ let run_with_resume config =
            further transfers preserves conservation); use the counter \
            workload, whose completion target makes resumption observable"
   in
-  let first, pmem, rheap = run_full config in
+  let first, m, rheap = run_full config in
   let no_resume completion_ok =
     {
       first;
@@ -848,7 +606,7 @@ let run_with_resume config =
   | Completed, _ -> no_resume (consistent first)
   | (Crashed _ | Deadlocked _), None -> no_resume false
   | Deadlocked _, Some _ -> no_resume false
-  | Crashed _, Some heap ->
+  | Crashed _, Some _ ->
       if not (consistent first) then no_resume false
       else begin
         let max_seq =
@@ -857,7 +615,7 @@ let run_with_resume config =
           | _ -> 0
         in
         let outcome, resume_iterations, fold_root =
-          resume_counters config pmem heap ~h_keys ~max_seq
+          resume_counters config m ~h_keys ~max_seq
         in
         let final_entries = fold_root (fun k v acc -> (k, v) :: acc) in
         let final_invariants =

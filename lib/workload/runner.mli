@@ -15,7 +15,7 @@
       variants), run the recovery GC, and audit the heap;
     + dump the map and check the workload's invariants. *)
 
-type variant =
+type variant = Machine.variant =
   | Mutex_map of Atlas.Mode.t  (** the separate-chaining hash table *)
   | Mutex_btree of Atlas.Mode.t
       (** the Atlas-fortified B+-tree: an extension beyond the paper's

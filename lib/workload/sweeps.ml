@@ -330,7 +330,10 @@ let ycsb_table ?(iterations = 1500) ?(records = 16384) ?jobs preset =
           }
         in
         let r = run_config cfg in
-        let pcts = Report.percentiles r.Runner.latencies_cycles [ 0.5; 0.95; 0.99 ] in
+        let pcts =
+          Report.percentiles r.Runner.latencies_cycles
+            [ 0.5; 0.95; 0.99; 0.999 ]
+        in
         let pct q =
           match List.assoc_opt q pcts with
           | Some v -> string_of_int v
@@ -342,6 +345,7 @@ let ycsb_table ?(iterations = 1500) ?(records = 16384) ?jobs preset =
           pct 0.5;
           pct 0.95;
           pct 0.99;
+          pct 0.999;
         ])
       variants
   in
@@ -353,5 +357,6 @@ let render_ycsb (preset, records, rows) ppf =
     (Ycsb.preset_to_string preset)
     records;
   Report.table
-    ~header:[ "variant"; "Miter/s"; "p50 (cy)"; "p95 (cy)"; "p99 (cy)" ]
+    ~header:
+      [ "variant"; "Miter/s"; "p50 (cy)"; "p95 (cy)"; "p99 (cy)"; "p999 (cy)" ]
     ~rows ppf

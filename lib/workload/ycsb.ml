@@ -35,8 +35,10 @@ module Zipf = struct
 
   let create ?(theta = 0.99) ~n () =
     if n <= 0 then invalid_arg "Zipf.create: n must be positive";
-    if theta <= 0. || theta >= 1. then
-      invalid_arg "Zipf.create: theta must be in (0, 1)";
+    (* theta = 0 is the uniform degenerate case: zetan = n, alpha = 1,
+       eta = 1, so [sample] reduces to floor(n * u) exactly. *)
+    if theta < 0. || theta >= 1. then
+      invalid_arg "Zipf.create: theta must be in [0, 1)";
     let zetan = zeta n theta in
     let zeta2 = zeta 2 theta in
     let alpha = 1. /. (1. -. theta) in

@@ -33,7 +33,9 @@ module Zipf : sig
 
   val create : ?theta:float -> n:int -> unit -> t
   (** Precomputes the harmonic normalisers for [n] items.
-      @raise Invalid_argument unless [0 < theta < 1] and [n > 0]. *)
+      [theta = 0.] is accepted as the uniform degenerate case (every
+      rank equally likely).
+      @raise Invalid_argument unless [0 <= theta < 1] and [n > 0]. *)
 
   val sample : t -> Sched.Sim_rng.t -> int
   (** A rank in [\[0, n)], skewed toward small ranks. *)
