@@ -835,6 +835,70 @@ let run_quick ~jobs ~out ~compare_mode =
       (0, 0, 0) r.Service.Serve.shards
   in
   let sv_served, sv_shed, sv_timed_out = sv_tally sv_crash in
+  (* A/B 9: recovery at scale (E22).  The same deterministic crashed heap
+     recovered eagerly (per-word costed cache simulation) and with the
+     streamed parallel engine (peek discovery + one analytic line-grained
+     bill).  Both must leave a byte-identical heap image, and the
+     parallel cells must be structurally identical at every job count;
+     the 10^6-object heap records the host-time speedup of streaming
+     over cache simulation.  Incremental mode's outage is the
+     availability headline: near-constant while full collections grow
+     linearly with the population. *)
+  let module RS = Workload.Recovery_scaling in
+  let rs_variant = Workload.Runner.Mutex_map Atlas.Mode.Log_only in
+  let rs_cell ~objects ~mode =
+    RS.run_cell ~variant:rs_variant ~objects ~mode ~seed:29 ~touches:48 ()
+  in
+  (* Host time of the recovery pipeline alone: population dominates the
+     whole-cell wall clock and is identical across modes, so the
+     mode-to-mode host comparison uses [recover_host_ms]. *)
+  let rs_host_ns (c : RS.cell) = int_of_float (c.RS.recover_host_ms *. 1e6) in
+  let rs_check ~objects (eager : RS.cell) (other : RS.cell) =
+    if other.RS.image_hash <> eager.RS.image_hash then
+      Fmt.failwith
+        "quick bench: recovery mode %s left a different heap image than \
+         eager at %d objects (%x vs %x)"
+        (Workload.Machine.recovery_mode_to_string other.RS.mode)
+        objects other.RS.image_hash eager.RS.image_hash;
+    if not (eager.RS.heap_audit_ok && other.RS.heap_audit_ok) then
+      Fmt.failwith "quick bench: recovery cell failed the heap audit"
+  in
+  let rs_curve =
+    List.map
+      (fun objects ->
+        let eager = rs_cell ~objects ~mode:Workload.Machine.Eager in
+        let par = rs_cell ~objects ~mode:(Workload.Machine.Parallel_gc 2) in
+        let inc = rs_cell ~objects ~mode:Workload.Machine.Incremental_gc in
+        rs_check ~objects eager par;
+        rs_check ~objects eager inc;
+        if inc.RS.outage_cycles >= eager.RS.outage_cycles then
+          Fmt.failwith
+            "quick bench: incremental outage (%d cycles) not shorter than \
+             eager (%d) at %d objects"
+            inc.RS.outage_cycles eager.RS.outage_cycles objects;
+        (objects, eager, par, inc))
+      [ 20_000; 60_000 ]
+  in
+  (* Jobs-identity witness: parallel:1 must match parallel:2 field for
+     field (mode and wall clock aside). *)
+  let rs_p1 = rs_cell ~objects:20_000 ~mode:(Workload.Machine.Parallel_gc 1) in
+  (match rs_curve with
+  | (20_000, _, p2, _) :: _ ->
+      if not (RS.cells_match rs_p1 p2) then
+        Fmt.failwith
+          "quick bench: parallel recovery diverges across job counts \
+           (determinism violation)"
+  | _ -> assert false);
+  let rs_big = 1_000_000 in
+  let rs_big_eager = rs_cell ~objects:rs_big ~mode:Workload.Machine.Eager in
+  let rs_big_par =
+    rs_cell ~objects:rs_big ~mode:(Workload.Machine.Parallel_gc 2)
+  in
+  rs_check ~objects:rs_big rs_big_eager rs_big_par;
+  let rs_speedup =
+    float_of_int (rs_host_ns rs_big_eager)
+    /. float_of_int (max 1 (rs_host_ns rs_big_par))
+  in
   let b = Buffer.create 4096 in
   let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   pf "{\n";
@@ -849,6 +913,22 @@ let run_quick ~jobs ~out ~compare_mode =
         (json_escape name) sim_cycles host_ns minor_words
         (json_float hit_rate))
     cells;
+  List.iter
+    (fun (objects, eager, par, inc) ->
+      let cell name (c : RS.cell) =
+        pf "    \"recovery_%s_%dk\": { \"sim_cycles\": %d, \"host_ns\": %d, \
+            \"background_cycles\": %d },\n"
+          name (objects / 1000) c.RS.outage_cycles (rs_host_ns c)
+          c.RS.background_cycles
+      in
+      cell "eager" eager;
+      cell "parallel" par;
+      cell "incremental" inc)
+    rs_curve;
+  pf "    \"recovery_eager_1000k\": { \"sim_cycles\": %d, \"host_ns\": %d },\n"
+    rs_big_eager.RS.outage_cycles (rs_host_ns rs_big_eager);
+  pf "    \"recovery_parallel_1000k\": { \"sim_cycles\": %d, \"host_ns\": %d },\n"
+    rs_big_par.RS.outage_cycles (rs_host_ns rs_big_par);
   pf "    \"hot_path_loadstore_raw\": { \"sim_cycles\": %d, \"host_ns\": %d, \
        \"minor_words\": %.0f, \"ops\": %d, \"minor_words_per_op\": %.4f }\n"
     raw_cycles raw_host_ns raw_words raw_ops raw_words_per_op;
@@ -896,11 +976,20 @@ let run_quick ~jobs ~out ~compare_mode =
   pf "    \"shard_service\": { \"sim_cycles\": %d, \"t_down\": %d, \
        \"t_up\": %d, \"recovery_cycles\": %d, \"rescued_lines\": %d, \
        \"served\": %d, \"shed\": %d, \"timed_out\": %d, \
-       \"crash_host_ns\": %d, \"baseline_host_ns\": %d }\n"
+       \"crash_host_ns\": %d, \"baseline_host_ns\": %d },\n"
     sv_victim.Service.Serve.elapsed_cycles sv_rec.Service.Serve.t_down
     sv_rec.Service.Serve.t_up sv_rec.Service.Serve.recovery_cycles
     sv_rec.Service.Serve.rescued_lines sv_served sv_shed sv_timed_out
     sv_crash_ns sv_base_ns;
+  (let _, _, _, inc60 = List.nth rs_curve 1 in
+   pf "    \"recovery_scaling\": { \"sim_cycles\": %d, \
+       \"parallel_sim_cycles\": %d, \"objects\": %d, \"eager_host_ns\": %d, \
+       \"parallel_host_ns\": %d, \"host_speedup\": %.2f, \
+       \"incremental_outage_cycles\": %d, \
+       \"incremental_background_cycles\": %d, \"jobs_identity\": true }\n"
+     rs_big_eager.RS.outage_cycles rs_big_par.RS.outage_cycles rs_big
+     (rs_host_ns rs_big_eager) (rs_host_ns rs_big_par) rs_speedup
+     inc60.RS.outage_cycles inc60.RS.background_cycles);
   pf "  }\n";
   pf "}\n";
   let oc = open_out out in
@@ -942,6 +1031,14 @@ let run_quick ~jobs ~out ~compare_mode =
     "  shard service: victim down %d cycles (%d lines rescued), survivors \
      byte-identical to the crash-free run@."
     sv_rec.Service.Serve.recovery_cycles sv_rec.Service.Serve.rescued_lines;
+  Fmt.pr
+    "  recovery at scale: 10^6 objects, %.2fx host speedup parallel vs \
+     eager (identical heap images; incremental outage %d cycles vs %d)@."
+    rs_speedup
+    (let _, _, _, inc60 = List.nth rs_curve 1 in
+     inc60.RS.outage_cycles)
+    (let _, eager60, _, _ = List.nth rs_curve 1 in
+     eager60.RS.outage_cycles);
   compare_with_previous ~out ~mode:compare_mode
 
 (* --- Entry point --- *)
@@ -955,14 +1052,14 @@ let usage () =
      \  --jobs N|auto   fan independent cells across N domains; auto (the\n\
      \                  default) clamps to the host's cores and runs\n\
      \                  sequentially when that is 1\n\
-     \  --out FILE      where --quick writes its JSON (default BENCH_6.json)\n\
+     \  --out FILE      where --quick writes its JSON (default BENCH_7.json)\n\
      \  --compare FILE  diff --quick host throughput against FILE instead of\n\
      \                  the newest committed BENCH_*.json\n\
      \  --no-compare    skip the throughput delta report";
   exit 2
 
 let () =
-  let quick = ref false and jobs = ref None and out = ref "BENCH_6.json" in
+  let quick = ref false and jobs = ref None and out = ref "BENCH_7.json" in
   let compare_mode = ref Auto in
   let rec parse = function
     | [] -> ()

@@ -63,6 +63,42 @@ let failure_conv =
   in
   Arg.conv (parse, Tsp_core.Failure_class.pp)
 
+let recovery_mode_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "eager" -> Ok Workload.Machine.Eager
+    | "parallel" -> Ok (Workload.Machine.Parallel_gc 2)
+    | "incremental" | "lazy" -> Ok Workload.Machine.Incremental_gc
+    | s -> (
+        match String.index_opt s ':' with
+        | Some i
+          when String.sub s 0 i = "parallel" -> (
+            match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+            | Some j when j >= 1 -> Ok (Workload.Machine.Parallel_gc j)
+            | _ ->
+                Error
+                  (`Msg (Printf.sprintf "invalid parallel job count in %S" s)))
+        | _ ->
+            Error
+              (`Msg
+                 (Printf.sprintf
+                    "unknown recovery mode %S (eager, parallel[:N], \
+                     incremental)"
+                    s)))
+  in
+  Arg.conv
+    (parse, fun ppf m -> Fmt.string ppf (Workload.Machine.recovery_mode_to_string m))
+
+let recovery_mode_arg =
+  Arg.(value
+       & opt recovery_mode_conv Workload.Machine.Eager
+       & info [ "recovery-mode" ] ~docv:"MODE"
+           ~doc:"How a crashed heap recovers: $(b,eager) (the costed \
+                 legacy pipeline), $(b,parallel[:N]) (streamed log scan \
+                 and mark fanned over N domains; byte-identical results \
+                 for any N), or $(b,incremental) (reattach after rescue + \
+                 log scan and collect in the background).")
+
 let iterations_arg default =
   Arg.(value & opt int default & info [ "iterations"; "n" ] ~docv:"N"
          ~doc:"Iterations per worker thread.")
@@ -368,7 +404,7 @@ let faults_cmd =
 
 let check_cmd =
   let run () variant platform threads iterations from_step window stride
-      mutant seed smoke jobs =
+      mutant seed smoke jobs populate recovery_mode =
     let module CC = Workload.Check_campaign in
     let platform =
       (* Same rationale as the faults smoke preset: a small cache forces
@@ -388,6 +424,8 @@ let check_cmd =
         workload = Workload.Runner.Counters { h_keys = 256; preload = true };
         n_buckets = 512;
         log_mib = 1;
+        populate_objects = populate;
+        recovery_mode;
       }
     in
     let mutate, mutate_label =
@@ -484,6 +522,12 @@ let check_cmd =
                    skip list and the log-only hash map.  Exits non-zero on \
                    any flagged point.")
   in
+  let populate =
+    Arg.(value & opt int 0
+         & info [ "populate" ] ~docv:"N"
+             ~doc:"Pre-load N extra map entries before the workload — the \
+                   checker then exercises recovery over a populated heap.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
@@ -494,7 +538,7 @@ let check_cmd =
           history.  Byte-identical output for any --jobs value.")
     Term.(const run $ logs_term $ variant $ platform $ threads_arg
           $ iterations_arg 800 $ from_step $ window $ stride $ mutant
-          $ seed_arg $ smoke $ jobs_arg)
+          $ seed_arg $ smoke $ jobs_arg $ populate $ recovery_mode_arg)
 
 (* sweeps *)
 
@@ -573,7 +617,7 @@ let wsp_cmd =
 
 let run_cmd =
   let run () platform variant iterations threads seed crash_at hardware
-      failure transfers journal resume breakdown =
+      failure transfers journal resume breakdown populate recovery_mode =
     let base = Workload.Runner.calibrated_config platform in
     let workload =
       if transfers then
@@ -588,6 +632,8 @@ let run_cmd =
         threads;
         seed;
         crash_at_step = crash_at;
+        populate_objects = populate;
+        recovery_mode;
         hardware;
         failure;
         workload;
@@ -656,11 +702,19 @@ let run_cmd =
              ~doc:"Also print the per-category device cycle decomposition \
                    (where the simulated time went).")
   in
+  let populate =
+    Arg.(value & opt int 0
+         & info [ "populate" ] ~docv:"N"
+             ~doc:"Pre-load N extra map entries (deterministic, seeded) \
+                   before the workload runs — heap ballast the recovery \
+                   pipeline must scan.  The region is grown to fit.")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one configuration and print the full report.")
     Term.(const run $ logs_term $ platform $ variant $ iterations_arg 2000
           $ threads_arg $ seed_arg $ crash_at $ hardware $ failure
-          $ transfers $ journal $ resume $ breakdown)
+          $ transfers $ journal $ resume $ breakdown $ populate
+          $ recovery_mode_arg)
 
 (* ycsb *)
 
@@ -881,7 +935,8 @@ let serve_cmd =
     Arg.conv (parse, Nvm.Fault_model.pp)
   in
   let run () smoke platform variant shards seed keys requests rate theta preset
-      crash_shard crash_at fault_model degraded trace_out jobs windows =
+      crash_shard crash_at fault_model recovery_mode degraded trace_out jobs
+      windows =
     let base =
       if smoke then Service.Serve.smoke_config else Service.Serve.default_config
     in
@@ -902,6 +957,7 @@ let serve_cmd =
           override base.Service.Serve.crash_shard Option.some crash_shard;
         crash_at_step = crash_at;
         fault_model;
+        recovery = recovery_mode;
         degraded = override base.Service.Serve.degraded Fun.id degraded;
         trace = trace_out <> None;
         windows = override base.Service.Serve.windows Fun.id windows;
@@ -1025,7 +1081,165 @@ let serve_cmd =
           shard, graceful degradation, and availability accounting.")
     Term.(const run $ logs_term $ smoke $ platform $ variant $ shards $ seed
           $ keys $ requests $ rate $ theta $ preset $ crash_shard $ crash_at
-          $ fault_model $ degraded $ trace_out $ jobs_arg $ windows)
+          $ fault_model $ recovery_mode_arg $ degraded $ trace_out $ jobs_arg
+          $ windows)
+
+(* recovery *)
+
+let recovery_cmd =
+  let module RS = Workload.Recovery_scaling in
+  let run () variant sizes modes seed touches smoke =
+    let variants, sizes, modes, touches =
+      if smoke then
+        ( [
+            Workload.Runner.Mutex_map Atlas.Mode.Log_only;
+            Workload.Runner.Nonblocking_map;
+          ],
+          [ 1_000; 4_000 ],
+          [
+            Workload.Machine.Eager;
+            Workload.Machine.Parallel_gc 1;
+            Workload.Machine.Parallel_gc 2;
+            Workload.Machine.Incremental_gc;
+          ],
+          32 )
+      else ([ variant ], sizes, modes, touches)
+    in
+    let failures = ref 0 in
+    let fail fmt =
+      Fmt.kstr (fun s -> incr failures; Fmt.pr "FAIL: %s@." s) fmt
+    in
+    Fmt.pr "%-16s %8s %-12s %14s %9s %14s %10s %6s@." "variant" "objects"
+      "mode" "outage-cycles" "cyc/obj" "bg-cycles" "on-demand" "audit";
+    List.iter
+      (fun variant ->
+        List.iter
+          (fun objects ->
+            let cells =
+              List.map
+                (fun mode ->
+                  let c =
+                    RS.run_cell ~variant ~objects ~mode ~seed ~touches ()
+                  in
+                  Fmt.pr "%-16s %8d %-12s %14d %9.1f %14d %10d %6b@."
+                    (Workload.Machine.variant_to_string c.RS.variant)
+                    c.RS.objects
+                    (Workload.Machine.recovery_mode_to_string c.RS.mode)
+                    c.RS.outage_cycles
+                    (float_of_int c.RS.outage_cycles /. float_of_int objects)
+                    c.RS.background_cycles c.RS.on_demand_touches
+                    c.RS.heap_audit_ok;
+                  (mode, c))
+                modes
+            in
+            (* Every mode must leave the same heap image, and the
+               parallel cells must match at every job count. *)
+            (match cells with
+            | [] -> ()
+            | (_, first) :: rest ->
+                List.iter
+                  (fun (m, c) ->
+                    if c.RS.image_hash <> first.RS.image_hash then
+                      fail "%s/%d: %s image %x differs from %s image %x"
+                        (Workload.Machine.variant_to_string variant)
+                        objects
+                        (Workload.Machine.recovery_mode_to_string m)
+                        c.RS.image_hash
+                        (Workload.Machine.recovery_mode_to_string
+                           first.RS.mode)
+                        first.RS.image_hash;
+                    if not c.RS.heap_audit_ok then
+                      fail "%s/%d: %s failed the heap audit"
+                        (Workload.Machine.variant_to_string variant)
+                        objects
+                        (Workload.Machine.recovery_mode_to_string m))
+                  rest);
+            let parallel =
+              List.filter_map
+                (fun (m, c) ->
+                  match m with Workload.Machine.Parallel_gc _ -> Some c | _ -> None)
+                cells
+            in
+            (match parallel with
+            | p1 :: rest ->
+                List.iter
+                  (fun p ->
+                    if not (RS.cells_match p1 p) then
+                      fail
+                        "%s/%d: parallel cells diverge across job counts \
+                         (determinism violation)"
+                        (Workload.Machine.variant_to_string variant)
+                        objects)
+                  rest
+            | [] -> ());
+            match
+              ( List.assoc_opt Workload.Machine.Eager cells,
+                List.assoc_opt Workload.Machine.Incremental_gc cells )
+            with
+            | Some e, Some i ->
+                if i.RS.outage_cycles >= e.RS.outage_cycles then
+                  fail
+                    "%s/%d: incremental outage (%d cycles) is not shorter \
+                     than eager (%d cycles)"
+                    (Workload.Machine.variant_to_string variant)
+                    objects i.RS.outage_cycles e.RS.outage_cycles
+            | _ -> ())
+          sizes)
+      variants;
+    if !failures > 0 then begin
+      Fmt.pr "@.%d recovery-scaling check(s) failed.@." !failures;
+      exit 1
+    end
+    else if smoke then Fmt.pr "@.recovery smoke: all checks passed.@."
+  in
+  let variant =
+    Arg.(value
+         & opt variant_conv (Workload.Runner.Mutex_map Atlas.Mode.Log_only)
+         & info [ "variant" ] ~docv:"VARIANT" ~doc:"Map variant to measure.")
+  in
+  let sizes =
+    Arg.(value
+         & opt (list int) [ 10_000; 100_000; 1_000_000 ]
+         & info [ "sizes" ] ~docv:"N,N,..."
+             ~doc:"Heap populations (object counts) to measure.")
+  in
+  let modes =
+    Arg.(value
+         & opt (list recovery_mode_conv)
+             [
+               Workload.Machine.Eager;
+               Workload.Machine.Parallel_gc 2;
+               Workload.Machine.Incremental_gc;
+             ]
+         & info [ "modes" ] ~docv:"M,M,..."
+             ~doc:"Recovery modes to compare (eager, parallel[:N], \
+                   incremental).")
+  in
+  let touches =
+    Arg.(value & opt int 64
+         & info [ "touches" ] ~docv:"N"
+             ~doc:"On-demand first-touch recoveries charged per \
+                   incremental cell before the background collection \
+                   finishes.")
+  in
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Seconds-scale CI campaign: small heaps, all modes, both \
+                   hash map and skip list; asserts image identity across \
+                   modes, parallel determinism across job counts, and the \
+                   incremental availability win.  Exits non-zero on any \
+                   failure.")
+  in
+  Cmd.v
+    (Cmd.info "recovery"
+       ~doc:
+         "Recovery-at-scale campaign (experiment E22): build heaps of \
+          growing population, crash them, recover in each mode, and chart \
+          outage cycles against heap size — the complexity curves that \
+          justify parallel and incremental recovery.")
+    Term.(const run $ logs_term $ variant $ sizes $ modes $ seed_arg
+          $ touches $ smoke)
 
 let main_cmd =
   let doc =
@@ -1035,6 +1249,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "tsp" ~version:"1.0.0" ~doc)
     [ table1_cmd; faults_cmd; check_cmd; sweeps_cmd; ycsb_cmd; policy_cmd;
-      wsp_cmd; run_cmd; trace_cmd; serve_cmd ]
+      wsp_cmd; run_cmd; trace_cmd; serve_cmd; recovery_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

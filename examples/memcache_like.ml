@@ -86,7 +86,7 @@ let () =
       : Tsp_core.Policy.verdict);
   Nvm.Pmem.recover pmem;
   let heap = Heap.attach pmem ~base:0 ~size:log_base in
-  let report = Atlas.Recovery.run ~heap ~log_base in
+  let report = Atlas.Recovery.run ~heap ~log_base () in
   ignore (Pheap.Heap_gc.collect heap);
   Fmt.pr "@.recovery: %a@.@." Atlas.Recovery.pp_report report;
 

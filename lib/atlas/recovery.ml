@@ -119,7 +119,11 @@ let orphan_warning ~tid ~orphans =
       (Fmt.str "thread %d log truncated (%d orphaned %s)" tid orphans
          (if orphans = 1 then "entry" else "entries"))
 
-let run_attached ~heap ~pmem ~ulog =
+type scan_mode =
+  | Costed_scan
+  | Streamed_scan of ((unit -> unit) list -> unit)
+
+let run_attached ?(scan = Costed_scan) ~heap ~pmem ~ulog () =
   (* Recovery phases bracket the log scan and the rollback so the trace
      (and the per-phase cycle registry) can attribute recovery time. *)
   let phase_begin p =
@@ -138,9 +142,7 @@ let run_attached ~heap ~pmem ~ulog =
   let table : (int, rec_ocs) Hashtbl.t = Hashtbl.create 256 in
   let log_entries = ref 0 in
   let max_seq = ref 0 in
-  phase_begin Obs.Event.phase_log_scan;
-  for tid = 0 to Undo_log.num_threads ulog - 1 do
-    match Undo_log.scan_thread_checked ulog ~tid with
+  let consume tid = function
     | Error msg -> degradations := msg :: !degradations
     | Ok (entries, orphans) ->
         (match orphan_warning ~tid ~orphans with
@@ -153,7 +155,38 @@ let run_attached ~heap ~pmem ~ulog =
           (fun (e : Log_entry.t) -> if e.seq > !max_seq then max_seq := e.seq)
           entries;
         parse_thread ~anomalies ~table entries
-  done;
+  in
+  phase_begin Obs.Event.phase_log_scan;
+  (match scan with
+  | Costed_scan ->
+      for tid = 0 to Undo_log.num_threads ulog - 1 do
+        consume tid (Undo_log.scan_thread_checked ulog ~tid)
+      done
+  | Streamed_scan fanout ->
+      (* Scan all rings with cost-free peeks — in parallel if [fanout]
+         fans out — then merge in tid order and charge one analytic bill:
+         the log is read as a sequential stream, so the cost is one cold
+         miss per cache line of log data rather than per word.  The
+         merge order is fixed, so the report is byte-identical for any
+         fanout. *)
+      let n = Undo_log.num_threads ulog in
+      let results = Array.make n (Ok ([], 0), 0) in
+      let tasks =
+        List.init n (fun tid () ->
+            results.(tid) <- Undo_log.scan_thread_streamed ulog ~tid)
+      in
+      fanout tasks;
+      let words = ref 0 in
+      Array.iteri
+        (fun tid (res, w) ->
+          words := !words + w;
+          consume tid res)
+        results;
+      let cfg = Nvm.Pmem.config pmem in
+      let lines =
+        ((!words * 8) + cfg.Nvm.Config.line_size - 1) / cfg.Nvm.Config.line_size
+      in
+      Nvm.Pmem.charge pmem (lines * cfg.Nvm.Config.load_miss));
   phase_end Obs.Event.phase_log_scan;
   phase_begin Obs.Event.phase_rollback;
   let watermark = Undo_log.watermark ulog in
@@ -215,11 +248,11 @@ let run_attached ~heap ~pmem ~ulog =
     verdict = (match reasons with [] -> Clean | l -> Degraded l);
   }
 
-let run ~heap ~log_base =
+let run ?scan ~heap ~log_base () =
   let pmem = Heap.pmem heap in
   match Undo_log.attach_result pmem ~base:log_base with
   | Error msg -> unrecoverable (Fmt.str "undo log: %s" msg)
-  | Ok ulog -> run_attached ~heap ~pmem ~ulog
+  | Ok ulog -> run_attached ?scan ~heap ~pmem ~ulog ()
 
 let pp_verdict ppf = function
   | Clean -> Fmt.string ppf "clean"

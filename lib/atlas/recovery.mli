@@ -43,7 +43,20 @@ type report = {
   verdict : verdict;
 }
 
-val run : heap:Pheap.Heap.t -> log_base:int -> report
+type scan_mode =
+  | Costed_scan
+      (** the default: every log word is read through the costed cache
+          simulation, in tid order — the charge sequence older benchmark
+          snapshots pin *)
+  | Streamed_scan of ((unit -> unit) list -> unit)
+      (** scan each thread's ring with cost-free peeks — the supplied
+          runner executes the per-thread scan thunks, sequentially or on
+          a domain pool, and must have completed them all when it
+          returns — then merge in tid order and charge one analytic bill
+          (log words read × cold-miss cost).  The report, verdict and
+          heap repairs are byte-identical for any runner. *)
+
+val run : ?scan:scan_mode -> heap:Pheap.Heap.t -> log_base:int -> unit -> report
 (** Perform rollback.  The heap's device must not be in the crashed
     state (call {!Nvm.Pmem.recover} first).
 

@@ -100,3 +100,11 @@ val scan_thread_checked :
     rather than stopping at the log's natural head.  Orphaned entries
     are deliberately not replayed (nothing after a tear can be trusted);
     recovery reports them as degradation instead. *)
+
+val scan_thread_streamed :
+  t -> tid:int -> (Log_entry.t list * int, string) result * int
+(** {!scan_thread_checked} over cost-free peeks: identical result, plus
+    the number of log words read (tail descriptor, entry decodes and the
+    orphan probe).  The caller charges the streamed-scan bill itself;
+    because peeks have no cache effects, scans of distinct threads' rings
+    may run concurrently with a deterministic outcome. *)

@@ -181,6 +181,11 @@ val peek : t -> int -> int64
     cache effects.  For assertions and verifiers only — simulated code
     must use {!load}. *)
 
+val peek_int : t -> int -> int
+(** [Int64.to_int (peek t addr)] without the box (bit 63 is dropped, as
+    in {!load_int}).  The allocation-free peek the streamed recovery
+    scanners are built on. *)
+
 val dirty_line_count : t -> int
 (** Number of dirty lines in the simulated cache right now.  O(1): the
     cache maintains the count incrementally. *)

@@ -31,9 +31,19 @@ let phase_log_scan = 1
 let phase_rollback = 2
 let phase_heap_gc = 3
 let phase_audit = 4
-let n_phases = 5
 
-let phase_names = [| "rescue"; "log_scan"; "rollback"; "heap_gc"; "audit" |]
+(* Sub-phases of heap_gc: the GC brackets its mark and sweep passes
+   separately so the tracer's per-phase registry and the GC's own
+   mark/sweep cycle ledger can be cross-checked. *)
+let phase_gc_mark = 5
+let phase_gc_sweep = 6
+let n_phases = 7
+
+let phase_names =
+  [|
+    "rescue"; "log_scan"; "rollback"; "heap_gc"; "audit"; "gc_mark";
+    "gc_sweep";
+  |]
 
 let phase_name p =
   if p >= 0 && p < n_phases then phase_names.(p)

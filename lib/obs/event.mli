@@ -52,6 +52,15 @@ val phase_log_scan : int
 val phase_rollback : int
 val phase_heap_gc : int
 val phase_audit : int
+
+val phase_gc_mark : int
+(** Sub-phase of [phase_heap_gc]: the mark traversal.  Bracketed by the
+    GC itself so the tracer's registry agrees with the GC's own
+    mark/sweep cycle split. *)
+
+val phase_gc_sweep : int
+(** Sub-phase of [phase_heap_gc]: the linear sweep + allocator rebuild. *)
+
 val n_phases : int
 val phase_name : int -> string
 

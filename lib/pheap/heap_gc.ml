@@ -5,6 +5,8 @@ type stats = {
   freed_words : int;
   coalesced_blocks : int;
   dangling_refs : int;
+  mark_cycles : int;
+  sweep_cycles : int;
 }
 
 let strip_tag a = a land lnot 7
@@ -12,24 +14,60 @@ let strip_tag a = a land lnot 7
    skip list uses bit 0 as its deletion mark); heap addresses are always
    8-byte aligned, so masking recovers the address. *)
 
+let clock heap = (Nvm.Pmem.stats (Heap.pmem heap)).Nvm.Stats.clock
+
+(* Bracket [f] with a tracer sub-phase so the mark/sweep split shows up
+   in the observability timeline as well as in [stats]. *)
+let in_phase heap ~phase f =
+  match Nvm.Pmem.tracer (Heap.pmem heap) with
+  | None -> f ()
+  | Some tr ->
+      Obs.Tracer.phase_begin tr ~phase;
+      Fun.protect ~finally:(fun () -> Obs.Tracer.phase_end tr ~phase) f
+
+(* Growable int stack: the mark loop's only per-push cost is an array
+   store, so marking a million-object heap stays out of the minor heap
+   (the list scanners of the eager path still cons; the streamed path
+   below allocates nothing per object). *)
+module Istack = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create () = { a = Array.make 1024 0; n = 0 }
+
+  let push t v =
+    if t.n = Array.length t.a then begin
+      let b = Array.make (2 * t.n) 0 in
+      Array.blit t.a 0 b 0 t.n;
+      t.a <- b
+    end;
+    t.a.(t.n) <- v;
+    t.n <- t.n + 1
+
+  let pop t =
+    t.n <- t.n - 1;
+    t.a.(t.n)
+
+  let is_empty t = t.n = 0
+end
+
 let mark heap =
   let pmem = Heap.pmem heap in
-  let marks : (Heap.addr, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let marks = Nvm.Intset.create ~capacity:4096 () in
   let dangling = ref 0 in
   let load a = Nvm.Pmem.load pmem a in
-  let stack = Stack.create () in
+  let stack = Istack.create () in
   let push a =
     let a = strip_tag a in
-    if a <> Heap.null && not (Hashtbl.mem marks a) then
+    if a <> Heap.null && not (Nvm.Intset.mem marks a) then
       if Heap.is_object_start heap a then begin
-        Hashtbl.replace marks a ();
-        Stack.push a stack
+        ignore (Nvm.Intset.add marks a : bool);
+        Istack.push stack a
       end
       else incr dangling
   in
   push (Heap.get_root heap);
-  while not (Stack.is_empty stack) do
-    let a = Stack.pop stack in
+  while not (Istack.is_empty stack) do
+    let a = Istack.pop stack in
     let kind = Heap.kind_of heap a in
     let words = Heap.words_of heap a in
     let scan = Kind.scan_object ~kind in
@@ -38,7 +76,11 @@ let mark heap =
   (marks, !dangling)
 
 let collect heap =
-  let marks, dangling_refs = mark heap in
+  let c0 = clock heap in
+  let marks, dangling_refs =
+    in_phase heap ~phase:Obs.Event.phase_gc_mark (fun () -> mark heap)
+  in
+  let c1 = clock heap in
   let live_objects = ref 0 in
   let live_words = ref 0 in
   let freed_objects = ref 0 in
@@ -58,20 +100,22 @@ let collect heap =
       run_start := 0
     end
   in
-  Heap.iter_blocks heap (fun ~addr ~kind ~words ->
-      let dead = kind <> Layout.kind_free && not (Hashtbl.mem marks addr) in
-      if Hashtbl.mem marks addr then begin
-        flush_run ();
-        incr live_objects;
-        live_words := !live_words + words
-      end
-      else begin
-        if dead then incr freed_objects;
-        if !run_start = 0 then run_start := addr;
-        run_end := addr + (words * Layout.word_size)
-      end);
-  flush_run ();
-  Heap.reset_allocator heap ~free:!free_blocks;
+  in_phase heap ~phase:Obs.Event.phase_gc_sweep (fun () ->
+      Heap.iter_blocks heap (fun ~addr ~kind ~words ->
+          let dead = kind <> Layout.kind_free && not (Nvm.Intset.mem marks addr) in
+          if Nvm.Intset.mem marks addr then begin
+            flush_run ();
+            incr live_objects;
+            live_words := !live_words + words
+          end
+          else begin
+            if dead then incr freed_objects;
+            if !run_start = 0 then run_start := addr;
+            run_end := addr + (words * Layout.word_size)
+          end);
+      flush_run ();
+      Heap.reset_allocator heap ~free:!free_blocks);
+  let c2 = clock heap in
   {
     live_objects = !live_objects;
     live_words = !live_words;
@@ -79,6 +123,8 @@ let collect heap =
     freed_words = !freed_words;
     coalesced_blocks = List.length !free_blocks;
     dangling_refs;
+    mark_cycles = c1 - c0;
+    sweep_cycles = c2 - c1;
   }
 
 let reachable heap = fst (mark heap)
@@ -96,24 +142,24 @@ type quarantine = {
    (never free what we cannot parse) but do not traverse them. *)
 let mark_graceful heap =
   let pmem = Heap.pmem heap in
-  let marks : (Heap.addr, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let marks = Nvm.Intset.create ~capacity:4096 () in
   let dangling = ref 0 in
   let unscannable = ref 0 in
   let reasons = ref [] in
   let load a = Nvm.Pmem.load pmem a in
-  let stack = Stack.create () in
+  let stack = Istack.create () in
   let push a =
     let a = strip_tag a in
-    if a <> Heap.null && not (Hashtbl.mem marks a) then
+    if a <> Heap.null && not (Nvm.Intset.mem marks a) then
       if Heap.is_object_start heap a then begin
-        Hashtbl.replace marks a ();
-        Stack.push a stack
+        ignore (Nvm.Intset.add marks a : bool);
+        Istack.push stack a
       end
       else incr dangling
   in
   push (Heap.get_root heap);
-  while not (Stack.is_empty stack) do
-    let a = Stack.pop stack in
+  while not (Istack.is_empty stack) do
+    let a = Istack.pop stack in
     match
       let kind = Heap.kind_of heap a in
       let words = Heap.words_of heap a in
@@ -127,7 +173,11 @@ let mark_graceful heap =
   (marks, !dangling, !unscannable, List.rev !reasons)
 
 let collect_graceful heap =
-  let marks, dangling_refs, unscannable, mark_reasons = mark_graceful heap in
+  let c0 = clock heap in
+  let marks, dangling_refs, unscannable, mark_reasons =
+    in_phase heap ~phase:Obs.Event.phase_gc_mark (fun () -> mark_graceful heap)
+  in
+  let c1 = clock heap in
   let live_objects = ref 0 in
   let live_words = ref 0 in
   let freed_objects = ref 0 in
@@ -143,31 +193,39 @@ let collect_graceful heap =
       run_start := 0
     end
   in
-  let walk =
-    Heap.fold_blocks_checked heap (fun ~addr ~kind ~words ->
-        let dead = kind <> Layout.kind_free && not (Hashtbl.mem marks addr) in
-        if Hashtbl.mem marks addr then begin
-          flush_run ();
-          incr live_objects;
-          live_words := !live_words + words
-        end
-        else begin
-          if dead then incr freed_objects;
-          if !run_start = 0 then run_start := addr;
-          run_end := addr + (words * Layout.word_size)
-        end)
-  in
-  flush_run ();
   let quarantined_words, sweep_reasons =
-    match walk with
-    | Ok () -> (0, [])
-    | Error (header_addr, msg) ->
-        (* The blocks before [header_addr] swept normally; the tail is
-           unparseable, so leave it out of the free lists entirely. *)
-        ( (Heap.end_addr heap - header_addr) / Layout.word_size,
-          [ Fmt.str "heap tail quarantined: %s" msg ] )
+    in_phase heap ~phase:Obs.Event.phase_gc_sweep (fun () ->
+        let walk =
+          Heap.fold_blocks_checked heap (fun ~addr ~kind ~words ->
+              let dead =
+                kind <> Layout.kind_free && not (Nvm.Intset.mem marks addr)
+              in
+              if Nvm.Intset.mem marks addr then begin
+                flush_run ();
+                incr live_objects;
+                live_words := !live_words + words
+              end
+              else begin
+                if dead then incr freed_objects;
+                if !run_start = 0 then run_start := addr;
+                run_end := addr + (words * Layout.word_size)
+              end)
+        in
+        flush_run ();
+        let quarantined =
+          match walk with
+          | Ok () -> (0, [])
+          | Error (header_addr, msg) ->
+              (* The blocks before [header_addr] swept normally; the tail
+                 is unparseable, so leave it out of the free lists
+                 entirely. *)
+              ( (Heap.end_addr heap - header_addr) / Layout.word_size,
+                [ Fmt.str "heap tail quarantined: %s" msg ] )
+        in
+        Heap.reset_allocator heap ~free:!free_blocks;
+        quarantined)
   in
-  Heap.reset_allocator heap ~free:!free_blocks;
+  let c2 = clock heap in
   ( {
       live_objects = !live_objects;
       live_words = !live_words;
@@ -175,12 +233,398 @@ let collect_graceful heap =
       freed_words = !freed_words;
       coalesced_blocks = List.length !free_blocks;
       dangling_refs;
+      mark_cycles = c1 - c0;
+      sweep_cycles = c2 - c1;
     },
     {
       unscannable;
       quarantined_words;
       reasons = mark_reasons @ sweep_reasons;
     } )
+
+(* ------------------------------------------------------------------ *)
+(* Streamed discovery: the scalable mark engine behind the parallel and
+   incremental recovery modes.
+
+   The eager mark above reads every word through the costed cache
+   simulation, which pins its charge sequence to the exact DFS order —
+   correct, but inherently serial and expensive to simulate on
+   million-object heaps.  The streamed engine instead *discovers* the
+   live set with cost-free peeks ([Nvm.Pmem.peek_int] touches neither
+   the cache model nor the statistics), counting the cache lines it
+   touches — one line fetch covers an object's header, fields and every
+   in-object scanner read — and then charges one analytic bill: every
+   counted line at the cold-miss price.  That models a recovery scan
+   that streams the heap once with no reuse between objects, and —
+   because peeks are effect-free — the count, the mark set and the
+   resulting charge are independent of how the scan is scheduled.
+   Partitioning the frontier across domains is therefore free of
+   determinism hazards: the result is byte-identical for any worker
+   count, including one.
+
+   Discovery is a level-synchronous BFS.  Each frontier is split into
+   fixed-size chunks (independent of the worker count); workers scan
+   their chunk's objects into private buffers; a sequential merge in
+   chunk order deduplicates candidates into the global mark set.  The
+   per-chunk outputs are pure functions of the chunk contents, and the
+   merge order is fixed, so the discovery order — and with it the mark
+   set's insertion order — never depends on scheduling. *)
+
+let chunk_size = 2048
+
+type chunk_out = {
+  mutable cand : int array;  (* emitted valid object starts, scan order *)
+  mutable cand_n : int;
+  mutable c_dangling : int;
+  mutable c_lines : int;  (* cache lines spanned by the scanned objects *)
+  mutable c_unscannable : int;
+  mutable c_reasons : string list;  (* newest first *)
+}
+
+let chunk_out () =
+  {
+    cand = Array.make 256 0;
+    cand_n = 0;
+    c_dangling = 0;
+    c_lines = 0;
+    c_unscannable = 0;
+    c_reasons = [];
+  }
+
+let push_cand out p =
+  if out.cand_n = Array.length out.cand then begin
+    let b = Array.make (2 * out.cand_n) 0 in
+    Array.blit out.cand 0 b 0 out.cand_n;
+    out.cand <- b
+  end;
+  out.cand.(out.cand_n) <- p;
+  out.cand_n <- out.cand_n + 1
+
+(* Scan objects [lo, hi) of [objs] into [out].  Dangling emissions are
+   order-independent (an invalid non-null target counts once per
+   emission; valid targets never count), so counting them here in the
+   worker is safe.  An object whose scan raises keeps its mark but
+   contributes nothing — its partial emissions are rolled back to match
+   the eager graceful path, whose list scanners build the whole list
+   before any push. *)
+let run_chunk heap objs lo hi out =
+  let pmem = Heap.pmem heap in
+  let line_words = (Nvm.Pmem.config pmem).Nvm.Config.line_size / 8 in
+  let load a = Nvm.Pmem.peek_int pmem a in
+  let emit p =
+    let p = strip_tag p in
+    if p <> Heap.null then
+      if Heap.is_object_start heap p then push_cand out p
+      else out.c_dangling <- out.c_dangling + 1
+  in
+  for i = lo to hi - 1 do
+    let a = objs.(i) in
+    let h = Nvm.Pmem.peek_int pmem (a - Layout.word_size) in
+    let kind = Layout.header_kind_i h in
+    let words = Layout.header_words_i h in
+    (* The scanner contract keeps every read inside [header, end): one
+       streamed fetch of the object's span covers them all. *)
+    out.c_lines <- out.c_lines + ((words + 1 + line_words - 1) / line_words);
+    let saved_n = out.cand_n in
+    let saved_d = out.c_dangling in
+    match (Kind.scan_object_int ~kind) ~load ~addr:a ~words ~emit with
+    | () -> ()
+    | exception Heap.Corrupt msg | exception Invalid_argument msg ->
+        out.cand_n <- saved_n;
+        out.c_dangling <- saved_d;
+        out.c_unscannable <- out.c_unscannable + 1;
+        out.c_reasons <-
+          Fmt.str "object %d unscannable: %s" a msg :: out.c_reasons
+  done
+
+type discovery = {
+  d_marks : Nvm.Intset.t;
+  d_dangling : int;
+  d_unscannable : int;
+  d_reasons : string list;
+  d_lines : int;  (* root line + the cache lines spanned by every object *)
+}
+
+let seq_fanout tasks = List.iter (fun f -> f ()) tasks
+
+let discover ?(fanout = seq_fanout) heap =
+  let pmem = Heap.pmem heap in
+  let marks = Nvm.Intset.create ~capacity:4096 () in
+  let dangling = ref 0 in
+  let unscannable = ref 0 in
+  let reasons = ref [] in
+  let lines = ref 1 (* the line holding the root word *) in
+  let frontier = Istack.create () in
+  (let root = strip_tag (Nvm.Pmem.peek_int pmem (Heap.base heap + Layout.root_offset)) in
+   if root <> Heap.null then
+     if Heap.is_object_start heap root then begin
+       ignore (Nvm.Intset.add marks root : bool);
+       Istack.push frontier root
+     end
+     else incr dangling);
+  while not (Istack.is_empty frontier) do
+    let objs = Array.sub frontier.Istack.a 0 frontier.Istack.n in
+    frontier.Istack.n <- 0;
+    let n = Array.length objs in
+    let n_chunks = (n + chunk_size - 1) / chunk_size in
+    let outs = Array.init n_chunks (fun _ -> chunk_out ()) in
+    let tasks =
+      List.init n_chunks (fun c () ->
+          run_chunk heap objs (c * chunk_size)
+            (min n ((c + 1) * chunk_size))
+            outs.(c))
+    in
+    fanout tasks;
+    (* Deterministic merge: chunk order, then emission order within the
+       chunk.  [Intset.add] deduplicates against everything discovered
+       so far, including earlier chunks of this level. *)
+    Array.iter
+      (fun out ->
+        dangling := !dangling + out.c_dangling;
+        lines := !lines + out.c_lines;
+        unscannable := !unscannable + out.c_unscannable;
+        reasons := List.rev_append out.c_reasons !reasons;
+        for i = 0 to out.cand_n - 1 do
+          let p = out.cand.(i) in
+          if Nvm.Intset.add marks p then Istack.push frontier p
+        done)
+      outs
+  done;
+  {
+    d_marks = marks;
+    d_dangling = !dangling;
+    d_unscannable = !unscannable;
+    d_reasons = List.rev !reasons;
+    d_lines = !lines;
+  }
+
+type sweep_plan = {
+  p_live_objects : int;
+  p_live_words : int;
+  p_freed_objects : int;
+  p_freed_words : int;
+  p_free_blocks : (int * int) list;
+  p_lines : int;  (* distinct cache lines the header walk touches *)
+  p_quarantined_words : int;
+  p_reasons : string list;
+}
+
+(* Plan the sweep with peeks only: no stores, no charges.  The block
+   walk and run coalescing mirror [collect_graceful]'s exactly, so the
+   free-block list — and hence the post-[reset_allocator] heap image —
+   matches the eager path byte for byte on any parseable heap. *)
+let plan_sweep heap marks =
+  let pmem = Heap.pmem heap in
+  let live_objects = ref 0 in
+  let live_words = ref 0 in
+  let freed_objects = ref 0 in
+  let freed_words = ref 0 in
+  let free_blocks = ref [] in
+  let line_size = (Nvm.Pmem.config pmem).Nvm.Config.line_size in
+  let lines = ref 0 in
+  let last_line = ref (-1) in
+  let run_start = ref 0 in
+  let run_end = ref 0 in
+  let flush_run () =
+    if !run_start <> 0 then begin
+      let words = (!run_end - !run_start) / Layout.word_size in
+      free_blocks := (!run_start, words) :: !free_blocks;
+      freed_words := !freed_words + words;
+      run_start := 0
+    end
+  in
+  let quarantine = ref None in
+  let rec walk header_addr =
+    if header_addr < Heap.end_addr heap then begin
+      let h = Nvm.Pmem.peek_int pmem header_addr in
+      (* The walk is monotonic, so adjacent small-object headers sharing
+         a line cost one fetch — the streaming sweep's sequential win. *)
+      let ln = header_addr / line_size in
+      if ln <> !last_line then begin
+        incr lines;
+        last_line := ln
+      end;
+      if not (Layout.header_valid_i h) then
+        quarantine := Some (header_addr, Fmt.str "invalid header at %d" header_addr)
+      else begin
+        let kind = Layout.header_kind_i h in
+        let words = Layout.header_words_i h in
+        let addr = header_addr + Layout.word_size in
+        let next = addr + (words * Layout.word_size) in
+        if next > Heap.end_addr heap then
+          quarantine :=
+            Some (header_addr, Fmt.str "block at %d overruns heap end" addr)
+        else begin
+          if Nvm.Intset.mem marks addr then begin
+            flush_run ();
+            incr live_objects;
+            live_words := !live_words + words
+          end
+          else begin
+            if kind <> Layout.kind_free then incr freed_objects;
+            if !run_start = 0 then run_start := addr;
+            run_end := addr + (words * Layout.word_size)
+          end;
+          walk next
+        end
+      end
+    end
+  in
+  walk (Heap.start_addr heap);
+  flush_run ();
+  let quarantined_words, reasons =
+    match !quarantine with
+    | None -> (0, [])
+    | Some (header_addr, msg) ->
+        ( (Heap.end_addr heap - header_addr) / Layout.word_size,
+          [ Fmt.str "heap tail quarantined: %s" msg ] )
+  in
+  {
+    p_live_objects = !live_objects;
+    p_live_words = !live_words;
+    p_freed_objects = !freed_objects;
+    p_freed_words = !freed_words;
+    p_free_blocks = !free_blocks;
+    p_lines = !lines;
+    p_quarantined_words = quarantined_words;
+    p_reasons = reasons;
+  }
+
+let load_miss heap = (Nvm.Pmem.config (Heap.pmem heap)).Nvm.Config.load_miss
+
+let stats_of ~disc ~plan ~mark_cycles ~sweep_cycles =
+  ( {
+      live_objects = plan.p_live_objects;
+      live_words = plan.p_live_words;
+      freed_objects = plan.p_freed_objects;
+      freed_words = plan.p_freed_words;
+      coalesced_blocks = List.length plan.p_free_blocks;
+      dangling_refs = disc.d_dangling;
+      mark_cycles;
+      sweep_cycles;
+    },
+    {
+      unscannable = disc.d_unscannable;
+      quarantined_words = plan.p_quarantined_words;
+      reasons = disc.d_reasons @ plan.p_reasons;
+    } )
+
+let collect_streamed ?fanout heap =
+  let pmem = Heap.pmem heap in
+  let miss = load_miss heap in
+  let c0 = clock heap in
+  let disc =
+    in_phase heap ~phase:Obs.Event.phase_gc_mark (fun () ->
+        let d = discover ?fanout heap in
+        Nvm.Pmem.charge pmem (d.d_lines * miss);
+        d)
+  in
+  let c1 = clock heap in
+  let plan =
+    in_phase heap ~phase:Obs.Event.phase_gc_sweep (fun () ->
+        let p = plan_sweep heap disc.d_marks in
+        Nvm.Pmem.charge pmem (p.p_lines * miss);
+        Heap.reset_allocator heap ~free:p.p_free_blocks;
+        p)
+  in
+  let c2 = clock heap in
+  stats_of ~disc ~plan ~mark_cycles:(c1 - c0) ~sweep_cycles:(c2 - c1)
+
+module Incremental = struct
+  type gc = {
+    heap : Heap.t;
+    marks : Nvm.Intset.t;
+    stats : stats;
+    quarantine : quarantine;
+    free_blocks : (int * int) list;
+    total : int;
+    miss : int;
+    touched : Nvm.Intset.t;
+    mutable consumed : int;
+    mutable on_demand_count : int;
+    mutable applied : bool;
+  }
+
+  type t = gc
+
+  let start ?fanout heap =
+    let disc = discover ?fanout heap in
+    let plan = plan_sweep heap disc.d_marks in
+    let miss = load_miss heap in
+    let mark_cycles = disc.d_lines * miss in
+    let sweep_cycles = plan.p_lines * miss in
+    let stats, quarantine = stats_of ~disc ~plan ~mark_cycles ~sweep_cycles in
+    {
+      heap;
+      marks = disc.d_marks;
+      stats;
+      quarantine;
+      free_blocks = plan.p_free_blocks;
+      total = mark_cycles + sweep_cycles;
+      miss;
+      touched = Nvm.Intset.create ~capacity:1024 ();
+      consumed = 0;
+      on_demand_count = 0;
+      applied = false;
+    }
+
+  let total_cycles t = t.total
+  let remaining_cycles t = t.total - t.consumed
+  let plan t = (t.stats, t.quarantine)
+  let finished t = t.applied
+  let touched_objects t = Nvm.Intset.cardinal t.touched
+  let marked_objects t = Nvm.Intset.cardinal t.marks
+
+  let advance t ~budget =
+    if t.applied then 0
+    else begin
+      let take = min budget (remaining_cycles t) in
+      if take > 0 then begin
+        Nvm.Pmem.charge (Heap.pmem t.heap) take;
+        t.consumed <- t.consumed + take
+      end;
+      take
+    end
+
+  let on_demand t =
+    if t.applied then 0
+    else begin
+      let marked = max 1 (Nvm.Intset.cardinal t.marks) in
+      let cost = max t.miss (t.total / marked) in
+      Nvm.Pmem.charge (Heap.pmem t.heap) cost;
+      t.consumed <- min t.total (t.consumed + cost);
+      t.on_demand_count <- t.on_demand_count + 1;
+      cost
+    end
+
+  let on_demand_count t = t.on_demand_count
+
+  let touch t ~addr =
+    let a = strip_tag addr in
+    if a <> Heap.null && Nvm.Intset.mem t.marks a && Nvm.Intset.add t.touched a
+    then begin
+      let h = Nvm.Pmem.peek_int (Heap.pmem t.heap) (a - Layout.word_size) in
+      let words = Layout.header_words_i h in
+      let lw = (Nvm.Pmem.config (Heap.pmem t.heap)).Nvm.Config.line_size / 8 in
+      let cost = (words + 1 + lw - 1) / lw * t.miss in
+      Nvm.Pmem.charge (Heap.pmem t.heap) cost;
+      t.consumed <- min t.total (t.consumed + cost);
+      cost
+    end
+    else 0
+
+  let finish t =
+    if not t.applied then begin
+      let rem = remaining_cycles t in
+      if rem > 0 then begin
+        Nvm.Pmem.charge (Heap.pmem t.heap) rem;
+        t.consumed <- t.total
+      end;
+      Heap.reset_allocator t.heap ~free:t.free_blocks;
+      t.applied <- true
+    end;
+    (t.stats, t.quarantine)
+end
 
 let verify heap =
   let pmem = Heap.pmem heap in
@@ -243,6 +687,6 @@ let verify heap =
 let pp_stats ppf s =
   Fmt.pf ppf
     "live %d objs / %d words; reclaimed %d objs, %d words in %d free blocks; \
-     dangling refs %d"
+     dangling refs %d; mark %d cycles, sweep %d cycles"
     s.live_objects s.live_words s.freed_objects s.freed_words
-    s.coalesced_blocks s.dangling_refs
+    s.coalesced_blocks s.dangling_refs s.mark_cycles s.sweep_cycles

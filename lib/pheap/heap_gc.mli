@@ -12,7 +12,17 @@
     blocks are coalesced into single free blocks and handed back to the
     allocator.  All reads and writes go through the costed device path, so
     recovery time shows up in the simulated clock — TSP moves work to
-    recovery, and the simulator charges for it honestly. *)
+    recovery, and the simulator charges for it honestly.
+
+    Million-object heaps get two further modes built on a {e streamed}
+    mark engine: discovery reads words with cost-free peeks, counts the
+    cache lines it touches, and charges one analytic bill (every counted
+    line at the cold-miss price — a streaming scan fetches each object's
+    span once, with no reuse between objects), which makes the scan both
+    parallelisable and byte-identical for any worker count.  {!collect_streamed} runs mark and sweep to
+    completion under that model; {!Incremental} splits the same work into
+    a resumable budget so a recovering service can serve reads while the
+    collector catches up in the background. *)
 
 type stats = {
   live_objects : int;
@@ -23,12 +33,18 @@ type stats = {
   dangling_refs : int;
       (** pointers from live objects that did not refer to a valid object;
           non-zero indicates heap damage (expected after non-TSP crashes) *)
+  mark_cycles : int;
+      (** simulated cycles spent marking (clock delta; analytic charge in
+          the streamed modes) — matches the tracer's [gc_mark] phase *)
+  sweep_cycles : int;
+      (** simulated cycles spent sweeping and rebuilding the free lists —
+          matches the tracer's [gc_sweep] phase *)
 }
 
 val collect : Heap.t -> stats
 (** @raise Heap.Corrupt if the heap cannot even be parsed. *)
 
-val reachable : Heap.t -> (Heap.addr, unit) Hashtbl.t
+val reachable : Heap.t -> Nvm.Intset.t
 (** The mark set: every object reachable from the root. *)
 
 type quarantine = {
@@ -48,6 +64,84 @@ val collect_graceful : Heap.t -> stats * quarantine
     the tail is quarantined — withheld from the allocator rather than
     reused.  On a healthy heap this is exactly [collect] with an empty
     quarantine. *)
+
+val collect_streamed :
+  ?fanout:((unit -> unit) list -> unit) -> Heap.t -> stats * quarantine
+(** Graceful collection under the streamed cost model.  Discovery is a
+    level-synchronous BFS over cost-free peeks: each frontier is split
+    into fixed-size chunks, [fanout] runs the chunk thunks (default:
+    sequentially; pass a domain-pool runner to parallelise — every thunk
+    must have completed when [fanout] returns), and a sequential merge
+    in chunk order builds the mark set.  Chunking is independent of the
+    worker count, peeks have no cache effects, and the charge is a
+    single analytic bill (counted lines × cold-miss cost), so the
+    stats, the verdict inputs and the post-collection heap image are
+    byte-identical for any [fanout].  The swept heap image matches the
+    eager {!collect_graceful}'s exactly; only the simulated cycle
+    accounting differs (counted lines × cold-miss instead of per-word
+    cache simulation). *)
+
+(** Incremental collection: plan everything up front with peeks (no
+    stores, no charges — a crash at any point before {!Incremental.finish}
+    leaves the heap image untouched, so recovery simply restarts), then
+    pay for it in slices.  The service layer drains the budget from a
+    background fiber via {!Incremental.advance} while serving requests,
+    charging on-demand recovery of individual objects via
+    {!Incremental.touch}; {!Incremental.finish} pays any remainder and
+    applies the one mutating step, the allocator reset. *)
+module Incremental : sig
+  type t
+
+  val start : ?fanout:((unit -> unit) list -> unit) -> Heap.t -> t
+  (** Discover the live set and plan the sweep (peeks only).  The
+      resulting budget equals {!collect_streamed}'s analytic mark +
+      sweep charge. *)
+
+  val total_cycles : t -> int
+  (** The full analytic mark + sweep bill. *)
+
+  val plan : t -> stats * quarantine
+  (** The planned outcome (what {!finish} will return), available
+      immediately after {!start} — recovery verdicts need the
+      quarantine before the background collection completes.  No side
+      effects. *)
+
+  val remaining_cycles : t -> int
+
+  val finished : t -> bool
+
+  val marked_objects : t -> int
+
+  val touched_objects : t -> int
+  (** Objects recovered on demand via {!touch} so far. *)
+
+  val advance : t -> budget:int -> int
+  (** Charge up to [budget] cycles of background collection work and
+      return the amount actually consumed (0 once drained or
+      finished). *)
+
+  val on_demand : t -> int
+  (** Charge the {e average} per-object recovery cost for one
+      first-touch — for callers (the request path of a recovering
+      service) that track touched keys themselves and have no object
+      address in hand.  At least one cold miss; counts toward the
+      budget; 0 once finished.  Returns the cost charged. *)
+
+  val on_demand_count : t -> int
+  (** {!on_demand} calls so far. *)
+
+  val touch : t -> addr:int -> int
+  (** On-demand recovery of the object at [addr] (tag bits tolerated):
+      the first touch of a marked object charges one cold miss per cache
+      line of its span — re-reading its header and fields — counts it
+      against the remaining budget, and returns the cost. Repeat touches,
+      unmarked or null addresses cost and return 0. *)
+
+  val finish : t -> stats * quarantine
+  (** Pay any remaining budget and apply the allocator reset.
+      Memoised: later calls return the same result without recharging.
+      The resulting heap image matches {!collect_streamed}'s. *)
+end
 
 val verify : Heap.t -> (unit, string list) result
 (** Cost-free structural audit (used by tests and the fault-injection

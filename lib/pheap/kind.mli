@@ -9,9 +9,19 @@
     size and returns the addresses the object points to.  It must strip
     any tag bits it packs into pointer words (e.g. the skip list's mark
     bit) and must return 0 ([Heap.null]) for empty slots or simply omit
-    them. *)
+    them.
+
+    A [scan_int] function is the streamed, allocation-free form: same
+    contract, but words arrive as unboxed ints (bit 63 dropped — only
+    pointer words may be interpreted, and addresses fit) and pointers are
+    pushed through [emit] in the order the words are read rather than
+    collected into a list.  The eager GC uses [scan]; the parallel and
+    incremental recovery paths use [scan_int]. *)
 
 type scan = load:(int -> int64) -> addr:int -> words:int -> int list
+
+type scan_int =
+  load:(int -> int) -> addr:int -> words:int -> emit:(int -> unit) -> unit
 
 val raw : int
 (** Builtin kind 1: no pointers at all. *)
@@ -19,16 +29,23 @@ val raw : int
 val all_pointers : int
 (** Builtin kind 2: every word is either null or a heap pointer. *)
 
-val register : ?kind:int -> name:string -> scan:scan -> unit -> int
+val register :
+  ?kind:int -> name:string -> scan:scan -> ?scan_int:scan_int -> unit -> int
 (** Register a kind and return its id.  When [kind] is given it is used.
     Re-registering an id under the same name is an idempotent no-op that
-    keeps the {e original} scanner (a kind cannot be silently neutered
+    keeps the {e original} scanners (a kind cannot be silently neutered
     once objects of it exist); registering a different name over an
     existing id raises.  Ids must fit in a byte and not collide with the
-    free-block kind 0. *)
+    free-block kind 0.  When [scan_int] is omitted it is derived from
+    [scan] (correct, but it allocates — register a native one for kinds
+    on the streamed recovery path). *)
 
 val scan_object : kind:int -> scan
 (** Scanner for [kind]. @raise Invalid_argument for unknown kinds. *)
+
+val scan_object_int : kind:int -> scan_int
+(** Streamed scanner for [kind]. @raise Invalid_argument for unknown
+    kinds. *)
 
 val name : int -> string
 val is_registered : int -> bool

@@ -32,6 +32,15 @@ val header_kind : int64 -> int
 val header_words : int64 -> int
 val header_valid : int64 -> bool
 
+val header_kind_i : int -> int
+val header_words_i : int -> int
+
+val header_valid_i : int -> bool
+(** Unboxed header decode over [Int64.to_int] of the header word.  The
+    conversion drops bit 63 (the magic byte's top bit), so validity is
+    checked on the magic's low 7 bits — indistinguishable in practice,
+    and the graceful walkers tolerate junk either way. *)
+
 val kind_free : int
 (** Kind of a free block; never registered in {!Kind}. *)
 

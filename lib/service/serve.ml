@@ -7,6 +7,7 @@ module Scheduler = Sched.Scheduler
 module History = Check.History
 module Dl = Check.Dl
 module Map_intf = Tsp_maps.Map_intf
+module Heap_gc = Pheap.Heap_gc
 
 type config = {
   platform : Nvm.Config.t;
@@ -22,6 +23,7 @@ type config = {
   crash_shard : int option;
   crash_at_step : int option;
   fault_model : Nvm.Fault_model.t option;
+  recovery : Machine.recovery_mode;
   degraded : Degraded.t;
   log_mib : int;
   n_buckets : int option;
@@ -44,6 +46,7 @@ let default_config =
     crash_shard = None;
     crash_at_step = None;
     fault_model = None;
+    recovery = Machine.Eager;
     degraded = Degraded.default;
     log_mib = 4;
     n_buckets = None;
@@ -77,6 +80,8 @@ type recovery_report = {
   t_up : int;
   recovery_cycles : int;
   rescued_lines : int;
+  background_gc_cycles : int;
+  on_demand_recovered : int;
   recovery_verdict : Atlas.Recovery.verdict;
   dl : Dl.verdict option;
   dl_note : string;
@@ -284,12 +289,17 @@ let plan_phase2 degraded ~t_up pending =
 
 (* Phase-B server loop, on the restarted machine.  The fresh scheduler's
    clocks start at zero; [t_up] anchors them back on the service
-   timeline, so waits and latencies are computed in absolute cycles. *)
-let resume_body m plan idx fates lats ~t_up ~req_cycles (stream : Arrival.stream)
-    () =
+   timeline, so waits and latencies are computed in absolute cycles.
+   Under incremental recovery [gc] is the pending background collection:
+   the first request touching a key pays that object's on-demand
+   recovery surcharge (procrastination moves the cost onto the unlucky
+   first reader instead of the outage). *)
+let resume_body m plan idx fates lats ~t_up ~req_cycles ?gc
+    (stream : Arrival.stream) () =
   let pmem = m.Machine.pmem in
   let sched = m.Machine.sched in
   let ops = m.Machine.map.Machine.map_ops in
+  let touched = Nvm.Intset.create ~capacity:1024 () in
   List.iter
     (fun { li; arr; eff; deadline; extra_attempts = _ } ->
       let rel_target = eff - t_up in
@@ -302,13 +312,28 @@ let resume_body m plan idx fates lats ~t_up ~req_cycles (stream : Arrival.stream
           fates.(li) <- f_timed_out
       | _ ->
           let j = idx.(li) in
+          let key = Key_space.h_key stream.Arrival.ranks.(j) in
+          (match gc with
+          | Some inc
+            when Heap_gc.Incremental.remaining_cycles inc > 0
+                 && Nvm.Intset.add touched key ->
+              ignore (Heap_gc.Incremental.on_demand inc : int)
+          | _ -> ());
           Nvm.Pmem.charge pmem req_cycles;
-          serve_one ops
-            ~key:(Key_space.h_key stream.Arrival.ranks.(j))
-            ~op:stream.Arrival.ops.(j);
+          serve_one ops ~key ~op:stream.Arrival.ops.(j);
           lats.(li) <- (t_up + Scheduler.now sched) - arr;
           fates.(li) <- f_served)
     plan
+
+(* Background collection fiber: drain the incremental GC's budget in
+   slices, yielding to the request fiber between charges — the scheduler
+   interleaves both by virtual clock, so collection and service overlap
+   exactly as they would on a real core pair. *)
+let background_gc_body inc () =
+  let slice = 4096 in
+  while Heap_gc.Incremental.advance inc ~budget:slice > 0 do
+    ()
+  done
 
 (* Strict durable linearizability is only a sound expectation of
    rescue-class crash semantics; mirror Check_campaign's envelope. *)
@@ -404,7 +429,7 @@ let run_shard (cfg : config) (stream : Arrival.stream) ~idx ~n_buckets ~crash_st
       let steps1 = Scheduler.total_steps sched1 in
       let clock_before = (Nvm.Pmem.stats pmem).Nvm.Stats.clock in
       let _bill = Machine.crash_execute ?fault:cfg.fault_model m in
-      let recovery = Machine.recover m in
+      let recovery = Machine.recover ~mode:cfg.recovery m in
       let recovery_cycles =
         (Nvm.Pmem.stats pmem).Nvm.Stats.clock - clock_before
       in
@@ -432,6 +457,8 @@ let run_shard (cfg : config) (stream : Arrival.stream) ~idx ~n_buckets ~crash_st
                  t_up;
                  recovery_cycles;
                  rescued_lines;
+                 background_gc_cycles = 0;
+                 on_demand_recovered = 0;
                  recovery_verdict = recovery.Machine.recovery_verdict;
                  dl = None;
                  dl_note = "skipped: the shard state was not recovered";
@@ -481,13 +508,32 @@ let run_shard (cfg : config) (stream : Arrival.stream) ~idx ~n_buckets ~crash_st
               | Degraded.Retry { max_retries; _ } -> max_retries
               | Degraded.Shed | Degraded.Queue _ -> 0))
         in
+        let gc_pending = recovery.Machine.gc_pending in
         ignore
           (Scheduler.spawn m.Machine.sched
              ~name:(Printf.sprintf "shard-%d-recovered" shard)
              (resume_body m plan idx fates lats ~t_up
-                ~req_cycles:cfg.req_cycles stream)
+                ~req_cycles:cfg.req_cycles ?gc:gc_pending stream)
             : int);
+        (match gc_pending with
+        | Some inc ->
+            ignore
+              (Scheduler.spawn m.Machine.sched
+                 ~name:(Printf.sprintf "shard-%d-gc" shard)
+                 (background_gc_body inc)
+                : int)
+        | None -> ());
         let outcome2 = Machine.execute m in
+        let background_gc_cycles, on_demand_recovered =
+          match gc_pending with
+          | Some inc ->
+              ( Heap_gc.Incremental.total_cycles inc,
+                Heap_gc.Incremental.on_demand_count inc )
+          | None -> (0, 0)
+        in
+        ignore
+          (Machine.finish_background_gc m
+            : (Heap_gc.stats * Heap_gc.quarantine) option);
         let phase2_served =
           List.fold_left
             (fun a r -> if fates.(r.li) = f_served then a + 1 else a)
@@ -508,6 +554,8 @@ let run_shard (cfg : config) (stream : Arrival.stream) ~idx ~n_buckets ~crash_st
                  t_up;
                  recovery_cycles;
                  rescued_lines;
+                 background_gc_cycles;
+                 on_demand_recovered;
                  recovery_verdict = recovery.Machine.recovery_verdict;
                  dl;
                  dl_note;
@@ -714,6 +762,11 @@ let render r =
             "\ncrash: shard %d down at cycle %d; recovery took %d cycles (%d \
              lines rescued); serving again at cycle %d\n"
             s.shard rr.t_down rr.recovery_cycles rr.rescued_lines rr.t_up;
+          if rr.background_gc_cycles > 0 then
+            pf
+              "background gc: %d cycles overlapped with service; %d objects \
+               recovered on demand\n"
+              rr.background_gc_cycles rr.on_demand_recovered;
           pf "recovery verdict: %s\n"
             (Fmt.str "%a" Atlas.Recovery.pp_verdict rr.recovery_verdict);
           (match rr.dl with

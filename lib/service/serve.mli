@@ -32,6 +32,12 @@ type config = {
       (** [None] with [crash_shard] set: crash at half the shard's
           crash-free step count (derived from a baseline pre-run) *)
   fault_model : Nvm.Fault_model.t option;  (** adversarial crash semantics *)
+  recovery : Workload.Machine.recovery_mode;
+      (** how the victim recovers: [Eager] (the legacy costed pipeline),
+          [Parallel_gc jobs] (streamed, byte-identical for any job
+          count), or [Incremental_gc] — reattach after rescue + log
+          scan, serve while a background fiber finishes the collection,
+          with on-demand recovery surcharges on first-touched keys *)
   degraded : Degraded.t;
   log_mib : int;
   n_buckets : int option;  (** per-shard bucket count; [None] = sized to fit *)
@@ -54,6 +60,12 @@ type recovery_report = {
   t_up : int;  (** cycle it was serving again: [t_down + recovery_cycles] *)
   recovery_cycles : int;
   rescued_lines : int;
+  background_gc_cycles : int;
+      (** incremental mode: the collection bill paid while already
+          serving (overlapped, not part of the outage); 0 otherwise *)
+  on_demand_recovered : int;
+      (** keys whose first phase-2 touch paid an on-demand recovery
+          surcharge (incremental mode) *)
   recovery_verdict : Atlas.Recovery.verdict;
   dl : Check.Dl.verdict option;
       (** strict durable-linearizability verdict over the recorded

@@ -33,11 +33,27 @@ let node_kind =
             in
             if c <> 0 then Some c else None)
           (List.init (nkeys + 1) (fun i -> i)))
+    ~scan_int:(fun ~load ~addr ~words ~emit ->
+      let order = order_of_words words in
+      let meta = load addr in
+      if meta_is_leaf meta then begin
+        let next = load (addr + (8 * next_ix)) in
+        if next <> 0 then emit next
+      end
+      else
+        let nkeys = min (meta_nkeys meta) order in
+        for i = 0 to nkeys do
+          let c = load (addr + (8 * (key_base + order + i))) in
+          if c <> 0 then emit c
+        done)
     ()
 
 let header_kind =
   Kind.register ~name:"btree_header"
     ~scan:(fun ~load ~addr ~words:_ -> [ Int64.to_int (load addr) ])
+    ~scan_int:(fun ~load ~addr ~words:_ ~emit ->
+      let root = load addr in
+      if root <> 0 then emit root)
     ()
 
 type t = {

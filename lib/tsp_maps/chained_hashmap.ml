@@ -11,6 +11,9 @@ let node_kind =
     ~scan:(fun ~load ~addr ~words:_ ->
       let next = Int64.to_int (load (addr + 8)) in
       if next <> 0 then [ next ] else [])
+    ~scan_int:(fun ~load ~addr ~words:_ ~emit ->
+      let next = load (addr + 8) in
+      if next <> 0 then emit next)
     ()
 
 (* Header layout: [0] = bucket count, [1] = table address,
@@ -18,6 +21,9 @@ let node_kind =
 let header_kind =
   Kind.register ~name:"hash_header"
     ~scan:(fun ~load ~addr ~words:_ -> [ Int64.to_int (load (addr + 8)) ])
+    ~scan_int:(fun ~load ~addr ~words:_ ~emit ->
+      let table = load (addr + 8) in
+      if table <> 0 then emit table)
     ()
 
 type t = {

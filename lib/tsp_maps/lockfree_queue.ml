@@ -7,6 +7,9 @@ let node_kind =
     ~scan:(fun ~load ~addr ~words:_ ->
       let next = Int64.to_int (load (addr + 8)) in
       if next <> 0 then [ next ] else [])
+    ~scan_int:(fun ~load ~addr ~words:_ ~emit ->
+      let next = load (addr + 8) in
+      if next <> 0 then emit next)
     ()
 
 (* Header: [0] = head (pointer to the dummy node), [1] = tail. *)
@@ -18,6 +21,11 @@ let header_kind =
           let p = Int64.to_int (load (addr + (8 * i))) in
           if p <> 0 then Some p else None)
         [ 0; 1 ])
+    ~scan_int:(fun ~load ~addr ~words:_ ~emit ->
+      let head = load addr in
+      if head <> 0 then emit head;
+      let tail = load (addr + 8) in
+      if tail <> 0 then emit tail)
     ()
 
 type t = { heap : Heap.t; header : Heap.addr }

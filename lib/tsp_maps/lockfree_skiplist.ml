@@ -17,6 +17,12 @@ let node_kind =
           go (lv + 1) (if p <> 0 then p :: acc else acc)
       in
       go 0 [])
+    ~scan_int:(fun ~load ~addr ~words ~emit ->
+      let level = words - next_base in
+      for lv = 0 to level - 1 do
+        let p = load (addr + (8 * (next_base + lv))) land lnot 1 in
+        if p <> 0 then emit p
+      done)
     ()
 
 type t = {

@@ -55,6 +55,7 @@ type t = {
   mutable sched : Scheduler.t;
   mutable atlas : Rt.t option;
   mutable map : map;
+  mutable gc_pending : Heap_gc.Incremental.t option;
 }
 
 let log_base spec = spec.platform.Nvm.Config.region_size - (spec.log_mib * 1024 * 1024)
@@ -142,7 +143,7 @@ let create spec =
     | Nonblocking_map -> None
   in
   let map = build_map spec heap atlas sched in
-  { spec; pmem; heap; sched; atlas; map }
+  { spec; pmem; heap; sched; atlas; map; gc_pending = None }
 
 let instrument m wrap = m.map <- { m.map with map_ops = wrap m.map.map_ops }
 
@@ -167,12 +168,20 @@ let crash_execute ?fault m =
       Tsp_core.Crash_executor.execute ?fault ~rng:crash_rng m.pmem
         ~hardware:m.spec.hardware ~failure:m.spec.failure)
 
+type recovery_mode = Eager | Parallel_gc of int | Incremental_gc
+
+let recovery_mode_to_string = function
+  | Eager -> "eager"
+  | Parallel_gc jobs -> Fmt.str "parallel:%d" jobs
+  | Incremental_gc -> "incremental"
+
 type recovery = {
   heap : Heap.t option;
   observer : Tsp_core.Recovery_observer.verdict option;
   atlas_recovery : Atlas.Recovery.report option;
   gc : Heap_gc.stats option;
   gc_quarantine : Heap_gc.quarantine option;
+  gc_pending : Heap_gc.Incremental.t option;
   recovery_verdict : Atlas.Recovery.verdict;
   heap_audit_ok : bool;
   recovery_errors : string list;
@@ -181,11 +190,22 @@ type recovery = {
 (* Post-crash pipeline: device-level crash semantics, then recovery,
    then audit.  Every step can fail when the crash was not TSP-covered;
    failures are reported, not raised. *)
-let recover m =
+let recover ?(mode = Eager) m =
   let spec = m.spec in
   let pmem = m.pmem in
   let errors = ref [] in
   let err fmt = Fmt.kstr (fun s -> errors := s :: !errors) fmt in
+  (* The streamed modes share one fanout: chunk thunks run on the domain
+     pool ([Parallel_gc]) or inline ([Incremental_gc] — its win is the
+     shorter outage, not host parallelism).  [Parallel.run_all ~jobs:1]
+     is exactly sequential iteration, so jobs only changes wall-clock. *)
+  let fanout =
+    match mode with
+    | Eager -> None
+    | Parallel_gc jobs ->
+        Some (fun tasks -> ignore (Parallel.run_all ~jobs tasks : unit list))
+    | Incremental_gc -> Some (fun tasks -> List.iter (fun f -> f ()) tasks)
+  in
   let observer =
     if spec.journal then Some (Tsp_core.Recovery_observer.observe pmem)
     else None
@@ -208,22 +228,41 @@ let recover m =
         (* [Recovery.run] is graceful by construction; the handler is a
            belt-and-braces backstop so one buggy path cannot take the
            whole campaign down. *)
-        try Some (Atlas.Recovery.run ~heap ~log_base:(log_base spec))
+        let scan = Option.map (fun f -> Atlas.Recovery.Streamed_scan f) fanout in
+        try Some (Atlas.Recovery.run ?scan ~heap ~log_base:(log_base spec) ())
         with exn ->
           err "atlas recovery failed: %s" (Printexc.to_string exn);
           None
       end
     | _ -> None
   in
-  let gc, gc_quarantine =
+  let gc, gc_quarantine, gc_pending =
     match heap with
-    | None -> (None, None)
-    | Some heap ->
-        let stats, quarantine =
-          in_phase m Obs.Event.phase_heap_gc (fun () ->
-              Heap_gc.collect_graceful heap)
-        in
-        (Some stats, Some quarantine)
+    | None -> (None, None, None)
+    | Some heap -> begin
+        match mode with
+        | Eager ->
+            let stats, quarantine =
+              in_phase m Obs.Event.phase_heap_gc (fun () ->
+                  Heap_gc.collect_graceful heap)
+            in
+            (Some stats, Some quarantine, None)
+        | Parallel_gc _ ->
+            let stats, quarantine =
+              in_phase m Obs.Event.phase_heap_gc (fun () ->
+                  Heap_gc.collect_streamed ?fanout heap)
+            in
+            (Some stats, Some quarantine, None)
+        | Incremental_gc ->
+            (* Plan only: no stores, no charges.  The collection bill is
+               paid later — by the background fiber and by on-demand
+               touches — so the outage window ends here.  The planned
+               stats (with analytic mark/sweep cycles) and quarantine
+               are final; only their application is deferred. *)
+            let inc = Heap_gc.Incremental.start ?fanout heap in
+            let stats, quarantine = Heap_gc.Incremental.plan inc in
+            (Some stats, Some quarantine, Some inc)
+      end
   in
   let heap_audit_ok =
     match heap with
@@ -275,16 +314,26 @@ let recover m =
          [reattach] rebuilds them *)
       m.atlas <- None
   | None -> ());
+  m.gc_pending <- gc_pending;
   {
     heap;
     observer;
     atlas_recovery;
     gc;
     gc_quarantine;
+    gc_pending;
     recovery_verdict;
     heap_audit_ok;
     recovery_errors = List.rev !errors;
   }
+
+let finish_background_gc (m : t) =
+  match m.gc_pending with
+  | None -> None
+  | Some inc ->
+      let result = Heap_gc.Incremental.finish inc in
+      m.gc_pending <- None;
+      Some result
 
 let reattach (m : t) ~seed ~first_seq =
   let spec = m.spec in

@@ -79,6 +79,9 @@ type t = {
       (** replaced by {!reattach} (a restart gets a fresh scheduler) *)
   mutable atlas : Atlas.Runtime.t option;
   mutable map : map;
+  mutable gc_pending : Pheap.Heap_gc.Incremental.t option;
+      (** set by an [Incremental_gc] {!recover}; cleared by
+          {!finish_background_gc} *)
 }
 
 val log_base : spec -> int
@@ -110,24 +113,53 @@ val crash_execute :
     from their own seed-derived stream, so a given (spec, crash step)
     is bit-reproducible regardless of what the workload drew. *)
 
+(** How {!recover} runs the expensive phases (log scan + heap GC):
+
+    - [Eager]: the historical path — every word through the costed cache
+      simulation, GC completes before {!recover} returns.  This is the
+      charge sequence the committed benchmark snapshots pin.
+    - [Parallel_gc jobs]: the streamed engines — log rings and GC mark
+      chunks scanned with cost-free peeks on up to [jobs] domains, one
+      analytic cold-miss bill.  Stats, verdicts and the recovered heap
+      image are byte-identical for {e any} [jobs] (including 1); only
+      host wall-clock changes.
+    - [Incremental_gc]: streamed discovery, deferred application.
+      {!recover} returns as soon as rollback and GC {e planning} are
+      done; the collection bill sits in [gc_pending] for a background
+      fiber to drain ({!Pheap.Heap_gc.Incremental.advance}/[touch]),
+      and {!finish_background_gc} applies the allocator reset.  The
+      planned [gc] stats and [gc_quarantine] — and hence the verdict —
+      are already final. *)
+type recovery_mode = Eager | Parallel_gc of int | Incremental_gc
+
+val recovery_mode_to_string : recovery_mode -> string
+
 type recovery = {
   heap : Pheap.Heap.t option;  (** [None]: attach failed (unrecoverable) *)
   observer : Tsp_core.Recovery_observer.verdict option;
   atlas_recovery : Atlas.Recovery.report option;
   gc : Pheap.Heap_gc.stats option;
   gc_quarantine : Pheap.Heap_gc.quarantine option;
+  gc_pending : Pheap.Heap_gc.Incremental.t option;
+      (** [Incremental_gc] only: the deferred collection *)
   recovery_verdict : Atlas.Recovery.verdict;
   heap_audit_ok : bool;
   recovery_errors : string list;
 }
 
-val recover : t -> recovery
+val recover : ?mode:recovery_mode -> t -> recovery
 (** The whole post-crash pipeline: device recovery, heap re-attach,
     Atlas rollback (mutex variants), graceful GC, audit.  Failures are
     reported, never raised.  On success [t.heap] is re-pointed at the
     recovered heap; [t.atlas] and [t.map] are stale until {!reattach}
     (the recovered state can still be dumped via [map.fold_root] against
-    [recovery.heap]). *)
+    [recovery.heap]).  [mode] defaults to [Eager]. *)
+
+val finish_background_gc :
+  t -> (Pheap.Heap_gc.stats * Pheap.Heap_gc.quarantine) option
+(** Complete a pending incremental collection (pay any remaining budget,
+    apply the allocator reset) and clear [gc_pending].  [None] when no
+    collection is pending. *)
 
 val reattach : t -> seed:int -> first_seq:int -> Pheap.Heap.addr
 (** Restart the machine on its recovered heap: fresh scheduler (with the

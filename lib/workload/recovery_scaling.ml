@@ -1,0 +1,134 @@
+module Heap_gc = Pheap.Heap_gc
+
+type cell = {
+  variant : Machine.variant;
+  objects : int;
+  mode : Machine.recovery_mode;
+  outage_cycles : int;
+  background_cycles : int;
+  on_demand_touches : int;
+  phases : (string * int) list;
+  gc : Heap_gc.stats option;
+  verdict : string;
+  heap_audit_ok : bool;
+  image_hash : int;
+  host_ms : float;
+  recover_host_ms : float;
+}
+
+(* FNV-1a over every heap word (peeks: free, no cache effects).  Two
+   recoveries that leave byte-identical heap images hash equal; any
+   divergence — stats aside — shows up here. *)
+let image_hash pmem ~lo ~hi =
+  let h = ref 0x3bf29ce484222325 (* FNV offset basis, truncated to 62 bits *) in
+  let a = ref lo in
+  while !a < hi do
+    let w = Nvm.Pmem.peek_int pmem !a in
+    h := (!h lxor w) * 0x100000001b3 land max_int;
+    a := !a + 8
+  done;
+  !h
+
+let default_spec ~variant ~seed =
+  {
+    Machine.platform = Nvm.Config.desktop;
+    variant;
+    threads = 4;
+    seed;
+    journal = false;
+    n_buckets = 16384;
+    log_mib = 8;
+    atlas_costs = Atlas.Runtime.default_costs;
+    cost_jitter = 3;
+    hash_op_cycles = 30;
+    skip_op_cycles = 25;
+    value_words = 1;
+    quantum = false;
+    deterministic_slice = Sched.Scheduler.default_slice;
+    tracer = None;
+    hardware = Tsp_core.Hardware.nvram_machine;
+    failure = Tsp_core.Failure_class.Process_crash;
+  }
+
+(* One measurement: build a heap of [objects] entries, crash it, recover
+   in [mode], and account every phase.  The pre-crash image is a pure
+   function of (variant, objects, seed), so cells are comparable across
+   modes and job counts.  [touch] keys are recovered on demand first in
+   incremental mode (simulating the requests that arrive mid-recovery)
+   before the background collection is driven to completion. *)
+let run_cell ?(spec = None) ~variant ~objects ~mode ~seed ?(touches = 0) () =
+  let tracer = Obs.Tracer.create ~ring_cap:4096 () in
+  let base = match spec with Some s -> s | None -> default_spec ~variant ~seed in
+  let base = { base with Machine.tracer = Some tracer } in
+  let t0 = Sys.time () in
+  let m = Populate.build base ~objects ~seed in
+  let pmem = m.Machine.pmem in
+  let stats = Nvm.Pmem.stats pmem in
+  ignore (Machine.crash_execute m : Tsp_core.Crash_executor.execution);
+  let clock0 = stats.Nvm.Stats.clock in
+  let tr0 = Sys.time () in
+  let r = Machine.recover ~mode m in
+  let outage_cycles = stats.Nvm.Stats.clock - clock0 in
+  (* Incremental: the machine is already serving; charge a sample of
+     on-demand touches (first-touch key recoveries), then let the
+     background collector finish.  Everything after [outage_cycles] is
+     availability-overlapped work. *)
+  let on_demand_touches = ref 0 in
+  (match r.Machine.gc_pending with
+  | Some inc ->
+      for _ = 1 to touches do
+        ignore (Heap_gc.Incremental.on_demand inc : int)
+      done;
+      ignore (Heap_gc.Incremental.advance inc ~budget:max_int : int);
+      on_demand_touches := Heap_gc.Incremental.on_demand_count inc
+  | None -> ());
+  let background_cycles =
+    match r.Machine.gc_pending with
+    | Some inc -> Heap_gc.Incremental.total_cycles inc
+    | None -> 0
+  in
+  ignore
+    (Machine.finish_background_gc m
+      : (Heap_gc.stats * Heap_gc.quarantine) option);
+  let recover_host_ms = (Sys.time () -. tr0) *. 1000. in
+  let host_ms = (Sys.time () -. t0) *. 1000. in
+  let phases =
+    List.init Obs.Event.n_phases (fun p ->
+        (Obs.Event.phase_name p, Obs.Tracer.phase_cycles tracer p))
+    |> List.filter (fun (_, c) -> c > 0)
+  in
+  {
+    variant;
+    objects;
+    mode;
+    outage_cycles;
+    background_cycles;
+    on_demand_touches = !on_demand_touches;
+    phases;
+    gc = r.Machine.gc;
+    verdict = Fmt.str "%a" Atlas.Recovery.pp_verdict r.Machine.recovery_verdict;
+    heap_audit_ok = r.Machine.heap_audit_ok;
+    image_hash = image_hash pmem ~lo:0 ~hi:(Machine.log_base m.Machine.spec);
+    host_ms;
+    recover_host_ms;
+  }
+
+(* Structural identity, minus the fields that legitimately vary between
+   two runs of the same measurement: [mode] (jobs-identity compares
+   parallel:1 against parallel:N) and [host_ms] (wall clock). *)
+let cells_match a b =
+  a.variant = b.variant && a.objects = b.objects
+  && a.outage_cycles = b.outage_cycles
+  && a.background_cycles = b.background_cycles
+  && a.on_demand_touches = b.on_demand_touches
+  && a.phases = b.phases && a.gc = b.gc && a.verdict = b.verdict
+  && a.heap_audit_ok = b.heap_audit_ok
+  && a.image_hash = b.image_hash
+
+let pp_cell ppf c =
+  Fmt.pf ppf
+    "%-16s %8d objs %-12s outage %12d cycles bg %12d audit %b %s"
+    (Machine.variant_to_string c.variant)
+    c.objects
+    (Machine.recovery_mode_to_string c.mode)
+    c.outage_cycles c.background_cycles c.heap_audit_ok c.verdict

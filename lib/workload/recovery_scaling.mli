@@ -1,0 +1,65 @@
+(** Recovery-at-scale measurement cells (experiment E22).
+
+    Each cell builds a deterministic heap of N map entries
+    ({!Populate}), crashes it, recovers in a chosen
+    {!Machine.recovery_mode}, and accounts the outage: total simulated
+    cycles, the per-phase split from the tracer registry, GC statistics,
+    the deferred background bill (incremental mode) and an FNV digest of
+    the recovered heap image.  Because the pre-crash image is a pure
+    function of (variant, objects, seed), cells are comparable across
+    modes — and the digest plus stats make the byte-identity of the
+    parallel path checkable against the sequential one. *)
+
+type cell = {
+  variant : Machine.variant;
+  objects : int;
+  mode : Machine.recovery_mode;
+  outage_cycles : int;
+      (** simulated cycles from device recovery to "serving again":
+          everything {!Machine.recover} charged *)
+  background_cycles : int;
+      (** incremental mode: the collection bill paid after the shard is
+          already serving; 0 in the other modes *)
+  on_demand_touches : int;  (** objects recovered on demand (incremental) *)
+  phases : (string * int) list;
+      (** nonzero tracer phase registry entries (rescue, log_scan,
+          rollback, heap_gc, audit, gc_mark, gc_sweep) *)
+  gc : Pheap.Heap_gc.stats option;
+  verdict : string;
+  heap_audit_ok : bool;
+  image_hash : int;
+      (** FNV-1a over every heap word after collection completes *)
+  host_ms : float;  (** wall-clock cost of the whole cell (host side) *)
+  recover_host_ms : float;
+      (** wall-clock cost of the recovery pipeline alone — [recover]
+          through the completed collection — the number mode-to-mode
+          host comparisons should use (population dominates [host_ms]
+          and is identical across modes) *)
+}
+
+val image_hash : Nvm.Pmem.t -> lo:int -> hi:int -> int
+(** FNV-1a over the words of [\[lo, hi)] via cost-free peeks. *)
+
+val default_spec : variant:Machine.variant -> seed:int -> Machine.spec
+
+val run_cell :
+  ?spec:Machine.spec option ->
+  variant:Machine.variant ->
+  objects:int ->
+  mode:Machine.recovery_mode ->
+  seed:int ->
+  ?touches:int ->
+  unit ->
+  cell
+(** Build, crash, recover, account.  [touches] (incremental mode only)
+    charges that many on-demand first-touch recoveries before the
+    background collection is driven to completion; the collection is
+    always finished — and its allocator reset applied — before the
+    image digest is taken. *)
+
+val cells_match : cell -> cell -> bool
+(** Structural identity of two cells, ignoring [mode] and [host_ms] —
+    the jobs-identity check: a parallel cell at any job count must
+    [cells_match] the same measurement at jobs = 1. *)
+
+val pp_cell : cell Fmt.t

@@ -26,6 +26,11 @@ type config = {
   iterations : int;
   seed : int;
   crash_at_step : int option;
+  populate_objects : int;
+      (* extra map entries pre-loaded via {!Populate} before the workload
+         runs (0 = none): ballast the recovery pipeline must scan, for
+         the recovery-at-scale experiments *)
+  recovery_mode : Machine.recovery_mode;
   hardware : Tsp_core.Hardware.t;
   failure : Tsp_core.Failure_class.t;
   fault_model : Nvm.Fault_model.t option;
@@ -57,6 +62,8 @@ let default_config =
     iterations = 2000;
     seed = 1;
     crash_at_step = None;
+    populate_objects = 0;
+    recovery_mode = Machine.Eager;
     hardware = Tsp_core.Hardware.nvram_machine;
     failure = Tsp_core.Failure_class.Process_crash;
     fault_model = None;
@@ -313,7 +320,13 @@ let crash_report_of pmem ~verdict ~(recovery : Machine.recovery) ~clock_before
 
 let run_full config =
   let t0 = Sys.time () in
-  let m = Machine.create (machine_spec config) in
+  let spec = machine_spec config in
+  let spec =
+    if config.populate_objects > 0 then
+      Populate.sized_spec spec ~objects:config.populate_objects
+    else spec
+  in
+  let m = Machine.create spec in
   let pmem = m.Machine.pmem in
   let sched = m.Machine.sched in
   let heap = m.Machine.heap in
@@ -326,6 +339,11 @@ let run_full config =
   | None -> ()
   | Some wrap -> Machine.instrument m (wrap sched));
   let map = m.Machine.map in
+  (* Scale ballast goes in first; the workload preload then overwrites
+     its own keys, so workload invariants are untouched while recovery
+     still has the full population to scan. *)
+  if config.populate_objects > 0 then
+    Populate.fill m ~objects:config.populate_objects ~seed:config.seed;
   populate config map;
   Nvm.Pmem.persist_all pmem;
   let progress = Array.make config.threads 0 in
@@ -432,7 +450,13 @@ let run_full config =
       let clock_before = (Nvm.Pmem.stats pmem).Nvm.Stats.clock in
       let rescue_bill = Machine.crash_execute ?fault:config.fault_model m in
       let verdict = rescue_bill.Tsp_core.Crash_executor.verdict in
-      let recovery = Machine.recover m in
+      let recovery = Machine.recover ~mode:config.recovery_mode m in
+      (* The driver has no service to overlap with: drive any pending
+         incremental collection to completion before dumping, so the
+         recovered image and verdicts are final whatever the mode. *)
+      ignore
+        (Machine.finish_background_gc m
+          : (Pheap.Heap_gc.stats * Pheap.Heap_gc.quarantine) option);
       let rheap = recovery.Machine.heap in
       let entries, invariants =
         match rheap with

@@ -51,6 +51,17 @@ type config = {
   iterations : int;  (** per thread *)
   seed : int;
   crash_at_step : int option;
+  populate_objects : int;
+      (** extra map entries pre-loaded via {!Populate} before the
+          workload runs (0 = none) — ballast for the recovery-at-scale
+          experiments.  The workload preload overwrites its own keys
+          afterwards, so invariants are unaffected; the region is grown
+          to fit ({!Populate.sized_spec}). *)
+  recovery_mode : Machine.recovery_mode;
+      (** how a crashed run recovers; non-eager modes use the streamed
+          analytic cost model.  The driver always drives an incremental
+          collection to completion before dumping, so results are final
+          whatever the mode. *)
   hardware : Tsp_core.Hardware.t;
   failure : Tsp_core.Failure_class.t;
   fault_model : Nvm.Fault_model.t option;

@@ -196,7 +196,7 @@ let make_env ?(mode = Mode.Log_only) ?(threads = 2) () =
 let recover_env pmem ~log_base =
   Pmem.recover pmem;
   let heap = Heap.attach pmem ~base:0 ~size:log_base in
-  let report = Recovery.run ~heap ~log_base in
+  let report = Recovery.run ~heap ~log_base () in
   (heap, report)
 
 let test_store_requires_ocs () =

@@ -231,7 +231,7 @@ let test_crash_mid_split_recovers () =
       let log_base = size - (1024 * 1024) in
       let heap' = Heap.attach pmem ~base:0 ~size:log_base in
       ignore heap;
-      ignore (Atlas.Recovery.run ~heap:heap' ~log_base);
+      ignore (Atlas.Recovery.run ~heap:heap' ~log_base () : Atlas.Recovery.report);
       ignore (Heap_gc.collect heap');
       Alcotest.(check bool) "heap audit" true (Heap_gc.verify heap' = Ok ());
       (match Btree.check_plain heap' ~root:(Heap.get_root heap') with

@@ -153,7 +153,7 @@ let crashed_env ~crash_at () =
 
 let recover_once pmem ~log_base =
   let heap = Heap.attach pmem ~base:0 ~size:log_base in
-  let report = Recovery.run ~heap ~log_base in
+  let report = Recovery.run ~heap ~log_base () in
   (report, Pmem.durable_snapshot pmem)
 
 let test_recovery_idempotent () =

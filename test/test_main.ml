@@ -5,4 +5,5 @@ let () =
       Test_core.suite; Test_maps.suite; Test_queue.suite; Test_btree.suite;
       Test_workload.suite; Test_determinism.suite; Test_quantum.suite;
       Test_faults.suite;
-      Test_checker.suite; Test_obs.suite; Test_service.suite ]
+      Test_checker.suite; Test_obs.suite; Test_service.suite;
+      Test_recovery.suite ]

@@ -463,7 +463,7 @@ let test_hash_crash_recovery () =
   let size = (Pmem.config pmem).Config.region_size in
   let heap' = Heap.attach pmem ~base:0 ~size:(size - (512 * 1024)) in
   ignore heap;
-  let report = Atlas.Recovery.run ~heap:heap' ~log_base:(size - (512 * 1024)) in
+  let report = Atlas.Recovery.run ~heap:heap' ~log_base:(size - (512 * 1024)) () in
   let gc = Heap_gc.collect heap' in
   Alcotest.(check bool) "audit passes" true (Heap_gc.verify heap' = Ok ());
   Alcotest.(check bool) "recovery examined sections" true

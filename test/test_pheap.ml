@@ -332,9 +332,9 @@ let test_reachable_set () =
   let orphan = alloc_cell heap Heap.null in
   Heap.set_root heap c1;
   let marks = Heap_gc.reachable heap in
-  Alcotest.(check bool) "c1" true (Hashtbl.mem marks c1);
-  Alcotest.(check bool) "c2" true (Hashtbl.mem marks c2);
-  Alcotest.(check bool) "orphan" false (Hashtbl.mem marks orphan)
+  Alcotest.(check bool) "c1" true (Nvm.Intset.mem marks c1);
+  Alcotest.(check bool) "c2" true (Nvm.Intset.mem marks c2);
+  Alcotest.(check bool) "orphan" false (Nvm.Intset.mem marks orphan)
 
 (* --- properties --- *)
 
