@@ -899,6 +899,53 @@ let run_quick ~jobs ~out ~compare_mode =
     float_of_int (rs_host_ns rs_big_eager)
     /. float_of_int (max 1 (rs_host_ns rs_big_par))
   in
+  (* A/B 10: the fence-complexity frontier cell (E23).  Three designs —
+     eager log-flush fortification, the plain lock-free skip list, and
+     its NVTraverse transformation — on one identical counter workload,
+     with both legs of each row (traced run + strict-DL crash point)
+     computed under --jobs 1 and under the requested fan-out.  The rows
+     must be identical field-for-field across job counts (params are
+     drawn before the fan-out and each machine is private), and the
+     frontier ordering itself is asserted: NVTraverse strictly fewer
+     flushes per op than log-flush at equal or better throughput. *)
+  let ff_variants =
+    [
+      Workload.Runner.Mutex_map Atlas.Mode.Log_flush;
+      Workload.Runner.Nonblocking_map;
+      Workload.Runner.Nvtraverse_map;
+    ]
+  in
+  let ff_run jobs =
+    Workload.Frontier.run ~jobs ~variants:ff_variants
+      ~platform:Nvm.Config.desktop ()
+  in
+  let ff_rows, ff_j1_ns = time_ns (fun () -> ff_run 1) in
+  let ff_rows_jn, ff_jn_ns = time_ns (fun () -> ff_run jobs) in
+  if ff_rows <> ff_rows_jn then
+    Fmt.failwith
+      "quick bench: frontier rows diverge across job counts (determinism \
+       violation):@.--- jobs 1 ---@.%a@.--- jobs %d ---@.%a"
+      Workload.Frontier.pp ff_rows jobs Workload.Frontier.pp ff_rows_jn;
+  List.iter
+    (fun (r : Workload.Frontier.row) ->
+      if not r.Workload.Frontier.dl_explained then
+        Fmt.failwith "quick bench: frontier row %s is not durably linearizable"
+          (Workload.Machine.variant_to_cli_string r.Workload.Frontier.variant))
+    ff_rows;
+  let ff_find v =
+    match Workload.Frontier.find ff_rows v with
+    | Some r -> r
+    | None -> Fmt.failwith "quick bench: frontier row missing"
+  in
+  let ff_nvt = ff_find Workload.Runner.Nvtraverse_map in
+  let ff_lf = ff_find (Workload.Runner.Mutex_map Atlas.Mode.Log_flush) in
+  let ff_nb = ff_find Workload.Runner.Nonblocking_map in
+  if not (Workload.Frontier.nvtraverse_beats_logflush ff_rows) then
+    Fmt.failwith
+      "quick bench: NVTraverse (%.3f flushes/op, %.2f Miters/s) does not \
+       beat log-flush (%.3f flushes/op, %.2f Miters/s)"
+      ff_nvt.Workload.Frontier.flushes_per_op ff_nvt.Workload.Frontier.miters
+      ff_lf.Workload.Frontier.flushes_per_op ff_lf.Workload.Frontier.miters;
   let b = Buffer.create 4096 in
   let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   pf "{\n";
@@ -929,6 +976,17 @@ let run_quick ~jobs ~out ~compare_mode =
     rs_big_eager.RS.outage_cycles (rs_host_ns rs_big_eager);
   pf "    \"recovery_parallel_1000k\": { \"sim_cycles\": %d, \"host_ns\": %d },\n"
     rs_big_par.RS.outage_cycles (rs_host_ns rs_big_par);
+  List.iter
+    (fun (r : Workload.Frontier.row) ->
+      pf "    \"frontier_%s\": { \"sim_cycles\": %d, \"completed_ops\": %d, \
+          \"flushes_per_op\": %.3f, \"fences_per_op\": %.3f, \
+          \"appends_per_op\": %.3f },\n"
+        (normalize_key
+           (Workload.Machine.variant_to_cli_string r.Workload.Frontier.variant))
+        r.Workload.Frontier.elapsed_cycles r.Workload.Frontier.completed_ops
+        r.Workload.Frontier.flushes_per_op r.Workload.Frontier.fences_per_op
+        r.Workload.Frontier.appends_per_op)
+    ff_rows;
   pf "    \"hot_path_loadstore_raw\": { \"sim_cycles\": %d, \"host_ns\": %d, \
        \"minor_words\": %.0f, \"ops\": %d, \"minor_words_per_op\": %.4f }\n"
     raw_cycles raw_host_ns raw_words raw_ops raw_words_per_op;
@@ -986,10 +1044,23 @@ let run_quick ~jobs ~out ~compare_mode =
        \"parallel_sim_cycles\": %d, \"objects\": %d, \"eager_host_ns\": %d, \
        \"parallel_host_ns\": %d, \"host_speedup\": %.2f, \
        \"incremental_outage_cycles\": %d, \
-       \"incremental_background_cycles\": %d, \"jobs_identity\": true }\n"
+       \"incremental_background_cycles\": %d, \"jobs_identity\": true },\n"
      rs_big_eager.RS.outage_cycles rs_big_par.RS.outage_cycles rs_big
      (rs_host_ns rs_big_eager) (rs_host_ns rs_big_par) rs_speedup
      inc60.RS.outage_cycles inc60.RS.background_cycles);
+  pf "    \"fence_frontier\": { \"sim_cycles\": %d, \
+      \"nvtraverse_flushes_per_op\": %.3f, \"logflush_flushes_per_op\": %.3f, \
+      \"nonblocking_flushes_per_op\": %.3f, \"nvtraverse_miters\": %.2f, \
+      \"logflush_miters\": %.2f, \"jobs1_host_ns\": %d, \
+      \"jobsn_host_ns\": %d, \"jobs_identity\": true }\n"
+    (List.fold_left
+       (fun a (r : Workload.Frontier.row) ->
+         a + r.Workload.Frontier.elapsed_cycles)
+       0 ff_rows)
+    ff_nvt.Workload.Frontier.flushes_per_op
+    ff_lf.Workload.Frontier.flushes_per_op
+    ff_nb.Workload.Frontier.flushes_per_op ff_nvt.Workload.Frontier.miters
+    ff_lf.Workload.Frontier.miters ff_j1_ns ff_jn_ns;
   pf "  }\n";
   pf "}\n";
   let oc = open_out out in
@@ -1039,6 +1110,11 @@ let run_quick ~jobs ~out ~compare_mode =
      inc60.RS.outage_cycles)
     (let _, eager60, _, _ = List.nth rs_curve 1 in
      eager60.RS.outage_cycles);
+  Fmt.pr
+    "  fence frontier: nvtraverse %.3f flushes/op at %.2f Miters/s vs \
+     log-flush %.3f at %.2f (rows identical across --jobs)@."
+    ff_nvt.Workload.Frontier.flushes_per_op ff_nvt.Workload.Frontier.miters
+    ff_lf.Workload.Frontier.flushes_per_op ff_lf.Workload.Frontier.miters;
   compare_with_previous ~out ~mode:compare_mode
 
 (* --- Entry point --- *)
@@ -1052,14 +1128,14 @@ let usage () =
      \  --jobs N|auto   fan independent cells across N domains; auto (the\n\
      \                  default) clamps to the host's cores and runs\n\
      \                  sequentially when that is 1\n\
-     \  --out FILE      where --quick writes its JSON (default BENCH_7.json)\n\
+     \  --out FILE      where --quick writes its JSON (default BENCH_8.json)\n\
      \  --compare FILE  diff --quick host throughput against FILE instead of\n\
      \                  the newest committed BENCH_*.json\n\
      \  --no-compare    skip the throughput delta report";
   exit 2
 
 let () =
-  let quick = ref false and jobs = ref None and out = ref "BENCH_7.json" in
+  let quick = ref false and jobs = ref None and out = ref "BENCH_8.json" in
   let compare_mode = ref Auto in
   let rec parse = function
     | [] -> ()

@@ -24,23 +24,17 @@ let platform_conv =
   in
   Arg.conv (parse, fun ppf p -> Fmt.string ppf p.Nvm.Config.name)
 
+(* Spellings and round-trip live in Workload.Machine, next to the type:
+   adding a variant there is the only step needed for the CLI, the fault
+   injector's reproducers and the frontier table to agree. *)
 let variant_conv =
   let parse s =
-    match s with
-    | "no-log" | "native" -> Ok (Workload.Runner.Mutex_map Atlas.Mode.No_log)
-    | "log-only" | "log" | "tsp" ->
-        Ok (Workload.Runner.Mutex_map Atlas.Mode.Log_only)
-    | "log-flush" | "flush" ->
-        Ok (Workload.Runner.Mutex_map Atlas.Mode.Log_flush)
-    | "log-flush-async" | "async" ->
-        Ok (Workload.Runner.Mutex_map Atlas.Mode.Log_flush_async)
-    | "non-blocking" | "skiplist" -> Ok Workload.Runner.Nonblocking_map
-    | "btree" | "btree-log" -> Ok (Workload.Runner.Mutex_btree Atlas.Mode.Log_only)
-    | "btree-no-log" -> Ok (Workload.Runner.Mutex_btree Atlas.Mode.No_log)
-    | "btree-flush" -> Ok (Workload.Runner.Mutex_btree Atlas.Mode.Log_flush)
-    | s -> Error (`Msg (Printf.sprintf "unknown variant %S" s))
+    match Workload.Machine.variant_of_string s with
+    | Ok v -> Ok v
+    | Error msg -> Error (`Msg msg)
   in
-  Arg.conv (parse, fun ppf v -> Fmt.string ppf (Workload.Runner.variant_to_string v))
+  Arg.conv
+    (parse, fun ppf v -> Fmt.string ppf (Workload.Machine.variant_to_cli_string v))
 
 let hardware_conv =
   let parse s =
@@ -225,7 +219,7 @@ let faults_cmd =
         List.map Option.some Nvm.Fault_model.reference
       else List.map Option.some fault_models
     in
-    let spec_with exhaustive =
+    let spec_with ?(base = base) exhaustive =
       {
         (FI.default_spec base) with
         FI.runs;
@@ -239,16 +233,39 @@ let faults_cmd =
     in
     let summaries =
       if smoke then
-        (* Two exhaustive windows: a 2000-step sweep just after preload
-           (recovery robustness while logs are short) and a dense window
-           mid-workload, where the cache has evicted enough for discard
-           semantics to actually bite. *)
-        [
-          FI.run ?jobs
-            (spec_with (Some { FI.from_step = 400; window = 2000; stride = 50 }));
-          FI.run ?jobs
-            (spec_with (Some { FI.from_step = 40_000; window = 400; stride = 40 }));
-        ]
+        (* Two exhaustive windows per variant: a 2000-step sweep just
+           after preload (recovery robustness while logs are short) and a
+           dense window mid-workload, where the cache has evicted enough
+           for discard semantics to actually bite.  Besides the requested
+           variant, both commit-free newcomers face the same spectrum —
+           their recovery paths (re-attachment, recoverable-CAS repair)
+           must stay graceful under every adversarial model. *)
+        let smoke_variants =
+          variant
+          :: List.filter
+               (fun v -> v <> variant)
+               [ Workload.Runner.Nvtraverse_map; Workload.Runner.Delayfree_map ]
+        in
+        List.concat_map
+          (fun v ->
+            let base = { base with Workload.Runner.variant = v } in
+            (* The recoverable-CAS table is so much faster on this
+               workload that it finishes near step 22k; aim its mid-run
+               window where it still crashes. *)
+            let mid_from =
+              match v with
+              | Workload.Runner.Delayfree_map -> 18_000
+              | _ -> 40_000
+            in
+            [
+              FI.run ?jobs
+                (spec_with ~base
+                   (Some { FI.from_step = 400; window = 2000; stride = 50 }));
+              FI.run ?jobs
+                (spec_with ~base
+                   (Some { FI.from_step = mid_from; window = 400; stride = 40 }));
+            ])
+          smoke_variants
       else
         [
           FI.run ?jobs
@@ -282,7 +299,7 @@ let faults_cmd =
          & info [ "variant" ] ~docv:"VARIANT"
              ~doc:
                "Map variant: no-log, log-only, log-flush, non-blocking, \
-                btree, btree-no-log or btree-flush.")
+                nvtraverse, delay-free, btree, btree-no-log or btree-flush.")
   in
   let hardware =
     Arg.(value
@@ -447,13 +464,22 @@ let check_cmd =
         List.concat_map
           (fun variant ->
             let base = { base with Workload.Runner.variant } in
+            (* The recoverable-CAS table finishes near step 22k on this
+               workload; its mid window must sit before that to crash. *)
+            let mid_from =
+              match variant with
+              | Workload.Runner.Delayfree_map -> 18_000
+              | _ -> 40_000
+            in
             [
               spec_with base 400 1200 100;
-              spec_with base 40_000 400 100;
+              spec_with base mid_from 400 100;
             ])
           [
             Workload.Runner.Nonblocking_map;
             Workload.Runner.Mutex_map Atlas.Mode.Log_only;
+            Workload.Runner.Nvtraverse_map;
+            Workload.Runner.Delayfree_map;
           ]
       else [ spec_with base from_step window stride ]
     in
@@ -662,9 +688,16 @@ let run_cmd =
          & info [ "platform" ] ~docv:"P" ~doc:"desktop or server.")
   in
   let variant =
+    let doc =
+      "Map variant: "
+      ^ String.concat ", "
+          (List.map Workload.Machine.variant_to_cli_string
+             Workload.Machine.all_variants)
+      ^ "."
+    in
     Arg.(value
          & opt variant_conv (Workload.Runner.Mutex_map Atlas.Mode.Log_only)
-         & info [ "variant" ] ~docv:"VARIANT" ~doc:"Map variant.")
+         & info [ "variant" ] ~docv:"VARIANT" ~doc)
   in
   let crash_at =
     Arg.(value & opt (some int) None
@@ -747,7 +780,21 @@ let ycsb_cmd =
 
 let trace_cmd =
   let run () platform variant iterations threads seed crash_at hardware
-      failure fault_model out exposure ring_cap budget_lines smoke =
+      failure fault_model out exposure ring_cap budget_lines smoke frontier
+      jobs =
+    if frontier then begin
+      (* The fence-complexity frontier (EXPERIMENTS E23): every design on
+         one identical counter workload, psync-per-op vs throughput vs
+         recovery verdict.  Fails loudly if the tentpole ordering —
+         NVTraverse strictly under log-flush on flushes/op at equal or
+         better throughput — does not hold. *)
+      let rows =
+        Workload.Frontier.run ?jobs ~threads:4 ~seed ~platform ()
+      in
+      Fmt.pr "%a@." Workload.Frontier.pp rows;
+      if not (Workload.Frontier.nvtraverse_beats_logflush rows) then exit 1
+    end
+    else
     (* The smoke preset mirrors the faults smoke base (32 KiB cache,
        small counter workload) with a mid-run crash, so one bounded run
        exercises the whole pipeline: workload, crash, rescue, recovery
@@ -806,7 +853,10 @@ let trace_cmd =
       (Obs.Tracer.dropped tracer)
       out;
     Fmt.pr "@.%a@." Obs.Tracer.pp_exposure (Obs.Tracer.exposure tracer);
-    Fmt.pr "@.%a@." Obs.Metrics.pp (Obs.Metrics.of_tracer tracer);
+    Fmt.pr "@.%a@." Obs.Metrics.pp
+      (Obs.Metrics.of_tracer
+         ~completed_ops:(Workload.Runner.completed_ops r)
+         tracer);
     if exposure then begin
       (* Coarse dirty-lines timeline over the surviving ring: max dirty
          per bucket of the trace's clock envelope, as plot-ready rows. *)
@@ -850,9 +900,16 @@ let trace_cmd =
          & info [ "platform" ] ~docv:"P" ~doc:"desktop or server.")
   in
   let variant =
+    let doc =
+      "Map variant: "
+      ^ String.concat ", "
+          (List.map Workload.Machine.variant_to_cli_string
+             Workload.Machine.all_variants)
+      ^ "."
+    in
     Arg.(value
          & opt variant_conv (Workload.Runner.Mutex_map Atlas.Mode.Log_only)
-         & info [ "variant" ] ~docv:"VARIANT" ~doc:"Map variant.")
+         & info [ "variant" ] ~docv:"VARIANT" ~doc)
   in
   let crash_at =
     Arg.(value & opt (some int) None
@@ -907,15 +964,28 @@ let trace_cmd =
              ~doc:"Bounded preset on a 32 KiB cache with a mid-run crash; \
                    used by dune runtest to validate the trace pipeline.")
   in
+  let frontier =
+    Arg.(value & flag
+         & info [ "frontier" ]
+             ~doc:"Instead of tracing one run, chart the fence-complexity \
+                   frontier: every map design on one identical counter \
+                   workload — psync complexity per completed operation vs \
+                   throughput vs durable-linearizability and recovery \
+                   verdicts.  Exits 1 unless NVTraverse strictly beats \
+                   log-flush on flushes/op at equal or better throughput.")
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Run one configuration with the deterministic event tracer \
           attached: write a Perfetto-loadable trace and print the \
-          persistence-exposure and psync-complexity summaries.")
+          persistence-exposure and psync-complexity summaries.  With \
+          $(b,--frontier), chart every design's psync-per-op cost against \
+          throughput and recovery instead.")
     Term.(const run $ logs_term $ platform $ variant $ iterations_arg 2000
           $ threads_arg $ seed_arg $ crash_at $ hardware $ failure
-          $ fault_model $ out $ exposure $ ring_cap $ budget_lines $ smoke)
+          $ fault_model $ out $ exposure $ ring_cap $ budget_lines $ smoke
+          $ frontier $ jobs_arg)
 
 (* serve *)
 

@@ -8,20 +8,27 @@ type t = {
   log_appends : int;
   ocs_begins : int;
   ocs_commits : int;
+  completed_ops : int;
   deps : int;
   ctx_switches : int;
   crashes : int;
   fences_per_commit : float;
   flushes_per_commit : float;
   appends_per_commit : float;
+  fences_per_op : float;
+  flushes_per_op : float;
+  appends_per_op : float;
   op_cycles : (string * int) list;
   phase_cycles : (string * int) list;
 }
 
-let of_tracer tr =
+let of_tracer ?(completed_ops = 0) tr =
   let c = Tracer.count tr in
   let commits = c Event.ocs_commit in
   let per n = if commits = 0 then 0. else float n /. float commits in
+  let per_op n =
+    if completed_ops = 0 then 0. else float n /. float completed_ops
+  in
   {
     loads = c Event.load;
     stores = c Event.store;
@@ -32,12 +39,16 @@ let of_tracer tr =
     log_appends = c Event.log_append;
     ocs_begins = c Event.ocs_begin;
     ocs_commits = commits;
+    completed_ops;
     deps = c Event.dep;
     ctx_switches = c Event.ctx_switch;
     crashes = c Event.crash;
     fences_per_commit = per (c Event.fence);
     flushes_per_commit = per (c Event.flush);
     appends_per_commit = per (c Event.log_append);
+    fences_per_op = per_op (c Event.fence);
+    flushes_per_op = per_op (c Event.flush);
+    appends_per_op = per_op (c Event.log_append);
     op_cycles =
       List.map
         (fun code -> (Event.name code, Tracer.cycles_of tr code))
@@ -60,6 +71,11 @@ let pp ppf m =
       "  psync complexity: %.2f fences, %.2f flushes, %.2f log appends per \
        commit@ "
       m.fences_per_commit m.flushes_per_commit m.appends_per_commit;
+  if m.completed_ops > 0 then
+    Fmt.pf ppf
+      "  psync complexity: %.2f fences, %.2f flushes, %.2f log appends per \
+       completed op (%d ops)@ "
+      m.fences_per_op m.flushes_per_op m.appends_per_op m.completed_ops;
   Fmt.pf ppf "traced op cycles:";
   List.iter
     (fun (name, cy) -> if cy > 0 then Fmt.pf ppf "@   %-8s %10d" name cy)

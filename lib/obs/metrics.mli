@@ -4,7 +4,14 @@
     after ring wrap-around.  The per-commit ratios are the dynamic
     analogue of the static "psync complexity" of the fence-complexity
     literature: how many fences / flushes / undo-log appends each
-    committed OCS cost at runtime. *)
+    committed OCS cost at runtime.
+
+    Commit-free designs (the non-blocking skiplist, NVTraverse, the
+    delay-free recoverable-CAS map) never open an OCS, so their
+    per-commit ratios are undefined.  The per-op ratios divide by the
+    number of completed map operations instead — the caller supplies
+    that count, since the tracer cannot see map-level operation
+    boundaries. *)
 
 type t = {
   loads : int;
@@ -16,12 +23,19 @@ type t = {
   log_appends : int;
   ocs_begins : int;
   ocs_commits : int;
+  completed_ops : int;
+      (** Completed map operations, as supplied by the caller of
+          {!of_tracer}; 0 when unknown. *)
   deps : int;
   ctx_switches : int;
   crashes : int;
   fences_per_commit : float;
   flushes_per_commit : float;
   appends_per_commit : float;
+  fences_per_op : float;
+      (** Fences per completed map operation; 0 when [completed_ops] is 0. *)
+  flushes_per_op : float;
+  appends_per_op : float;
   op_cycles : (string * int) list;
       (** Charged cycles per traced op code (load/store/cas/flush/fence),
           feeding the same categories as [Nvm.Stats.pp_breakdown]. *)
@@ -29,5 +43,12 @@ type t = {
       (** Recovery cycles per phase, in {!Event} phase order. *)
 }
 
-val of_tracer : Tracer.t -> t
+val of_tracer : ?completed_ops:int -> Tracer.t -> t
+(** [of_tracer ?completed_ops tr] derives metrics from [tr]'s counters.
+    [completed_ops] is the number of map operations the traced run
+    completed (e.g. [iterations_done * ops-per-iteration]); when given
+    and nonzero, the per-op psync ratios are populated.  {!pp} prints
+    whichever psync denominator is nonzero, so commit-free variants
+    report per-op rates instead of silence. *)
+
 val pp : t Fmt.t

@@ -1,0 +1,272 @@
+module Heap = Pheap.Heap
+module Rng = Sched.Sim_rng
+module Pmem = Nvm.Pmem
+
+(* Same node layout and GC kind as the plain non-blocking skiplist, so
+   Snapshot, the heap audit and the recovery GC treat both identically;
+   only the persistence discipline differs. *)
+let node_kind = Lockfree_skiplist.node_kind
+let default_max_level = Lockfree_skiplist.default_max_level
+let next_base = 3
+let default_op_cycles = 25
+
+type t = {
+  heap : Heap.t;
+  head : Heap.addr;
+  max_level : int;
+  rngs : Rng.t array;
+  op_cycles : int;
+}
+
+let root t = t.head
+let max_level t = t.max_level
+let pmem t = Heap.pmem t.heap
+
+let is_marked p = p land 1 = 1
+let unmark p = p land lnot 1
+let with_mark p = p lor 1
+
+let key_of t node = Heap.load_field_int t.heap node 0
+let value_of t node = Heap.load_field t.heap node 1
+let level_of t node = Heap.words_of t.heap node - next_base
+
+let read_next t node lv = Heap.load_field_int t.heap node (next_base + lv)
+
+let cas_next t node lv ~expected ~desired =
+  Heap.cas_field_int t.heap node (next_base + lv) ~expected ~desired
+
+(* NVTraverse boundary persistence: traversals run entirely unflushed;
+   only on exiting to the critical update window do we flush the O(1)
+   words that carry durable state — the updated value word, or the
+   bottom-level link being published/marked — then issue one fence.
+   Upper-level links are a volatile index (rebuilt by any traversal)
+   and are never flushed, which is what drops per-op flushes from
+   O(path length) to O(1). *)
+let flush_field t node i =
+  Pmem.flush (pmem t) (Heap.field_addr t.heap node i)
+
+let fence t = Pmem.fence (pmem t)
+
+(* Flush every line an object spans (nodes are small: this is one line,
+   or two when the node straddles a boundary). *)
+let flush_span t node =
+  let p = pmem t in
+  let line = (Pmem.config p).Nvm.Config.line_size in
+  let first = Heap.field_addr t.heap node 0 in
+  let last = Heap.field_addr t.heap node (Heap.words_of t.heap node - 1) in
+  Pmem.flush p first;
+  if last / line <> first / line then Pmem.flush p last
+
+let alloc_node t ~key ~value ~level =
+  let node = Heap.alloc t.heap ~kind:node_kind ~words:(next_base + level) in
+  Heap.store_field_int t.heap node 0 key;
+  Heap.store_field t.heap node 1 value;
+  Heap.store_field_int t.heap node 2 level;
+  node
+
+let make_rngs ~num_threads ~seed =
+  let master = Rng.create ~seed in
+  Array.init num_threads (fun _ -> Rng.split master)
+
+let create heap ?(max_level = default_max_level)
+    ?(op_cycles = default_op_cycles) ~num_threads ~seed () =
+  if max_level < 1 || max_level > 32 then
+    invalid_arg "Nvtraverse_skiplist.create: max_level out of range";
+  let t = { heap; head = Heap.null; max_level; rngs = [||]; op_cycles } in
+  let tail = alloc_node t ~key:max_int ~value:0L ~level:max_level in
+  for lv = 0 to max_level - 1 do
+    Heap.store_field_int heap tail (next_base + lv) Heap.null
+  done;
+  let head = alloc_node t ~key:min_int ~value:0L ~level:max_level in
+  for lv = 0 to max_level - 1 do
+    Heap.store_field_int heap head (next_base + lv) tail
+  done;
+  Heap.set_root heap head;
+  let t = { heap; head; max_level; rngs = make_rngs ~num_threads ~seed; op_cycles } in
+  (* The empty structure is durable before any operation runs. *)
+  flush_span t tail;
+  flush_span t head;
+  fence t;
+  t
+
+let attach heap ?(op_cycles = default_op_cycles) ~num_threads ~seed head =
+  if not (Heap.is_object_start heap head)
+     || Heap.kind_of heap head <> node_kind
+  then invalid_arg "Nvtraverse_skiplist.attach: root is not a skip-list node";
+  if Heap.load_field_int heap head 0 <> min_int then
+    invalid_arg "Nvtraverse_skiplist.attach: root is not the head sentinel";
+  let max_level = Heap.words_of heap head - next_base in
+  { heap; head; max_level; rngs = make_rngs ~num_threads ~seed; op_cycles }
+
+let random_level t tid =
+  let rng = t.rngs.(tid) in
+  let rec toss lv =
+    if lv >= t.max_level then t.max_level
+    else if Rng.bool rng then toss (lv + 1)
+    else lv
+  in
+  toss 1
+
+(* Herlihy-Shavit [find] with snipping, exactly as in the plain
+   skiplist; all loads stay in the traversal (unflushed) phase. *)
+let rec find t key ~preds ~succs =
+  let rec down pred lv =
+    if lv < 0 then true
+    else
+      let rec scan pred curr =
+        let succ_raw = read_next t curr lv in
+        if is_marked succ_raw then
+          if cas_next t pred lv ~expected:curr ~desired:(unmark succ_raw) then
+            scan pred (unmark succ_raw)
+          else false
+        else if key_of t curr < key then scan curr (unmark succ_raw)
+        else begin
+          preds.(lv) <- pred;
+          succs.(lv) <- curr;
+          true
+        end
+      in
+      if scan pred (unmark (read_next t pred lv)) then down preds.(lv) (lv - 1)
+      else false
+  in
+  if down t.head (t.max_level - 1) then () else find t key ~preds ~succs
+
+let find_arrays t key =
+  let preds = Array.make t.max_level Heap.null in
+  let succs = Array.make t.max_level Heap.null in
+  find t key ~preds ~succs;
+  (preds, succs)
+
+(* Upper-level linking is pure index maintenance: never flushed. *)
+let rec link_upper t node level key lv =
+  if lv < level then begin
+    let preds, succs = find_arrays t key in
+    if succs.(0) <> node then ()
+    else
+      let cur = read_next t node lv in
+      if is_marked cur then ()
+      else if
+        cur <> succs.(lv)
+        && not (cas_next t node lv ~expected:cur ~desired:succs.(lv))
+      then link_upper t node level key lv
+      else if cas_next t preds.(lv) lv ~expected:succs.(lv) ~desired:node then
+        link_upper t node level key (lv + 1)
+      else link_upper t node level key lv
+  end
+
+let rec upsert t tid key ~value ~on_found =
+  let preds, succs = find_arrays t key in
+  if key_of t succs.(0) = key then begin
+    if not (on_found succs.(0)) then upsert t tid key ~value ~on_found
+  end
+  else begin
+    let level = random_level t tid in
+    let node = alloc_node t ~key ~value ~level in
+    for lv = 0 to level - 1 do
+      Heap.store_field_int t.heap node (next_base + lv) succs.(lv)
+    done;
+    (* Critical update window: persist the initialised node before it
+       becomes reachable, publish with one CAS, then persist the
+       bottom-level link that made it reachable. *)
+    flush_span t node;
+    fence t;
+    if cas_next t preds.(0) 0 ~expected:succs.(0) ~desired:node then begin
+      flush_field t preds.(0) next_base;
+      fence t;
+      link_upper t node level key 1
+    end
+    else begin
+      Heap.free t.heap node;
+      upsert t tid key ~value ~on_found
+    end
+  end
+
+let set t ~tid ~key ~value =
+  Pmem.charge (pmem t) t.op_cycles;
+  upsert t tid key ~value ~on_found:(fun node ->
+      Heap.store_field t.heap node 1 value;
+      flush_field t node 1;
+      fence t;
+      true)
+
+let incr t ~tid ~key ~by =
+  Pmem.charge (pmem t) t.op_cycles;
+  upsert t tid key ~value:by ~on_found:(fun node ->
+      let old = value_of t node in
+      if Heap.cas_field t.heap node 1 ~expected:old ~desired:(Int64.add old by)
+      then begin
+        flush_field t node 1;
+        fence t;
+        true
+      end
+      else false)
+
+(* Reads are pure traversal: no flush, no fence. *)
+let get t ~tid:_ ~key =
+  Pmem.charge (pmem t) t.op_cycles;
+  let rec down pred lv curr_final =
+    if lv < 0 then curr_final
+    else
+      let rec scan pred curr =
+        let succ_raw = read_next t curr lv in
+        if is_marked succ_raw then scan pred (unmark succ_raw)
+        else if key_of t curr < key then scan curr (unmark succ_raw)
+        else (pred, curr)
+      in
+      let pred, curr = scan pred (unmark (read_next t pred lv)) in
+      down pred (lv - 1) curr
+  in
+  let curr = down t.head (t.max_level - 1) Heap.null in
+  if curr <> Heap.null && key_of t curr = key then Some (value_of t curr)
+  else None
+
+let remove t ~tid:_ ~key =
+  Pmem.charge (pmem t) t.op_cycles;
+  let _, succs = find_arrays t key in
+  if key_of t succs.(0) <> key then false
+  else begin
+    let node = succs.(0) in
+    let level = level_of t node in
+    (* Upper-level marks are index-only: unflushed. *)
+    for lv = level - 1 downto 1 do
+      let rec mark_level () =
+        let nxt = read_next t node lv in
+        if not (is_marked nxt) then
+          if not (cas_next t node lv ~expected:nxt ~desired:(with_mark nxt))
+          then mark_level ()
+      in
+      mark_level ()
+    done;
+    let rec bottom () =
+      let nxt = read_next t node 0 in
+      if is_marked nxt then false
+      else if cas_next t node 0 ~expected:nxt ~desired:(with_mark nxt)
+      then begin
+        (* The bottom-level mark is the linearisation point: persist it
+           before reporting success; the physical unlink that follows is
+           index maintenance. *)
+        flush_field t node next_base;
+        fence t;
+        ignore (find_arrays t key);
+        true
+      end
+      else bottom ()
+    in
+    bottom ()
+  end
+
+let ops t =
+  {
+    Map_intf.name = "nvtraverse-skiplist";
+    set = set t;
+    get = get t;
+    incr = incr t;
+    remove = remove t;
+  }
+
+let set_plain t ~key ~value = set t ~tid:0 ~key ~value
+
+(* Same layout: the plain traversal helpers apply verbatim. *)
+let fold_plain = Lockfree_skiplist.fold_plain
+let size_plain = Lockfree_skiplist.size_plain
+let check_plain = Lockfree_skiplist.check_plain

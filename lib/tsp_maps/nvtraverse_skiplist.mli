@@ -1,0 +1,63 @@
+(** The NVTraverse transformation (Friedman et al., PLDI 2020) applied
+    to the lock-free skip list: operations are split into a {e traversal}
+    phase that issues no flushes at all and a {e critical update} window
+    that persists only the O(1) words carrying durable state — the
+    freshly initialised node and the bottom-level link for an insert,
+    the value word for an overwrite, the marked bottom-level link for a
+    delete — each followed by a single fence.
+
+    Per-operation psync complexity therefore drops from O(path length)
+    (what a naive "flush everything you touch" persistent skiplist
+    pays) to O(1): one flush + one fence for overwrite/increment/
+    delete, two-to-three flushes for an insert.  Upper-level links are
+    treated as a volatile index — never flushed, rebuilt by any
+    traversal — mirroring the SOFT/NVTraverse observation that only the
+    bottom-level list is semantically persistent.
+
+    The node layout and GC kind are shared with {!Lockfree_skiplist},
+    so snapshots, audits and recovery treat both structures
+    identically; recovery remains re-attachment plus GC. *)
+
+type t
+
+val default_max_level : int
+
+val create :
+  Pheap.Heap.t ->
+  ?max_level:int ->
+  ?op_cycles:int ->
+  num_threads:int ->
+  seed:int ->
+  unit ->
+  t
+(** Allocate head and tail sentinels (persisted before returning), point
+    the heap root at the head, and build per-thread level generators. *)
+
+val attach :
+  Pheap.Heap.t ->
+  ?op_cycles:int ->
+  num_threads:int ->
+  seed:int ->
+  Pheap.Heap.addr ->
+  t
+(** Re-attach after recovery: nothing to repair, by design.
+    @raise Invalid_argument if the root is not a skip-list head. *)
+
+val root : t -> Pheap.Heap.addr
+val max_level : t -> int
+val ops : t -> Map_intf.ops
+
+(** {1 Plain access — setup and verification} *)
+
+val set_plain : t -> key:int -> value:int64 -> unit
+
+val fold_plain :
+  Pheap.Heap.t -> root:Pheap.Heap.addr -> (int -> int64 -> 'a -> 'a) -> 'a -> 'a
+
+val size_plain : Pheap.Heap.t -> root:Pheap.Heap.addr -> int
+
+val check_plain : Pheap.Heap.t -> root:Pheap.Heap.addr -> (unit, string) result
+
+val node_kind : int
+(** Shared with {!Lockfree_skiplist.node_kind}: both structures scan and
+    snapshot identically. *)

@@ -20,8 +20,16 @@ let entries heap =
         (Chained_hashmap.fold_plain heap ~root
            (fun k v acc -> (k, v) :: acc)
            [])
+  | "delayfree_table" ->
+      (* Slot order is hash order; normalise to key order like the
+         other structures. *)
+      List.sort
+        (fun (k1, _) (k2, _) -> Int.compare k1 k2)
+        (Delayfree_map.fold_plain heap ~root
+           (fun k v acc -> (k, v) :: acc)
+           [])
   | name ->
       Fmt.invalid_arg
         "Snapshot.entries: unsupported root structure %S (expected \
-         skip_node or hash_header)"
+         skip_node, hash_header or delayfree_table)"
         name

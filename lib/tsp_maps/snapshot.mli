@@ -5,8 +5,10 @@
     object carries a registered kind tag (see {!Pheap.Kind}); the root
     object's kind name identifies the structure, and the matching
     [fold_plain] dumps its entries.  Recognised roots: a skiplist head
-    sentinel ([skip_node] with key [min_int]) and a hash-map header
-    ([hash_header]). *)
+    sentinel ([skip_node] with key [min_int], shared by the plain
+    non-blocking and NVTraverse variants), a hash-map header
+    ([hash_header]), and a delay-free recoverable-CAS table
+    ([delayfree_table]). *)
 
 val structure : Pheap.Heap.t -> string
 (** Kind name of the heap's root object ("skip_node", "hash_header",

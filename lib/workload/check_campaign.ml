@@ -40,9 +40,15 @@ type summary = {
   crashes : int;
   explained : int;
   flagged : int;
+  capped_points : int;
+  capped_keys : int;
   clean_recoveries : int;
   degraded_recoveries : int;
 }
+
+let capped_of p =
+  match p.dl with
+  | Check.Dl.Explained s | Check.Dl.Violation (s, _) -> s.Check.Dl.capped
 
 (* Population (Runner.populate) is single-threaded, unrecorded and a
    pure function of the config, so the recording baseline can be
@@ -196,6 +202,8 @@ let run ?jobs spec =
     crashes = count (fun p -> p.crashed);
     explained = count (fun p -> Check.Dl.is_explained p.dl);
     flagged = count (fun p -> not (Check.Dl.is_explained p.dl));
+    capped_points = count (fun p -> capped_of p > 0);
+    capped_keys = List.fold_left (fun n p -> n + capped_of p) 0 points;
     clean_recoveries =
       count (fun p -> p.recovery_verdict = Some Atlas.Recovery.Clean);
     degraded_recoveries =
@@ -228,6 +236,14 @@ let pp_summary ppf s =
      else " [mutant: " ^ s.spec.mutate_label ^ "]")
     s.total s.crashes s.explained s.flagged s.clean_recoveries
     s.degraded_recoveries;
+  (* The subset-sum search inside the per-key DL check caps its
+     enumeration (Check.Dl.subset_limit); a capped key is accepted
+     conservatively, not proved.  Keep that ledger explicit so
+     "explained" can be read as "proved" exactly when it shows 0. *)
+  Fmt.pf ppf
+    "@ conservative accepts: %d points hit the subset-sum cap (%d keys \
+     accepted unproved)"
+    s.capped_points s.capped_keys;
   Fmt.pf ppf "@ device cycles across all points:@ %a"
     Nvm.Stats.pp_breakdown_totals (breakdown s);
   let shown = ref 0 in

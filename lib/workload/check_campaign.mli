@@ -59,6 +59,10 @@ type summary = {
   crashes : int;
   explained : int;
   flagged : int;  (** points whose recovered state no linearization explains *)
+  capped_points : int;
+      (** points where at least one key hit {!Check.Dl.subset_limit} and
+          was accepted conservatively rather than proved *)
+  capped_keys : int;  (** total capped keys across all points *)
   clean_recoveries : int;
   degraded_recoveries : int;
 }
@@ -77,6 +81,10 @@ val non_durable :
     swallowed — acknowledged to the caller, never issued to the map.  A
     fresh RNG is created per call, so each run in a parallel campaign
     mutates deterministically. *)
+
+val capped_of : point -> int
+(** Subset-sum-capped key count of a point's DL verdict: how many of its
+    keys were accepted conservatively rather than proved. *)
 
 val run : ?jobs:int -> spec -> summary
 (** Execute the campaign.

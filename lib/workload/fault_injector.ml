@@ -85,17 +85,10 @@ let default_spec base =
 
 let model_label = function None -> "policy" | Some m -> FM.to_string m
 
-(* The CLI spelling of each variant, for copy-pasteable reproducers
-   (inverse of bin/main.ml's variant parser). *)
-let variant_flag = function
-  | Runner.Mutex_map Atlas.Mode.No_log -> "no-log"
-  | Runner.Mutex_map Atlas.Mode.Log_only -> "log-only"
-  | Runner.Mutex_map Atlas.Mode.Log_flush -> "log-flush"
-  | Runner.Mutex_map Atlas.Mode.Log_flush_async -> "log-flush-async"
-  | Runner.Mutex_btree Atlas.Mode.No_log -> "btree-no-log"
-  | Runner.Mutex_btree Atlas.Mode.Log_flush -> "btree-flush"
-  | Runner.Mutex_btree _ -> "btree"
-  | Runner.Nonblocking_map -> "non-blocking"
+(* The CLI spelling of each variant, for copy-pasteable reproducers:
+   the canonical spellings live in [Machine] next to the parser, so the
+   two cannot drift. *)
+let variant_flag = Machine.variant_to_cli_string
 
 (* A complete `tsp faults` invocation replaying exactly this run: the
    exhaustive enumerator with a one-step window and a pinned per-run

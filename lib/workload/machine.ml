@@ -6,16 +6,70 @@ module Rng = Sched.Sim_rng
 module Hashmap = Tsp_maps.Chained_hashmap
 module Skiplist = Tsp_maps.Lockfree_skiplist
 module Btree = Tsp_maps.Btree
+module Nvt = Tsp_maps.Nvtraverse_skiplist
+module Delayfree = Tsp_maps.Delayfree_map
 
 type variant =
   | Mutex_map of Atlas.Mode.t
   | Mutex_btree of Atlas.Mode.t
   | Nonblocking_map
+  | Nvtraverse_map
+  | Delayfree_map
 
 let variant_to_string = function
   | Mutex_map m -> "mutex/" ^ Atlas.Mode.to_string m
   | Mutex_btree m -> "btree/" ^ Atlas.Mode.to_string m
   | Nonblocking_map -> "non-blocking"
+  | Nvtraverse_map -> "nvtraverse"
+  | Delayfree_map -> "delay-free"
+
+(* Canonical CLI spelling of each variant.  This is the single source of
+   truth shared by the `tsp` argument parser and the fault injector's
+   copy-pasteable reproducers; [variant_of_string] accepts these plus
+   historical aliases, and the two functions round-trip for every
+   variant. *)
+let variant_to_cli_string = function
+  | Mutex_map Atlas.Mode.No_log -> "no-log"
+  | Mutex_map Atlas.Mode.Log_only -> "log-only"
+  | Mutex_map Atlas.Mode.Log_flush -> "log-flush"
+  | Mutex_map Atlas.Mode.Log_flush_async -> "log-flush-async"
+  | Mutex_btree Atlas.Mode.No_log -> "btree-no-log"
+  | Mutex_btree Atlas.Mode.Log_only -> "btree"
+  | Mutex_btree Atlas.Mode.Log_flush -> "btree-flush"
+  | Mutex_btree Atlas.Mode.Log_flush_async -> "btree-flush-async"
+  | Nonblocking_map -> "non-blocking"
+  | Nvtraverse_map -> "nvtraverse"
+  | Delayfree_map -> "delay-free"
+
+let variant_of_string = function
+  | "no-log" | "native" -> Ok (Mutex_map Atlas.Mode.No_log)
+  | "log-only" | "log" | "tsp" -> Ok (Mutex_map Atlas.Mode.Log_only)
+  | "log-flush" | "flush" -> Ok (Mutex_map Atlas.Mode.Log_flush)
+  | "log-flush-async" | "async" -> Ok (Mutex_map Atlas.Mode.Log_flush_async)
+  | "non-blocking" | "skiplist" -> Ok Nonblocking_map
+  | "nvtraverse" | "nv-traverse" -> Ok Nvtraverse_map
+  | "delay-free" | "delayfree" | "rcas" -> Ok Delayfree_map
+  | "btree" | "btree-log" -> Ok (Mutex_btree Atlas.Mode.Log_only)
+  | "btree-no-log" -> Ok (Mutex_btree Atlas.Mode.No_log)
+  | "btree-flush" -> Ok (Mutex_btree Atlas.Mode.Log_flush)
+  | "btree-flush-async" | "btree-async" ->
+      Ok (Mutex_btree Atlas.Mode.Log_flush_async)
+  | s -> Error (Printf.sprintf "unknown variant %S" s)
+
+let all_variants =
+  [
+    Mutex_map Atlas.Mode.No_log;
+    Mutex_map Atlas.Mode.Log_only;
+    Mutex_map Atlas.Mode.Log_flush;
+    Mutex_map Atlas.Mode.Log_flush_async;
+    Mutex_btree Atlas.Mode.No_log;
+    Mutex_btree Atlas.Mode.Log_only;
+    Mutex_btree Atlas.Mode.Log_flush;
+    Mutex_btree Atlas.Mode.Log_flush_async;
+    Nonblocking_map;
+    Nvtraverse_map;
+    Delayfree_map;
+  ]
 
 type spec = {
   platform : Nvm.Config.t;
@@ -124,6 +178,28 @@ let build_map spec heap atlas sched =
         fold_root = (fun h ~root f -> Skiplist.fold_plain h ~root f []);
         hashmap = None;
       }
+  | Nvtraverse_map ->
+      let sl =
+        Nvt.create heap ~num_threads:spec.threads
+          ~op_cycles:spec.skip_op_cycles ~seed:(spec.seed + 7) ()
+      in
+      {
+        map_ops = Nvt.ops sl;
+        set_plain = (fun ~key ~value -> Nvt.set_plain sl ~key ~value);
+        fold_root = (fun h ~root f -> Nvt.fold_plain h ~root f []);
+        hashmap = None;
+      }
+  | Delayfree_map ->
+      let df =
+        Delayfree.create heap ~op_cycles:spec.hash_op_cycles
+          ~capacity:(Delayfree.capacity_for ~n_buckets:spec.n_buckets) ()
+      in
+      {
+        map_ops = Delayfree.ops df;
+        set_plain = (fun ~key ~value -> Delayfree.set_plain df ~key ~value);
+        fold_root = (fun h ~root f -> Delayfree.fold_plain h ~root f []);
+        hashmap = None;
+      }
 
 let create spec =
   let pmem = Nvm.Pmem.create ~journal:spec.journal spec.platform in
@@ -140,7 +216,7 @@ let create spec =
           (Rt.create ~costs:spec.atlas_costs ~mode ~heap
              ~log_base:(log_base spec) ~log_size:(log_size spec)
              ~num_threads:spec.threads ())
-    | Nonblocking_map -> None
+    | Nonblocking_map | Nvtraverse_map | Delayfree_map -> None
   in
   let map = build_map spec heap atlas sched in
   { spec; pmem; heap; sched; atlas; map; gc_pending = None }
@@ -179,6 +255,7 @@ type recovery = {
   heap : Heap.t option;
   observer : Tsp_core.Recovery_observer.verdict option;
   atlas_recovery : Atlas.Recovery.report option;
+  rcas_repair : Tsp_maps.Delayfree_map.repair option;
   gc : Heap_gc.stats option;
   gc_quarantine : Heap_gc.quarantine option;
   gc_pending : Heap_gc.Incremental.t option;
@@ -235,6 +312,20 @@ let recover ?(mode = Eager) m =
           None
       end
     | _ -> None
+  in
+  (* The delay-free map's recovery obligation: complete or abort every
+     in-flight announced CAS exactly once, before anything reads the
+     table.  [rcas_failed] feeds the verdict — a table we could not even
+     scan is a degraded recovery, not a clean one. *)
+  let rcas_repair, rcas_failed =
+    match (heap, spec.variant) with
+    | Some heap, Delayfree_map -> begin
+        try (Some (Delayfree.repair heap (Heap.get_root heap)), false)
+        with exn ->
+          err "rcas repair failed: %s" (Printexc.to_string exn);
+          (None, true)
+      end
+    | _ -> (None, false)
   in
   let gc, gc_quarantine, gc_pending =
     match heap with
@@ -301,6 +392,7 @@ let recover ?(mode = Eager) m =
               ->
                 q.Heap_gc.reasons
             | _ -> [])
+          @ (if rcas_failed then [ "rcas repair failed" ] else [])
           @ if heap_audit_ok then [] else [ "heap audit failed" ]
         in
         (match reasons with
@@ -319,6 +411,7 @@ let recover ?(mode = Eager) m =
     heap;
     observer;
     atlas_recovery;
+    rcas_repair;
     gc;
     gc_quarantine;
     gc_pending;
@@ -352,7 +445,7 @@ let reattach (m : t) ~seed ~first_seq =
           (Rt.create ~costs:spec.atlas_costs ~mode ~heap:m.heap
              ~log_base:(log_base spec) ~log_size:(log_size spec)
              ~num_threads:spec.threads ~first_seq ())
-    | Nonblocking_map -> None
+    | Nonblocking_map | Nvtraverse_map | Delayfree_map -> None
   in
   let root = Heap.get_root m.heap in
   let map =
@@ -388,6 +481,25 @@ let reattach (m : t) ~seed ~first_seq =
           map_ops = Skiplist.ops sl;
           set_plain = (fun ~key ~value -> Skiplist.set_plain sl ~key ~value);
           fold_root = (fun h ~root f -> Skiplist.fold_plain h ~root f []);
+          hashmap = None;
+        }
+    | Nvtraverse_map ->
+        let sl =
+          Nvt.attach m.heap ~op_cycles:spec.skip_op_cycles
+            ~num_threads:spec.threads ~seed:(spec.seed + 7) root
+        in
+        {
+          map_ops = Nvt.ops sl;
+          set_plain = (fun ~key ~value -> Nvt.set_plain sl ~key ~value);
+          fold_root = (fun h ~root f -> Nvt.fold_plain h ~root f []);
+          hashmap = None;
+        }
+    | Delayfree_map ->
+        let df = Delayfree.attach m.heap ~op_cycles:spec.hash_op_cycles root in
+        {
+          map_ops = Delayfree.ops df;
+          set_plain = (fun ~key ~value -> Delayfree.set_plain df ~key ~value);
+          fold_root = (fun h ~root f -> Delayfree.fold_plain h ~root f []);
           hashmap = None;
         }
   in

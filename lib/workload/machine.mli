@@ -28,8 +28,28 @@ type variant =
   | Mutex_map of Atlas.Mode.t
   | Mutex_btree of Atlas.Mode.t
   | Nonblocking_map
+  | Nvtraverse_map
+      (** {!Tsp_maps.Nvtraverse_skiplist}: traversal unflushed, O(1)
+          flushes in the critical update window *)
+  | Delayfree_map
+      (** {!Tsp_maps.Delayfree_map}: recoverable CAS, announce/ack
+          protocol re-executed exactly once by recovery *)
 
 val variant_to_string : variant -> string
+(** Display form ("mutex/log-only", "non-blocking", "nvtraverse", ...). *)
+
+val variant_to_cli_string : variant -> string
+(** Canonical `tsp --variant` spelling; the single source of truth for
+    the CLI parser and the fault injector's reproducer lines. *)
+
+val variant_of_string : string -> (variant, string) result
+(** Parse a CLI spelling (canonical or alias).  Round-trips with
+    {!variant_to_cli_string} for every variant in {!all_variants}. *)
+
+val all_variants : variant list
+(** Every constructor (mutex and btree maps at each Atlas mode, plus the
+    three commit-free designs), for frontier sweeps and round-trip
+    tests. *)
 
 type spec = {
   platform : Nvm.Config.t;
@@ -138,6 +158,10 @@ type recovery = {
   heap : Pheap.Heap.t option;  (** [None]: attach failed (unrecoverable) *)
   observer : Tsp_core.Recovery_observer.verdict option;
   atlas_recovery : Atlas.Recovery.report option;
+  rcas_repair : Tsp_maps.Delayfree_map.repair option;
+      (** [Delayfree_map] only: outcome of completing/aborting every
+          in-flight announced CAS (exactly once) before the table is
+          read *)
   gc : Pheap.Heap_gc.stats option;
   gc_quarantine : Pheap.Heap_gc.quarantine option;
   gc_pending : Pheap.Heap_gc.Incremental.t option;

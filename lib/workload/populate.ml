@@ -23,14 +23,30 @@ let bytes_per_object (spec : Machine.spec) =
   match spec.Machine.variant with
   | Machine.Mutex_map _ -> (4 + spec.Machine.value_words) * 8
   | Machine.Mutex_btree _ -> 120
-  | Machine.Nonblocking_map -> 96
+  | Machine.Nonblocking_map | Machine.Nvtraverse_map -> 96
+  | Machine.Delayfree_map ->
+      (* Objects live in the preallocated fixed-capacity table, whose
+         footprint is counted by [table_bytes] below. *)
+      0
 
 let buckets_for (spec : Machine.spec) ~objects =
   match spec.Machine.variant with
   | Machine.Mutex_map _ ->
       (* Keep chains O(1) so population stays linear in [objects]. *)
       max spec.Machine.n_buckets objects
+  | Machine.Delayfree_map ->
+      (* The fixed table derives its capacity (8 slots per bucket) from
+         [n_buckets]: scale it with the population so the load factor
+         stays bounded. *)
+      max spec.Machine.n_buckets objects
   | _ -> spec.Machine.n_buckets
+
+(* Bucket-array (chained map) or whole-table (delay-free) footprint. *)
+let table_bytes (spec : Machine.spec) ~n_buckets =
+  match spec.Machine.variant with
+  | Machine.Delayfree_map ->
+      Tsp_maps.Delayfree_map.capacity_for ~n_buckets * 8 * 8
+  | _ -> n_buckets * 8
 
 let sized_spec (spec : Machine.spec) ~objects =
   if objects < 0 then invalid_arg "Populate.sized_spec: negative count";
@@ -38,7 +54,7 @@ let sized_spec (spec : Machine.spec) ~objects =
   let needed =
     (2 * 1024 * 1024)
     + (objects * bytes_per_object spec)
-    + (n_buckets * 8)
+    + table_bytes spec ~n_buckets
     + (spec.Machine.log_mib * 1024 * 1024)
   in
   let region =

@@ -10,6 +10,8 @@ type variant = Machine.variant =
   | Mutex_map of Atlas.Mode.t
   | Mutex_btree of Atlas.Mode.t
   | Nonblocking_map
+  | Nvtraverse_map
+  | Delayfree_map
 
 type workload =
   | Counters of { h_keys : int; preload : bool }
@@ -148,6 +150,14 @@ type result = {
 }
 
 let variant_to_string = Machine.variant_to_string
+
+(* Map operations each workload iteration performs through the recorded
+   operation interface; the denominator of the per-op psync rates. *)
+let ops_per_iteration = function
+  | Counters _ | Mixed _ -> 3
+  | Ycsb _ | Wide _ | Transfers _ -> 1
+
+let completed_ops r = r.iterations_done * ops_per_iteration r.config.workload
 
 (* The per-shard "machine" (device + scheduler + atlas + map) this
    driver runs the workload on; the construction, crash, recovery and
@@ -468,6 +478,16 @@ let run_full config =
                   match Btree.check_plain rheap ~root with
                   | Ok () -> ()
                   | Error e -> raise (Heap.Corrupt ("btree audit: " ^ e))
+                end
+              | Nvtraverse_map -> begin
+                  match Tsp_maps.Nvtraverse_skiplist.check_plain rheap ~root with
+                  | Ok () -> ()
+                  | Error e -> raise (Heap.Corrupt ("skiplist audit: " ^ e))
+                end
+              | Delayfree_map -> begin
+                  match Tsp_maps.Delayfree_map.check_plain rheap ~root with
+                  | Ok () -> ()
+                  | Error e -> raise (Heap.Corrupt ("rcas table audit: " ^ e))
                 end
               | Mutex_map _ | Nonblocking_map -> ());
               let entries =

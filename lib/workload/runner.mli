@@ -21,6 +21,12 @@ type variant = Machine.variant =
       (** the Atlas-fortified B+-tree: an extension beyond the paper's
           two structures, whose node splits are large critical sections *)
   | Nonblocking_map  (** the lock-free skip list *)
+  | Nvtraverse_map
+      (** the NVTraverse-transformed skip list: unflushed traversal,
+          O(1) flushes in the critical update window *)
+  | Delayfree_map
+      (** the delay-free recoverable-CAS table: announced CASes a crash
+          leaves re-executable exactly once *)
 
 type workload =
   | Counters of { h_keys : int; preload : bool }
@@ -206,4 +212,14 @@ val run_with_resume : config -> resume_report
 val pp_resume_report : resume_report Fmt.t
 
 val variant_to_string : variant -> string
+
+val ops_per_iteration : workload -> int
+(** Map operations per workload iteration (3 for counters/mixed, 1
+    otherwise): the denominator of the per-op psync rates. *)
+
+val completed_ops : result -> int
+(** [iterations_done * ops_per_iteration]: what to pass to
+    {!Obs.Metrics.of_tracer} so commit-free variants report per-op psync
+    rates. *)
+
 val pp_result : result Fmt.t

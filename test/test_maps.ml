@@ -436,6 +436,87 @@ let prop_skip_vs_model =
       in
       !ok && dump = IM.bindings !model)
 
+(* --- The commit-free newcomers: NVTraverse and delay-free --- *)
+
+module Nvt = Tsp_maps.Nvtraverse_skiplist
+module Delayfree = Tsp_maps.Delayfree_map
+
+let nvt_env ?(threads = 4) () =
+  let pmem = desktop_pmem ~region_mib:4 () in
+  let size = (Pmem.config pmem).Config.region_size in
+  let heap = Heap.create pmem ~base:0 ~size in
+  let sl = Nvt.create heap ~num_threads:threads ~seed:3 () in
+  (pmem, heap, sl)
+
+let delayfree_env () =
+  let pmem = desktop_pmem ~region_mib:4 () in
+  let size = (Pmem.config pmem).Config.region_size in
+  let heap = Heap.create pmem ~base:0 ~size in
+  let t =
+    Delayfree.create heap ~capacity:(Delayfree.capacity_for ~n_buckets:64) ()
+  in
+  (pmem, heap, t)
+
+(* One generated script, interpreted against Map.Make(Int) — the same
+   oracle discipline as [prop_skip_vs_model], aimed at each new
+   variant.  [dump] at the end must equal the model's bindings, so a
+   lost update, duplicate slot or broken unlink cannot hide. *)
+let run_script_vs_model pmem ops dump script =
+  let module IM = Map.Make (Int) in
+  let model = ref IM.empty in
+  let ok = ref true in
+  let sched = Scheduler.create () in
+  in_thread pmem sched (fun () ->
+      List.iter
+        (fun (op, (key, v)) ->
+          let v64 = Int64.of_int v in
+          match op with
+          | 0 ->
+              ops.Map_intf.set ~tid:0 ~key ~value:v64;
+              model := IM.add key v64 !model
+          | 1 ->
+              ops.Map_intf.incr ~tid:0 ~key ~by:v64;
+              let old = Option.value (IM.find_opt key !model) ~default:0L in
+              model := IM.add key (Int64.add old v64) !model
+          | 2 ->
+              let got = ops.Map_intf.remove ~tid:0 ~key in
+              if got <> IM.mem key !model then ok := false;
+              model := IM.remove key !model
+          | _ ->
+              if ops.Map_intf.get ~tid:0 ~key <> IM.find_opt key !model then
+                ok := false)
+        script);
+  !ok && dump () = IM.bindings !model
+
+let script_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 80)
+      (pair (int_range 0 3) (pair (int_range 0 30) (int_range (-50) 50))))
+
+let prop_nvt_vs_model =
+  qcheck ~count:40 "nvtraverse skip list behaves like Map" script_gen
+    (fun script ->
+      let pmem, heap, sl = nvt_env () in
+      let dump () =
+        List.rev
+          (Nvt.fold_plain heap ~root:(Nvt.root sl)
+             (fun k v acc -> (k, v) :: acc)
+             [])
+      in
+      run_script_vs_model pmem (Nvt.ops sl) dump script)
+
+let prop_delayfree_vs_model =
+  qcheck ~count:40 "delay-free table behaves like Map" script_gen
+    (fun script ->
+      let pmem, heap, t = delayfree_env () in
+      let dump () =
+        List.sort compare
+          (Delayfree.fold_plain heap ~root:(Delayfree.root t)
+             (fun k v acc -> (k, v) :: acc)
+             [])
+      in
+      run_script_vs_model pmem (Delayfree.ops t) dump script)
+
 (* --- Crash recovery of each structure --- *)
 
 let test_hash_crash_recovery () =
@@ -519,6 +600,91 @@ let test_skip_crash_recovery_and_gc () =
     ();
   ignore (gc : Heap_gc.stats)
 
+let test_nvt_crash_recovery () =
+  (* Same shape as the plain skip-list crash test: distinct keys whose
+     values are congruent to them, so any torn or lost node is visible.
+     Recovery is re-attachment + GC, with zero structure-specific code —
+     the NVTraverse argument is that the flushed O(1) words suffice. *)
+  let pmem, heap, sl = nvt_env () in
+  Pmem.persist_all pmem;
+  let ops = Nvt.ops sl in
+  let sched = Scheduler.create ~seed:31 () in
+  for tid = 0 to 3 do
+    ignore
+      (Scheduler.spawn sched (fun () ->
+           for i = 1 to 300 do
+             ops.Map_intf.set ~tid ~key:((1000 * tid) + i) ~value:(Int64.of_int i)
+           done)
+        : int)
+  done;
+  Pmem.set_step_hook pmem (fun ~cost -> Scheduler.step sched ~cost);
+  let outcome = Scheduler.run ~crash_at_step:25_000 sched in
+  Pmem.clear_step_hook pmem;
+  (match outcome with
+  | Scheduler.Crashed _ -> ()
+  | _ -> Alcotest.fail "expected crash");
+  Pmem.crash pmem Pmem.Rescue;
+  Pmem.recover pmem;
+  let size = (Pmem.config pmem).Config.region_size in
+  let heap' = Heap.attach pmem ~base:0 ~size in
+  ignore heap;
+  let root = Heap.get_root heap' in
+  Alcotest.(check bool) "consistent with zero recovery code" true
+    (Nvt.check_plain heap' ~root = Ok ());
+  ignore (Heap_gc.collect heap' : Heap_gc.stats);
+  Alcotest.(check bool) "audit passes" true (Heap_gc.verify heap' = Ok ());
+  Nvt.fold_plain heap' ~root
+    (fun k v () ->
+      Alcotest.(check bool) "no torn node" true (Int64.to_int v = k mod 1000))
+    ()
+
+let test_delayfree_crash_repair () =
+  (* Crash mid-run with contended recoverable CASes in flight, then run
+     the repair scan.  Each key's value must be congruent to the key
+     (increments are by the key's payload), the structure must audit,
+     and a second repair must find nothing left to do (idempotence). *)
+  let pmem, heap, t = delayfree_env () in
+  Pmem.persist_all pmem;
+  let ops = Delayfree.ops t in
+  let sched = Scheduler.create ~seed:17 () in
+  for tid = 0 to 3 do
+    ignore
+      (Scheduler.spawn sched (fun () ->
+           for i = 1 to 200 do
+             let key = i mod 16 in
+             (* contended: all threads hit the same 16 keys *)
+             ops.Map_intf.incr ~tid ~key ~by:(Int64.of_int (key + 1))
+           done)
+        : int)
+  done;
+  Pmem.set_step_hook pmem (fun ~cost -> Scheduler.step sched ~cost);
+  let outcome = Scheduler.run ~crash_at_step:5_000 sched in
+  Pmem.clear_step_hook pmem;
+  (match outcome with
+  | Scheduler.Crashed _ -> ()
+  | _ -> Alcotest.fail "expected crash");
+  Pmem.crash pmem Pmem.Rescue;
+  Pmem.recover pmem;
+  let size = (Pmem.config pmem).Config.region_size in
+  let heap' = Heap.attach pmem ~base:0 ~size in
+  ignore heap;
+  let root = Heap.get_root heap' in
+  let r1 = Delayfree.repair heap' root in
+  Alcotest.(check bool) "scanned the table" true (r1.Delayfree.scanned > 0);
+  Alcotest.(check bool) "structurally sound" true
+    (Delayfree.check_plain heap' ~root = Ok ());
+  (* Every surviving value is a sum of (key+1) increments. *)
+  Delayfree.fold_plain heap' ~root
+    (fun k v () ->
+      Alcotest.(check bool) "value is a whole number of increments" true
+        (Int64.rem v (Int64.of_int (k + 1)) = 0L))
+    ();
+  let r2 = Delayfree.repair heap' root in
+  Alcotest.(check int) "idempotent: nothing re-executed" 0
+    r2.Delayfree.reexecuted;
+  Alcotest.(check int) "idempotent: nothing acked" 0 r2.Delayfree.acked;
+  Alcotest.(check int) "idempotent: nothing aborted" 0 r2.Delayfree.aborted
+
 let suite =
   ( "maps",
     [
@@ -542,8 +708,14 @@ let suite =
       case "skiplist: concurrent same-key race" test_skip_concurrent_same_key;
       case "skiplist: level distribution" test_skip_level_distribution;
       prop_skip_vs_model;
+      prop_nvt_vs_model;
+      prop_delayfree_vs_model;
       slow_case "hashmap: crash + rollback + GC recovery"
         test_hash_crash_recovery;
       slow_case "skiplist: crash recovery with zero mechanism"
         test_skip_crash_recovery_and_gc;
+      slow_case "nvtraverse: crash recovery with zero mechanism"
+        test_nvt_crash_recovery;
+      slow_case "delay-free: crash + recoverable-CAS repair"
+        test_delayfree_crash_repair;
     ] )

@@ -295,6 +295,46 @@ let test_metrics_counts () =
   Alcotest.(check int) "flush cycles" 21
     (List.assoc "flush" m.Metrics.op_cycles)
 
+(* The headline bugfix: commit-free designs (skip list, NVTraverse,
+   delay-free) never emit an OCS commit, so the per-commit psync rates
+   divide by zero ops — the report used to show nothing at all for the
+   very designs whose flush economy is the point.  With [completed_ops]
+   supplied, the per-op rates carry the signal; the per-commit ones stay
+   defined (0.0) and the printer keys on whichever denominator is
+   nonzero. *)
+let test_metrics_zero_commit () =
+  let tr = Tracer.create ~ring_cap:64 () in
+  List.iter
+    (fun (code, b) -> Tracer.emit tr ~code ~a:0 ~b)
+    [
+      (Event.flush, 7); (Event.flush, 7); (Event.flush, 7); (Event.flush, 7);
+      (Event.fence, 9); (Event.fence, 9);
+    ];
+  let m = Metrics.of_tracer ~completed_ops:8 tr in
+  Alcotest.(check int) "no commits" 0 m.Metrics.ocs_commits;
+  Alcotest.(check int) "completed ops recorded" 8 m.Metrics.completed_ops;
+  Alcotest.(check (float 1e-9)) "flushes/op" 0.5 m.Metrics.flushes_per_op;
+  Alcotest.(check (float 1e-9)) "fences/op" 0.25 m.Metrics.fences_per_op;
+  Alcotest.(check (float 1e-9)) "appends/op" 0.0 m.Metrics.appends_per_op;
+  Alcotest.(check (float 1e-9)) "flushes/commit defined as 0" 0.0
+    m.Metrics.flushes_per_commit;
+  (* The render must surface the per-op line (and only it). *)
+  let rendered = Fmt.str "%a" Metrics.pp m in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s
+                   && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "per-op line printed" true
+    (contains rendered "per completed op");
+  Alcotest.(check bool) "per-commit line suppressed" false
+    (contains rendered "per commit");
+  (* And without any denominator at all, rates are all zero, not NaN. *)
+  let m0 = Metrics.of_tracer tr in
+  Alcotest.(check (float 1e-9)) "no denominator: flushes/op 0" 0.0
+    m0.Metrics.flushes_per_op
+
 let suite =
   ( "obs",
     [
@@ -307,4 +347,5 @@ let suite =
       case "tracer/no-alloc-emit" test_no_alloc_emit;
       case "runner/traced-identical" test_traced_identical;
       case "metrics/counts" test_metrics_counts;
+      case "metrics/zero-commit-per-op" test_metrics_zero_commit;
     ] )

@@ -118,12 +118,30 @@ let test_runner_completes_all_variants () =
         r.Runner.iterations_done;
       Alcotest.(check bool) "positive throughput" true
         (r.Runner.miters_per_sec > 0.))
-    [
-      Runner.Mutex_map Mode.No_log;
-      Runner.Mutex_map Mode.Log_only;
-      Runner.Mutex_map Mode.Log_flush;
-      Runner.Nonblocking_map;
-    ]
+    Workload.Machine.all_variants
+
+(* CLI spelling round-trip: every variant the runner knows must parse
+   back from its canonical spelling — the conv in bin/main.ml and the
+   fault injector's printed reproducers both lean on this. *)
+let test_variant_round_trip () =
+  List.iter
+    (fun v ->
+      let s = Workload.Machine.variant_to_cli_string v in
+      match Workload.Machine.variant_of_string s with
+      | Ok v' ->
+          Alcotest.(check bool) (s ^ " round-trips") true (v = v')
+      | Error e -> Alcotest.fail (s ^ " failed to parse: " ^ e))
+    Workload.Machine.all_variants;
+  (match Workload.Machine.variant_of_string "no-such-variant" with
+  | Ok _ -> Alcotest.fail "nonsense spelling accepted"
+  | Error _ -> ());
+  (* A couple of documented aliases. *)
+  Alcotest.(check bool) "tsp alias" true
+    (Workload.Machine.variant_of_string "tsp"
+    = Ok (Workload.Machine.Mutex_map Mode.Log_only));
+  Alcotest.(check bool) "rcas alias" true
+    (Workload.Machine.variant_of_string "rcas"
+    = Ok Workload.Machine.Delayfree_map)
 
 let test_runner_deterministic () =
   let run () =
@@ -664,6 +682,7 @@ let suite =
       case "invariants: failed result" test_invariant_failed;
       slow_case "runner: all variants complete consistently"
         test_runner_completes_all_variants;
+      case "runner: variant spellings round-trip" test_variant_round_trip;
       case "runner: deterministic replay" test_runner_deterministic;
       case "runner: seed perturbs interleaving"
         test_runner_seed_changes_interleaving;
