@@ -241,6 +241,59 @@ let cross_check ~file ~ref_file v ref_v =
       List.iter (fun m -> Printf.eprintf "  %s\n" m) ms;
       exit 1
 
+(* Campaign-artifact schema validation (PR 10): every manifest/results
+   document Obs.Artifact writes must carry the shared prologue, and a
+   manifest must additionally carry a replayable argv and a config
+   object.  Validation is structural — key presence and type — because
+   the per-subcommand payloads deliberately differ. *)
+let check_schema ~file ~schema v =
+  let fail msg =
+    Printf.eprintf "%s: %s\n" file msg;
+    exit 1
+  in
+  let demand key pred what =
+    match member key v with
+    | Some x when pred x -> ()
+    | Some _ -> fail (Printf.sprintf "%S is not %s" key what)
+    | None -> fail (Printf.sprintf "missing %S" key)
+  in
+  demand "schema"
+    (function Str s -> String.equal s schema | _ -> false)
+    (Printf.sprintf "the string %S" schema);
+  demand "subcommand" (function Str _ -> true | _ -> false) "a string";
+  demand "git" (function Str _ -> true | _ -> false) "a string";
+  demand "host" (function Str _ -> true | _ -> false) "a string";
+  demand "jobs" (function Str "any" -> true | _ -> false) "the string \"any\"";
+  if String.equal schema "tsp-manifest-v1" then begin
+    demand "replay"
+      (function
+        | Arr items ->
+            items <> []
+            && List.for_all (function Str _ -> true | _ -> false) items
+        | _ -> false)
+      "a non-empty array of strings";
+    demand "config" (function Obj _ -> true | _ -> false) "an object"
+  end;
+  Printf.printf "%s: valid %s\n" file schema
+
+(* Byte-identity gate: the replay contract promises that re-running a
+   campaign from its manifest reproduces the results document exactly,
+   so the two files are compared as raw bytes, not parse trees. *)
+let check_identical ~file ~ref_file =
+  let a = read_file file and b = read_file ref_file in
+  if String.equal a b then
+    Printf.printf "%s: byte-identical to %s (%d bytes)\n" file ref_file
+      (String.length a)
+  else begin
+    let n = min (String.length a) (String.length b) in
+    let i = ref 0 in
+    while !i < n && a.[!i] = b.[!i] do incr i done;
+    Printf.eprintf
+      "%s: differs from %s at byte %d (%d vs %d bytes total)\n" file ref_file
+      !i (String.length a) (String.length b);
+    exit 1
+  end
+
 let () =
   match Array.to_list Sys.argv with
   | [ _; file ] ->
@@ -253,6 +306,14 @@ let () =
           let ref_v, _ = parse_file ref_file in
           cross_check ~file ~ref_file v ref_v)
         ref_files
+  | [ _; file; "--schema"; schema ]
+    when schema = "tsp-manifest-v1" || schema = "tsp-results-v1" ->
+      let v, _ = parse_file file in
+      check_schema ~file ~schema v
+  | [ _; file; "--identical"; ref_file ] -> check_identical ~file ~ref_file
   | _ ->
-      prerr_endline "usage: check_json FILE [--sim-cycles-match REF...]";
+      prerr_endline
+        "usage: check_json FILE [--sim-cycles-match REF...]\n\
+        \       check_json FILE --schema tsp-manifest-v1|tsp-results-v1\n\
+        \       check_json FILE --identical REF";
       exit 2

@@ -402,25 +402,13 @@ let quick_sweep_suite ~jobs () =
     (Workload.Sweeps.read_ratio ~iterations:120 ~read_pcts:[ 0; 50 ] ~jobs ()
       : Workload.Sweeps.series_table)
 
-(* Float counters can be non-finite (a cell with zero loads+stores has a
-   NaN hit rate); JSON has no NaN/infinity literals, so render those as
-   null rather than emitting an unparseable token. *)
-let json_float f =
-  if Float.is_finite f then Printf.sprintf "%.4f" f else "null"
-
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+(* JSON rendering primitives come from the shared telemetry writer:
+   [Obs.Json.float_repr] renders non-finite counters (a cell with zero
+   loads+stores has a NaN hit rate) as null rather than an unparseable
+   token, and [Obs.Json.escape] is the one string escaper every emitter
+   in the tree shares. *)
+let json_float f = Obs.Json.float_repr f
+let json_escape s = Obs.Json.escape s
 
 type compare_mode = Auto | Compare_with of string | No_compare
 
@@ -506,8 +494,19 @@ let compare_with_previous ~out ~mode =
   in
   match prev with
   | None -> Fmt.pr "  (no previous BENCH_*.json to compare against)@."
-  | Some prev_file ->
-      let prev_cells = scan_snapshot_cells prev_file in
+  | Some prev_file -> (
+      (* A missing or unreadable snapshot is a note, not a failure: the
+         delta report is advisory, and a fresh checkout (or an --out
+         pointed somewhere new) legitimately has nothing to diff
+         against. *)
+      match
+        try Some (scan_snapshot_cells prev_file) with Sys_error _ -> None
+      with
+      | None ->
+          Fmt.pr "  (previous snapshot %s is missing or unreadable — \
+                  skipping the throughput delta)@."
+            prev_file
+      | Some prev_cells ->
       let cur_cells = scan_snapshot_cells out in
       let shared =
         List.filter_map
@@ -518,7 +517,9 @@ let compare_with_previous ~out ~mode =
           cur_cells
       in
       if shared = [] then
-        Fmt.pr "  (no cells shared with %s)@." prev_file
+        Fmt.pr "  (no cells shared with %s — skipping the throughput \
+                delta)@."
+          prev_file
       else begin
         let tp cy ns = 1e3 *. float_of_int cy /. float_of_int (max 1 ns) in
         let log_sum = ref 0.0 in
@@ -532,7 +533,7 @@ let compare_with_previous ~out ~mode =
         let geo = exp (!log_sum /. float_of_int (List.length shared)) in
         Fmt.pr "  host throughput vs %s: %.2fx geomean over %d shared cells@."
           prev_file geo (List.length shared)
-      end
+      end)
 
 let run_quick ~jobs ~out ~compare_mode =
   let jobs = match jobs with Some j -> j | None -> Workload.Parallel.default_jobs () in
@@ -946,6 +947,29 @@ let run_quick ~jobs ~out ~compare_mode =
        beat log-flush (%.3f flushes/op, %.2f Miters/s)"
       ff_nvt.Workload.Frontier.flushes_per_op ff_nvt.Workload.Frontier.miters
       ff_lf.Workload.Frontier.flushes_per_op ff_lf.Workload.Frontier.miters;
+  (* A/B 11: histogram instrumentation (PR 10).  [Obs.Hist] cells now sit
+     on two hot paths — {!Obs.Tracer.emit} feeds the dirty-exposure
+     histogram, and the Serve latency sink retains log-bucketed
+     histograms instead of raw samples — so the traced-vs-untraced pair
+     above (A/B 5) is also the sim-cycle identity witness for the
+     histogram: its traced leg ran with every emit feeding [Hist.add],
+     and its cycles matched the untraced leg's.  This cell times the add
+     loop itself and asserts it allocates nothing. *)
+  let hi_ops = 2_000_000 in
+  let hi_h = Obs.Hist.create () in
+  let hi_fill () =
+    for i = 1 to hi_ops do
+      Obs.Hist.add hi_h (i * 2654435761 land 0xFFFFF)
+    done
+  in
+  let (), hi_ns, hi_words = time_and_alloc hi_fill in
+  let hi_words_per_op = hi_words /. float_of_int hi_ops in
+  if hi_words_per_op > 0.01 then
+    Fmt.failwith "quick bench: Obs.Hist.add allocates (%.4f minor words/op)"
+      hi_words_per_op;
+  if Obs.Hist.count hi_h <> hi_ops then
+    Fmt.failwith "quick bench: Obs.Hist dropped samples (%d of %d)"
+      (Obs.Hist.count hi_h) hi_ops;
   let b = Buffer.create 4096 in
   let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   pf "{\n";
@@ -1052,7 +1076,7 @@ let run_quick ~jobs ~out ~compare_mode =
       \"nvtraverse_flushes_per_op\": %.3f, \"logflush_flushes_per_op\": %.3f, \
       \"nonblocking_flushes_per_op\": %.3f, \"nvtraverse_miters\": %.2f, \
       \"logflush_miters\": %.2f, \"jobs1_host_ns\": %d, \
-      \"jobsn_host_ns\": %d, \"jobs_identity\": true }\n"
+      \"jobsn_host_ns\": %d, \"jobs_identity\": true },\n"
     (List.fold_left
        (fun a (r : Workload.Frontier.row) ->
          a + r.Workload.Frontier.elapsed_cycles)
@@ -1061,6 +1085,15 @@ let run_quick ~jobs ~out ~compare_mode =
     ff_lf.Workload.Frontier.flushes_per_op
     ff_nb.Workload.Frontier.flushes_per_op ff_nvt.Workload.Frontier.miters
     ff_lf.Workload.Frontier.miters ff_j1_ns ff_jn_ns;
+  pf "    \"hist_instrumentation\": { \"sim_cycles\": %d, \
+       \"traced_sim_cycles_match\": true, \"adds\": %d, \"host_ns\": %d, \
+       \"minor_words\": %.0f, \"minor_words_per_add\": %.4f, \"p50\": %d, \
+       \"p99\": %d, \"p999\": %d }\n"
+    tc_on.Workload.Runner.elapsed_cycles hi_ops hi_ns hi_words
+    hi_words_per_op
+    (Obs.Hist.quantile hi_h 0.5)
+    (Obs.Hist.quantile hi_h 0.99)
+    (Obs.Hist.quantile hi_h 0.999);
   pf "  }\n";
   pf "}\n";
   let oc = open_out out in
@@ -1115,6 +1148,11 @@ let run_quick ~jobs ~out ~compare_mode =
      log-flush %.3f at %.2f (rows identical across --jobs)@."
     ff_nvt.Workload.Frontier.flushes_per_op ff_nvt.Workload.Frontier.miters
     ff_lf.Workload.Frontier.flushes_per_op ff_lf.Workload.Frontier.miters;
+  Fmt.pr
+    "  hist instrumentation: %.1f ns/add, %.4f minor words/add (traced run \
+     sim-cycle-identical to untraced)@."
+    (float_of_int hi_ns /. float_of_int hi_ops)
+    hi_words_per_op;
   compare_with_previous ~out ~mode:compare_mode
 
 (* --- Entry point --- *)
@@ -1128,14 +1166,14 @@ let usage () =
      \  --jobs N|auto   fan independent cells across N domains; auto (the\n\
      \                  default) clamps to the host's cores and runs\n\
      \                  sequentially when that is 1\n\
-     \  --out FILE      where --quick writes its JSON (default BENCH_8.json)\n\
+     \  --out FILE      where --quick writes its JSON (default BENCH_9.json)\n\
      \  --compare FILE  diff --quick host throughput against FILE instead of\n\
      \                  the newest committed BENCH_*.json\n\
      \  --no-compare    skip the throughput delta report";
   exit 2
 
 let () =
-  let quick = ref false and jobs = ref None and out = ref "BENCH_8.json" in
+  let quick = ref false and jobs = ref None and out = ref "BENCH_9.json" in
   let compare_mode = ref Auto in
   let rec parse = function
     | [] -> ()

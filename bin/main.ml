@@ -101,8 +101,13 @@ let threads_arg =
   Arg.(value & opt int 8 & info [ "threads"; "t" ] ~docv:"T"
          ~doc:"Number of worker threads.")
 
+let seed_env =
+  Cmd.Env.info "TSP_SEED"
+    ~doc:"Default deterministic seed for every campaign subcommand; the \
+          $(b,--seed) option overrides it."
+
 let seed_arg =
-  Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED"
+  Arg.(value & opt int 11 & info [ "seed" ] ~docv:"SEED" ~env:seed_env
          ~doc:"Deterministic seed; a run is a pure function of it.")
 
 (* [--jobs] accepts a positive count or "auto" (the default): adapt to
@@ -137,6 +142,81 @@ let jobs_arg =
                  deterministic and collected in order, so results are \
                  identical for any N; $(b,--jobs 1) also spawns no \
                  domains.")
+
+(* Campaign telemetry (--artifact-dir / --replay).
+
+   Every campaign subcommand can write a manifest + results artifact
+   pair and re-run a previous campaign from its manifest.  The argv the
+   manifest stores comes from [current_argv], not [Sys.argv]: a --replay
+   invocation re-enters the CLI with the manifest's stored argv, and
+   recording THAT vector (rather than the outer "tsp faults --replay
+   ..." one) makes a replayed run's manifest byte-identical to the
+   original's. *)
+
+let current_argv = ref Sys.argv
+
+(* Forward reference to the toplevel evaluator, filled in once
+   [main_cmd] exists, so the --replay handler can re-enter the CLI. *)
+let reeval : (string array -> int) ref =
+  ref (fun _ -> invalid_arg "reeval used before main_cmd was defined")
+
+let artifact_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "artifact-dir" ] ~docv:"DIR"
+           ~doc:"Write this campaign's run manifest and results documents \
+                 (JSON, schema tsp-manifest-v1 / tsp-results-v1) under \
+                 $(docv).  Both files are pure functions of the campaign \
+                 inputs: byte-identical across $(b,--jobs) values, \
+                 repeated runs and replays.")
+
+let replay_arg =
+  Arg.(value & opt (some string) None
+       & info [ "replay" ] ~docv:"FILE"
+           ~doc:"Re-run the exact campaign recorded in manifest $(docv) \
+                 (as written by $(b,--artifact-dir)); every campaign flag \
+                 is taken from the manifest.  This invocation's \
+                 $(b,--jobs) and $(b,--artifact-dir) still apply — they \
+                 never change results.")
+
+(* If --replay was given, re-enter the CLI with the manifest's stored
+   argv plus this invocation's run-only flags, and exit with its
+   status. *)
+let handle_replay ~artifact_dir ~jobs replay =
+  match replay with
+  | None -> ()
+  | Some file -> (
+      match Obs.Artifact.replay_of_manifest file with
+      | Error msg ->
+          Fmt.epr "tsp: --replay %s@." msg;
+          exit 2
+      | Ok args ->
+          let extra =
+            (match artifact_dir with
+            | Some d -> [ "--artifact-dir"; d ]
+            | None -> [])
+            @
+            match jobs with
+            | Some n -> [ "--jobs"; string_of_int n ]
+            | None -> []
+          in
+          let argv = Array.of_list (("tsp" :: args) @ extra) in
+          current_argv := argv;
+          exit (!reeval argv))
+
+let emit_artifacts artifact_dir ~subcommand ~config ~body =
+  match artifact_dir with
+  | None -> ()
+  | Some dir ->
+      let manifest =
+        Obs.Artifact.manifest ~subcommand
+          ~replay:(Obs.Artifact.replay_args !current_argv)
+          ~config
+      in
+      let results = Obs.Artifact.results ~subcommand ~body in
+      let mpath, rpath =
+        Obs.Artifact.write ~dir ~subcommand ~manifest ~results
+      in
+      Fmt.pr "@.artifacts: %s %s@." mpath rpath
 
 (* table1 *)
 
@@ -176,8 +256,9 @@ let fault_models_conv =
 let faults_cmd =
   let run () variant hardware failure platform runs iterations threads
       transfers wide journal fault_models exhaustive from_step window stride
-      run_seed campaign_seed shrink smoke smoke_base jobs =
+      run_seed campaign_seed shrink smoke smoke_base jobs artifact_dir replay =
     let module FI = Workload.Fault_injector in
+    handle_replay ~artifact_dir ~jobs replay;
     let smoke_base = smoke || smoke_base in
     let platform =
       (* The smoke workload's footprint fits the desktop cache entirely,
@@ -275,6 +356,38 @@ let faults_cmd =
         ]
     in
     List.iter (fun s -> Fmt.pr "%a@." FI.pp_summary s) summaries;
+    emit_artifacts artifact_dir ~subcommand:"faults"
+      ~config:(fun j ->
+        let module J = Obs.Json in
+        J.key j "variant";
+        J.str j (Workload.Machine.variant_to_cli_string variant);
+        J.key j "hardware";
+        J.str j hardware.Tsp_core.Hardware.name;
+        J.key j "failure";
+        J.str j (Tsp_core.Failure_class.to_string failure);
+        J.key j "platform";
+        J.str j platform.Nvm.Config.name;
+        J.key j "runs";
+        J.int j runs;
+        J.key j "iterations";
+        J.int j base.Workload.Runner.iterations;
+        J.key j "threads";
+        J.int j base.Workload.Runner.threads;
+        J.key j "campaign_seed";
+        J.int j campaign_seed;
+        J.key j "shrink";
+        J.bool j shrink;
+        J.key j "smoke";
+        J.bool j smoke;
+        J.key j "smoke_base";
+        J.bool j smoke_base;
+        J.key j "campaigns";
+        J.int j (List.length summaries))
+      ~body:(fun j ->
+        Obs.Json.key j "campaigns";
+        Obs.Json.arr_open j;
+        List.iter (fun s -> FI.to_json j s) summaries;
+        Obs.Json.arr_close j);
     let unexpected =
       List.fold_left (fun a s -> a + s.FI.unexpected_violations) 0 summaries
     in
@@ -415,14 +528,16 @@ let faults_cmd =
     Term.(const run $ logs_term $ variant $ hardware $ failure $ platform
           $ runs $ iterations_arg 800 $ threads_arg $ transfers $ wide
           $ journal $ fault_models $ exhaustive $ from_step $ window $ stride
-          $ run_seed $ campaign_seed $ shrink $ smoke $ smoke_base $ jobs_arg)
+          $ run_seed $ campaign_seed $ shrink $ smoke $ smoke_base $ jobs_arg
+          $ artifact_dir_arg $ replay_arg)
 
 (* check *)
 
 let check_cmd =
   let run () variant platform threads iterations from_step window stride
-      mutant seed smoke jobs populate recovery_mode =
+      mutant seed smoke jobs populate recovery_mode artifact_dir replay =
     let module CC = Workload.Check_campaign in
+    handle_replay ~artifact_dir ~jobs replay;
     let platform =
       (* Same rationale as the faults smoke preset: a small cache forces
          evictions, so the crash image genuinely mixes old and new
@@ -485,6 +600,34 @@ let check_cmd =
     in
     let summaries = List.map (fun s -> CC.run ?jobs s) specs in
     List.iter (fun s -> Fmt.pr "%a@." CC.pp_summary s) summaries;
+    emit_artifacts artifact_dir ~subcommand:"check"
+      ~config:(fun j ->
+        let module J = Obs.Json in
+        J.key j "variant";
+        J.str j (Workload.Machine.variant_to_cli_string variant);
+        J.key j "platform";
+        J.str j platform.Nvm.Config.name;
+        J.key j "threads";
+        J.int j base.Workload.Runner.threads;
+        J.key j "iterations";
+        J.int j base.Workload.Runner.iterations;
+        J.key j "seed";
+        J.int j seed;
+        J.key j "mutant";
+        (match mutant with Some n -> J.int j n | None -> J.null j);
+        J.key j "populate";
+        J.int j populate;
+        J.key j "recovery_mode";
+        J.str j (Workload.Machine.recovery_mode_to_string recovery_mode);
+        J.key j "smoke";
+        J.bool j smoke;
+        J.key j "campaigns";
+        J.int j (List.length specs))
+      ~body:(fun j ->
+        Obs.Json.key j "campaigns";
+        Obs.Json.arr_open j;
+        List.iter (fun s -> CC.to_json j s) summaries;
+        Obs.Json.arr_close j);
     let flagged = List.fold_left (fun a s -> a + s.CC.flagged) 0 summaries in
     match mutant with
     | None ->
@@ -564,7 +707,8 @@ let check_cmd =
           history.  Byte-identical output for any --jobs value.")
     Term.(const run $ logs_term $ variant $ platform $ threads_arg
           $ iterations_arg 800 $ from_step $ window $ stride $ mutant
-          $ seed_arg $ smoke $ jobs_arg $ populate $ recovery_mode_arg)
+          $ seed_arg $ smoke $ jobs_arg $ populate $ recovery_mode_arg
+          $ artifact_dir_arg $ replay_arg)
 
 (* sweeps *)
 
@@ -781,7 +925,8 @@ let ycsb_cmd =
 let trace_cmd =
   let run () platform variant iterations threads seed crash_at hardware
       failure fault_model out exposure ring_cap budget_lines smoke frontier
-      jobs =
+      jobs artifact_dir replay =
+    handle_replay ~artifact_dir ~jobs replay;
     if frontier then begin
       (* The fence-complexity frontier (EXPERIMENTS E23): every design on
          one identical counter workload, psync-per-op vs throughput vs
@@ -792,6 +937,20 @@ let trace_cmd =
         Workload.Frontier.run ?jobs ~threads:4 ~seed ~platform ()
       in
       Fmt.pr "%a@." Workload.Frontier.pp rows;
+      emit_artifacts artifact_dir ~subcommand:"trace"
+        ~config:(fun j ->
+          let module J = Obs.Json in
+          J.key j "frontier";
+          J.bool j true;
+          J.key j "platform";
+          J.str j platform.Nvm.Config.name;
+          J.key j "threads";
+          J.int j 4;
+          J.key j "seed";
+          J.int j seed)
+        ~body:(fun j ->
+          Obs.Json.key j "frontier";
+          Workload.Frontier.to_json j rows);
       if not (Workload.Frontier.nvtraverse_beats_logflush rows) then exit 1
     end
     else
@@ -887,6 +1046,66 @@ let trace_cmd =
           peak
       end
     end;
+    emit_artifacts artifact_dir ~subcommand:"trace"
+      ~config:(fun j ->
+        let module J = Obs.Json in
+        J.key j "frontier";
+        J.bool j false;
+        J.key j "platform";
+        J.str j platform.Nvm.Config.name;
+        J.key j "variant";
+        J.str j (Workload.Machine.variant_to_cli_string variant);
+        J.key j "iterations";
+        J.int j config.Workload.Runner.iterations;
+        J.key j "threads";
+        J.int j config.Workload.Runner.threads;
+        J.key j "seed";
+        J.int j seed;
+        J.key j "crash_at";
+        (match config.Workload.Runner.crash_at_step with
+        | Some s -> J.int j s
+        | None -> J.null j);
+        J.key j "hardware";
+        J.str j hardware.Tsp_core.Hardware.name;
+        J.key j "failure";
+        J.str j (Tsp_core.Failure_class.to_string failure);
+        J.key j "fault_model";
+        (match fault_model with
+        | Some fm -> J.str j (Nvm.Fault_model.to_string fm)
+        | None -> J.null j);
+        J.key j "ring_cap";
+        J.int j ring_cap;
+        J.key j "budget_lines";
+        J.int j budget;
+        J.key j "smoke";
+        J.bool j smoke)
+      ~body:(fun j ->
+        let module J = Obs.Json in
+        J.key j "consistent";
+        J.bool j (Workload.Runner.consistent r);
+        let e = Obs.Tracer.exposure tracer in
+        J.key j "exposure";
+        J.obj_open j;
+        J.key j "samples";
+        J.int j e.Obs.Tracer.samples;
+        J.key j "peak_dirty";
+        J.int j e.Obs.Tracer.peak_dirty;
+        J.key j "last_dirty";
+        J.int j e.Obs.Tracer.last_dirty;
+        J.key j "budget_lines";
+        J.int j e.Obs.Tracer.budget_lines;
+        J.key j "duration";
+        J.int j e.Obs.Tracer.duration;
+        J.key j "time_above_budget";
+        J.int j e.Obs.Tracer.time_above_budget;
+        J.key j "dirty_hist";
+        Obs.Hist.to_json j e.Obs.Tracer.dirty_hist;
+        J.obj_close j;
+        J.key j "metrics";
+        Obs.Metrics.to_json j
+          (Obs.Metrics.of_tracer
+             ~completed_ops:(Workload.Runner.completed_ops r)
+             tracer));
     if not (Workload.Runner.consistent r) then exit 1
   in
   let fault_model_conv =
@@ -985,7 +1204,7 @@ let trace_cmd =
     Term.(const run $ logs_term $ platform $ variant $ iterations_arg 2000
           $ threads_arg $ seed_arg $ crash_at $ hardware $ failure
           $ fault_model $ out $ exposure $ ring_cap $ budget_lines $ smoke
-          $ frontier $ jobs_arg)
+          $ frontier $ jobs_arg $ artifact_dir_arg $ replay_arg)
 
 (* serve *)
 
@@ -1006,7 +1225,8 @@ let serve_cmd =
   in
   let run () smoke platform variant shards seed keys requests rate theta preset
       crash_shard crash_at fault_model recovery_mode degraded trace_out jobs
-      windows =
+      windows artifact_dir replay =
+    handle_replay ~artifact_dir ~jobs replay;
     let base =
       if smoke then Service.Serve.smoke_config else Service.Serve.default_config
     in
@@ -1040,6 +1260,51 @@ let serve_cmd =
     | Some path ->
         if Service.Serve.write_trace r ~path then
           Fmt.pr "@.trace written to %s@." path);
+    emit_artifacts artifact_dir ~subcommand:"serve"
+      ~config:(fun j ->
+        let module J = Obs.Json in
+        let module S = Service.Serve in
+        J.key j "platform";
+        J.str j cfg.S.platform.Nvm.Config.name;
+        J.key j "variant";
+        J.str j (Workload.Machine.variant_to_cli_string cfg.S.variant);
+        J.key j "shards";
+        J.int j cfg.S.shards;
+        J.key j "seed";
+        J.int j cfg.S.seed;
+        J.key j "keys";
+        J.int j cfg.S.keys;
+        J.key j "requests";
+        J.int j cfg.S.requests;
+        J.key j "rate_per_mcycle";
+        J.float j cfg.S.rate_per_mcycle;
+        J.key j "theta";
+        J.float j cfg.S.theta;
+        J.key j "preset";
+        J.str j (Workload.Ycsb.preset_to_string cfg.S.preset);
+        J.key j "req_cycles";
+        J.int j cfg.S.req_cycles;
+        J.key j "crash_shard";
+        (match cfg.S.crash_shard with Some s -> J.int j s | None -> J.null j);
+        J.key j "crash_at_step";
+        (match cfg.S.crash_at_step with Some s -> J.int j s | None -> J.null j);
+        J.key j "fault_model";
+        (match cfg.S.fault_model with
+        | Some fm -> J.str j (Nvm.Fault_model.to_string fm)
+        | None -> J.null j);
+        J.key j "recovery_mode";
+        J.str j (Workload.Machine.recovery_mode_to_string cfg.S.recovery);
+        J.key j "degraded";
+        J.str j (Fmt.str "%a" Service.Degraded.pp cfg.S.degraded);
+        J.key j "log_mib";
+        J.int j cfg.S.log_mib;
+        J.key j "windows";
+        J.int j cfg.S.windows;
+        J.key j "smoke";
+        J.bool j smoke)
+      ~body:(fun j ->
+        Obs.Json.key j "report";
+        Service.Serve.to_json j r);
     (* Under rescue-class crash semantics the service must come back
        consistent; a lost shard or a DL violation is a real failure.
        Adversarial fault models are allowed to lose the shard. *)
@@ -1080,7 +1345,7 @@ let serve_cmd =
   in
   let seed =
     Arg.(value & opt (some int) None
-         & info [ "seed" ] ~docv:"SEED"
+         & info [ "seed" ] ~docv:"SEED" ~env:seed_env
              ~doc:"Deterministic seed; the whole report is a pure function \
                    of it.")
   in
@@ -1152,13 +1417,14 @@ let serve_cmd =
     Term.(const run $ logs_term $ smoke $ platform $ variant $ shards $ seed
           $ keys $ requests $ rate $ theta $ preset $ crash_shard $ crash_at
           $ fault_model $ recovery_mode_arg $ degraded $ trace_out $ jobs_arg
-          $ windows)
+          $ windows $ artifact_dir_arg $ replay_arg)
 
 (* recovery *)
 
 let recovery_cmd =
   let module RS = Workload.Recovery_scaling in
-  let run () variant sizes modes seed touches smoke =
+  let run () variant sizes modes seed touches smoke artifact_dir replay =
+    handle_replay ~artifact_dir ~jobs:None replay;
     let variants, sizes, modes, touches =
       if smoke then
         ( [
@@ -1176,6 +1442,7 @@ let recovery_cmd =
       else ([ variant ], sizes, modes, touches)
     in
     let failures = ref 0 in
+    let all_cells = ref [] in
     let fail fmt =
       Fmt.kstr (fun s -> incr failures; Fmt.pr "FAIL: %s@." s) fmt
     in
@@ -1202,6 +1469,7 @@ let recovery_cmd =
                   (mode, c))
                 modes
             in
+            all_cells := !all_cells @ List.map snd cells;
             (* Every mode must leave the same heap image, and the
                parallel cells must match at every job count. *)
             (match cells with
@@ -1256,6 +1524,38 @@ let recovery_cmd =
             | _ -> ())
           sizes)
       variants;
+    emit_artifacts artifact_dir ~subcommand:"recovery"
+      ~config:(fun j ->
+        let module J = Obs.Json in
+        J.key j "variants";
+        J.arr_open j;
+        List.iter
+          (fun v -> J.str j (Workload.Machine.variant_to_cli_string v))
+          variants;
+        J.arr_close j;
+        J.key j "sizes";
+        J.arr_open j;
+        List.iter (J.int j) sizes;
+        J.arr_close j;
+        J.key j "modes";
+        J.arr_open j;
+        List.iter
+          (fun m -> J.str j (Workload.Machine.recovery_mode_to_string m))
+          modes;
+        J.arr_close j;
+        J.key j "seed";
+        J.int j seed;
+        J.key j "touches";
+        J.int j touches;
+        J.key j "smoke";
+        J.bool j smoke)
+      ~body:(fun j ->
+        Obs.Json.key j "failures";
+        Obs.Json.int j !failures;
+        Obs.Json.key j "cells";
+        Obs.Json.arr_open j;
+        List.iter (fun c -> RS.cell_to_json j c) !all_cells;
+        Obs.Json.arr_close j);
     if !failures > 0 then begin
       Fmt.pr "@.%d recovery-scaling check(s) failed.@." !failures;
       exit 1
@@ -1309,7 +1609,7 @@ let recovery_cmd =
           outage cycles against heap size — the complexity curves that \
           justify parallel and incremental recovery.")
     Term.(const run $ logs_term $ variant $ sizes $ modes $ seed_arg
-          $ touches $ smoke)
+          $ touches $ smoke $ artifact_dir_arg $ replay_arg)
 
 let main_cmd =
   let doc =
@@ -1321,4 +1621,5 @@ let main_cmd =
     [ table1_cmd; faults_cmd; check_cmd; sweeps_cmd; ycsb_cmd; policy_cmd;
       wsp_cmd; run_cmd; trace_cmd; serve_cmd; recovery_cmd ]
 
-let () = exit (Cmd.eval main_cmd)
+let () = reeval := fun argv -> Cmd.eval ~argv main_cmd
+let () = exit (Cmd.eval ~argv:!current_argv main_cmd)

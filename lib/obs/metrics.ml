@@ -58,6 +58,46 @@ let of_tracer ?(completed_ops = 0) tr =
           (Event.phase_name p, Tracer.phase_cycles tr p));
   }
 
+let to_json j m =
+  Json.obj_open j;
+  List.iter
+    (fun (k, v) ->
+      Json.key j k;
+      Json.int j v)
+    [
+      ("loads", m.loads); ("stores", m.stores); ("cas", m.cas);
+      ("flushes", m.flushes); ("fences", m.fences);
+      ("writebacks", m.writebacks); ("log_appends", m.log_appends);
+      ("ocs_begins", m.ocs_begins); ("ocs_commits", m.ocs_commits);
+      ("completed_ops", m.completed_ops); ("deps", m.deps);
+      ("ctx_switches", m.ctx_switches); ("crashes", m.crashes);
+    ];
+  List.iter
+    (fun (k, v) ->
+      Json.key j k;
+      Json.float j v)
+    [
+      ("fences_per_commit", m.fences_per_commit);
+      ("flushes_per_commit", m.flushes_per_commit);
+      ("appends_per_commit", m.appends_per_commit);
+      ("fences_per_op", m.fences_per_op);
+      ("flushes_per_op", m.flushes_per_op);
+      ("appends_per_op", m.appends_per_op);
+    ];
+  let assoc name kvs =
+    Json.key j name;
+    Json.obj_open j;
+    List.iter
+      (fun (k, v) ->
+        Json.key j k;
+        Json.int j v)
+      kvs;
+    Json.obj_close j
+  in
+  assoc "op_cycles" m.op_cycles;
+  assoc "phase_cycles" m.phase_cycles;
+  Json.obj_close j
+
 let pp ppf m =
   Fmt.pf ppf "@[<v>traced ops:@ ";
   Fmt.pf ppf "  loads %d  stores %d  cas %d  flushes %d  fences %d@ " m.loads

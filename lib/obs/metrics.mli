@@ -52,3 +52,8 @@ val of_tracer : ?completed_ops:int -> Tracer.t -> t
     report per-op rates instead of silence. *)
 
 val pp : t Fmt.t
+
+val to_json : Json.t -> t -> unit
+(** Emit every counter, both psync rate families and the per-code /
+    per-phase cycle maps as one object — the ["metrics"] member of a
+    campaign results artifact. *)

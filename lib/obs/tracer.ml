@@ -30,6 +30,7 @@ type t = {
   mutable env_t0 : int;
   mutable env_dirty : int;  (* dirty level at env_clock *)
   mutable time_above : int;
+  dirty_hist : Hist.t;  (* per-sample dirty-lines distribution *)
   (* recovery phases *)
   phase_cycles : int array;
   phase_t0 : int array;  (* -1 when the phase is not open *)
@@ -60,6 +61,7 @@ let create ?(ring_cap = 65536) ?(budget_lines = -1) () =
     env_t0 = 0;
     env_dirty = 0;
     time_above = 0;
+    dirty_hist = Hist.create ();
     phase_cycles = Array.make Event.n_phases 0;
     phase_t0 = Array.make Event.n_phases (-1);
   }
@@ -83,6 +85,7 @@ let emit t ~code ~a ~b =
   (* Exposure: integrate the previous dirty level over the envelope
      advance, then take the new sample. *)
   if dirty > t.peak_dirty then t.peak_dirty <- dirty;
+  Hist.add t.dirty_hist dirty;
   t.dirty_sum <- t.dirty_sum + dirty;
   t.samples <- t.samples + 1;
   t.last_dirty <- dirty;
@@ -158,7 +161,10 @@ type exposure = {
   budget_lines : int;
   duration : int;
   time_above_budget : int;
+  dirty_hist : Hist.t;
 }
+
+let dirty_hist (t : t) = t.dirty_hist
 
 let exposure (t : t) =
   {
@@ -170,6 +176,7 @@ let exposure (t : t) =
     budget_lines = t.budget_lines;
     duration = (if t.env_started then t.env_clock - t.env_t0 else 0);
     time_above_budget = t.time_above;
+    dirty_hist = t.dirty_hist;
   }
 
 let pp_exposure ppf e =
@@ -177,6 +184,12 @@ let pp_exposure ppf e =
     e.samples e.duration;
   Fmt.pf ppf "  peak dirty lines    %8d@ " e.peak_dirty;
   Fmt.pf ppf "  mean dirty lines    %10.1f@ " e.mean_dirty;
+  if not (Hist.is_empty e.dirty_hist) then
+    Fmt.pf ppf "  dirty p50/p99/p999  %8d / %d / %d  %s@ "
+      (Hist.quantile e.dirty_hist 0.5)
+      (Hist.quantile e.dirty_hist 0.99)
+      (Hist.quantile e.dirty_hist 0.999)
+      (Hist.sparkline e.dirty_hist);
   Fmt.pf ppf "  at end of trace     %8d@ " e.last_dirty;
   if e.budget_lines < 0 then
     Fmt.pf ppf "  WSP rescue budget   unlimited (no budget configured)@]"

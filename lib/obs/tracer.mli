@@ -96,7 +96,15 @@ type exposure = {
       (** Cycles (within [duration]) spent with more dirty lines than
           the budget could rescue — the paper's sufficiency margin,
           violated. *)
+  dirty_hist : Hist.t;
+      (** Per-sample dirty-lines distribution (every {!emit} records
+          one sample), for p50/p99/p999 exposure quantiles; recording
+          is allocation-free, so the no-alloc emit contract holds. *)
 }
 
 val exposure : t -> exposure
+
+val dirty_hist : t -> Hist.t
+(** The live histogram behind [exposure.dirty_hist]. *)
+
 val pp_exposure : exposure Fmt.t

@@ -114,6 +114,7 @@ type latency_row = {
   p50 : int;
   p99 : int;
   p999 : int;
+  lat_hist : Obs.Hist.t;
 }
 
 type report = {
@@ -598,6 +599,13 @@ let build_windows (cfg : config) ~horizon ~times fates =
     fates;
   wins
 
+(* Per-(shard, phase) latency distributions as log-bucketed histograms:
+   one pass over the request stream feeds a fixed set of Obs.Hist cells
+   instead of materializing a sample list per cell, so the service path
+   retains O(shards x phases) histograms rather than O(requests)
+   samples.  Quantiles follow the same nearest-rank convention
+   Report.percentiles used here before, within the histogram's 6.25%
+   bucket error. *)
 let latency_rows (cfg : config) ~outage ~times ~shard_of fates lats =
   let phases =
     match outage with
@@ -605,34 +613,40 @@ let latency_rows (cfg : config) ~outage ~times ~shard_of fates lats =
     | Some (t_down, t_up) ->
         [| ("before", 0, t_down); ("during", t_down, t_up); ("after", t_up, max_int) |]
   in
+  let np = Array.length phases in
+  let hists = Array.init (cfg.shards * np) (fun _ -> Obs.Hist.create ()) in
+  Array.iteri
+    (fun j fate ->
+      if fate = Served then begin
+        let rec phase_of i =
+          if i >= np then -1
+          else
+            let _, lo, hi = phases.(i) in
+            if times.(j) >= lo && times.(j) < hi then i else phase_of (i + 1)
+        in
+        let p = phase_of 0 in
+        if p >= 0 then Obs.Hist.add hists.((shard_of.(j) * np) + p) lats.(j)
+      end)
+    fates;
   List.concat_map
     (fun shard ->
       List.filter_map
-        (fun (name, lo, hi) ->
-          let samples = ref [] in
-          Array.iteri
-            (fun j fate ->
-              if
-                fate = Served && shard_of.(j) = shard
-                && times.(j) >= lo
-                && times.(j) < hi
-              then samples := lats.(j) :: !samples)
-            fates;
-          let arr = Array.of_list !samples in
-          if Array.length arr = 0 then None
+        (fun p ->
+          let name, _, _ = phases.(p) in
+          let h = hists.((shard * np) + p) in
+          if Obs.Hist.is_empty h then None
           else
-            let pcts = Report.percentiles arr [ 0.5; 0.99; 0.999 ] in
-            let pct q = Option.value (List.assoc_opt q pcts) ~default:0 in
             Some
               {
                 l_shard = shard;
                 l_phase = name;
-                samples = Array.length arr;
-                p50 = pct 0.5;
-                p99 = pct 0.99;
-                p999 = pct 0.999;
+                samples = Obs.Hist.count h;
+                p50 = Obs.Hist.quantile h 0.5;
+                p99 = Obs.Hist.quantile h 0.99;
+                p999 = Obs.Hist.quantile h 0.999;
+                lat_hist = h;
               })
-        (Array.to_list phases))
+        (List.init np Fun.id))
     (List.init cfg.shards Fun.id)
 
 let run ?jobs (cfg : config) =
@@ -793,11 +807,13 @@ let render r =
   end;
   if r.latency <> [] then begin
     pf "\nlatency (cycles, by arrival phase):\n";
-    pf "  %5s %-7s %7s %10s %10s %10s\n" "shard" "phase" "n" "p50" "p99" "p999";
+    pf "  %5s %-7s %7s %10s %10s %10s  %s\n" "shard" "phase" "n" "p50" "p99"
+      "p999" "distribution";
     List.iter
       (fun l ->
-        pf "  %5d %-7s %7d %10d %10d %10d\n" l.l_shard l.l_phase l.samples l.p50
-          l.p99 l.p999)
+        pf "  %5d %-7s %7d %10d %10d %10d  %s\n" l.l_shard l.l_phase l.samples
+          l.p50 l.p99 l.p999
+          (Obs.Hist.sparkline ~width:24 l.lat_hist))
       r.latency
   end;
   Buffer.contents b
@@ -813,3 +829,112 @@ let write_trace r ~path =
   | tracks ->
       Obs.Chrome.write_file_multi path tracks;
       true
+
+(* The service report as the results-artifact body: per-shard ledger,
+   availability windows and the per-(shard, phase) latency histograms.
+   Everything emitted is jobs-invariant (shard cells are deterministic
+   and collected in order); tracer contents and host timings are
+   excluded. *)
+let to_json j r =
+  let module J = Obs.Json in
+  J.obj_open j;
+  J.key j "horizon";
+  J.int j r.horizon;
+  let total f = Array.fold_left (fun a s -> a + f s) 0 r.shards in
+  J.key j "served";
+  J.int j (total (fun s -> s.served));
+  J.key j "shed";
+  J.int j (total (fun s -> s.shed));
+  J.key j "timed_out";
+  J.int j (total (fun s -> s.timed_out));
+  J.key j "shards";
+  J.arr_open j;
+  Array.iter
+    (fun (s : shard_report) ->
+      J.obj_open j;
+      J.key j "shard";
+      J.int j s.shard;
+      J.key j "requests";
+      J.int j s.requests;
+      J.key j "populated";
+      J.int j s.populated;
+      J.key j "served";
+      J.int j s.served;
+      J.key j "shed";
+      J.int j s.shed;
+      J.key j "timed_out";
+      J.int j s.timed_out;
+      J.key j "retry_attempts";
+      J.int j s.retry_attempts;
+      J.key j "phase2_served";
+      J.int j s.phase2_served;
+      J.key j "steps";
+      J.int j s.steps;
+      J.key j "sim_cycles";
+      J.int j s.sim_cycles;
+      J.key j "outcome";
+      J.str j s.outcome;
+      (match s.recovery with
+      | None -> ()
+      | Some rr ->
+          J.key j "recovery";
+          J.obj_open j;
+          J.key j "t_down";
+          J.int j rr.t_down;
+          J.key j "t_up";
+          J.int j rr.t_up;
+          J.key j "recovery_cycles";
+          J.int j rr.recovery_cycles;
+          J.key j "rescued_lines";
+          J.int j rr.rescued_lines;
+          J.key j "background_gc_cycles";
+          J.int j rr.background_gc_cycles;
+          J.key j "on_demand_recovered";
+          J.int j rr.on_demand_recovered;
+          J.key j "verdict";
+          J.str j (Fmt.str "%a" Atlas.Recovery.pp_verdict rr.recovery_verdict);
+          J.key j "dl";
+          (match rr.dl with
+          | Some v -> J.str j (Fmt.str "%a" Dl.pp_verdict v)
+          | None -> J.str j rr.dl_note);
+          J.key j "recovery_errors";
+          J.arr_open j;
+          List.iter (J.str j) rr.recovery_errors;
+          J.arr_close j;
+          J.obj_close j);
+      J.obj_close j)
+    r.shards;
+  J.arr_close j;
+  J.key j "windows";
+  J.arr_open j;
+  Array.iter
+    (fun w ->
+      J.obj_open j;
+      J.key j "start";
+      J.int j w.w_start;
+      J.key j "end";
+      J.int j w.w_end;
+      J.key j "total";
+      J.int j w.total;
+      J.key j "ok";
+      J.int j w.ok;
+      J.key j "failed";
+      J.int j w.failed;
+      J.obj_close j)
+    r.windows;
+  J.arr_close j;
+  J.key j "latency";
+  J.arr_open j;
+  List.iter
+    (fun l ->
+      J.obj_open j;
+      J.key j "shard";
+      J.int j l.l_shard;
+      J.key j "phase";
+      J.str j l.l_phase;
+      J.key j "hist";
+      Obs.Hist.to_json j l.lat_hist;
+      J.obj_close j)
+    r.latency;
+  J.arr_close j;
+  J.obj_close j

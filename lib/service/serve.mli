@@ -109,6 +109,10 @@ type latency_row = {
   p50 : int;
   p99 : int;
   p999 : int;
+  lat_hist : Obs.Hist.t;
+      (** the full log-bucketed distribution behind the percentiles —
+          the service path retains no raw samples, only this fixed-size
+          histogram per (shard, phase) cell *)
 }
 
 type report = {
@@ -136,3 +140,9 @@ val render : report -> string
 val write_trace : report -> path:string -> bool
 (** Export the per-shard Perfetto tracks ({!Obs.Chrome.write_file_multi},
     one process group per shard).  [false] when the run was not traced. *)
+
+val to_json : Obs.Json.t -> report -> unit
+(** Emit the report as the results-artifact body: totals, per-shard
+    ledger (with recovery detail and DL verdicts), availability
+    windows and the per-(shard, phase) latency histograms.
+    Byte-identical across [--jobs]. *)

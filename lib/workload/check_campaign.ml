@@ -260,3 +260,133 @@ let pp_summary ppf s =
     s.points;
   if !hidden > 0 then Fmt.pf ppf "@ ... and %d more flagged points" !hidden;
   Fmt.pf ppf "@]"
+
+(* Normalized failure signature of a flagged point: DL violation x
+   campaign variant x the first per-key diagnosis (digit runs
+   normalized away) x the flagged-key-set shape.  The crash step, op
+   counts and recovered values all normalize out, so the same planted
+   bug flagged at two crash points dedupes to one signature. *)
+let signature_of_point ~(spec : spec) (p : point) =
+  match p.dl with
+  | Check.Dl.Explained _ -> None
+  | Check.Dl.Violation (_, violations) ->
+      let detail =
+        match violations with
+        | [] -> "violation"
+        | v :: _ -> v.Check.Dl.detail
+      in
+      Some
+        (Obs.Signature.make ~klass:"dl-violation"
+           ~phase:(Machine.variant_to_cli_string spec.base.Runner.variant)
+           ~invariant:detail
+           ~shape:(Obs.Signature.shape_of_count (List.length violations)))
+
+let distinct_signatures s =
+  List.fold_left
+    (fun acc p ->
+      match signature_of_point ~spec:s.spec p with
+      | None -> acc
+      | Some sg ->
+          if List.exists (fun (g, _) -> Obs.Signature.equal g sg) acc then
+            List.map
+              (fun (g, n) ->
+                if Obs.Signature.equal g sg then (g, n + 1) else (g, n))
+              acc
+          else acc @ [ (sg, 1) ])
+    [] s.points
+
+(* The campaign's slice of a results artifact: spec echo, point totals,
+   per-point outcome rows and deduped signatures.  Everything here is a
+   pure function of the spec (points are enumerated, not sampled), so
+   the document is byte-identical across --jobs. *)
+let to_json j s =
+  let module J = Obs.Json in
+  let b = s.spec.base in
+  J.obj_open j;
+  J.key j "variant";
+  J.str j (Machine.variant_to_cli_string b.Runner.variant);
+  J.key j "platform";
+  J.str j b.Runner.platform.Nvm.Config.name;
+  J.key j "threads";
+  J.int j b.Runner.threads;
+  J.key j "iterations";
+  J.int j b.Runner.iterations;
+  J.key j "seed";
+  J.int j b.Runner.seed;
+  J.key j "mutant";
+  J.str j s.spec.mutate_label;
+  J.key j "crash_window";
+  J.obj_open j;
+  J.key j "from";
+  J.int j s.spec.from_step;
+  J.key j "window";
+  J.int j s.spec.window;
+  J.key j "stride";
+  J.int j (max 1 s.spec.stride);
+  J.obj_close j;
+  J.key j "total";
+  J.int j s.total;
+  J.key j "crashes";
+  J.int j s.crashes;
+  J.key j "explained";
+  J.int j s.explained;
+  J.key j "flagged";
+  J.int j s.flagged;
+  J.key j "capped_points";
+  J.int j s.capped_points;
+  J.key j "capped_keys";
+  J.int j s.capped_keys;
+  J.key j "clean_recoveries";
+  J.int j s.clean_recoveries;
+  J.key j "degraded_recoveries";
+  J.int j s.degraded_recoveries;
+  J.key j "signatures";
+  J.arr_open j;
+  List.iter
+    (fun (sg, n) ->
+      J.obj_open j;
+      J.key j "signature";
+      Obs.Signature.to_json j sg;
+      J.key j "count";
+      J.int j n;
+      J.obj_close j)
+    (distinct_signatures s);
+  J.arr_close j;
+  J.key j "points";
+  J.arr_open j;
+  List.iter
+    (fun p ->
+      J.obj_open j;
+      J.key j "crash_step";
+      J.int j p.crash_step;
+      J.key j "crashed";
+      J.bool j p.crashed;
+      J.key j "ops_recorded";
+      J.int j p.ops_recorded;
+      J.key j "ops_completed";
+      J.int j p.ops_completed;
+      J.key j "ops_pending";
+      J.int j p.ops_pending;
+      J.key j "explained";
+      J.bool j (Check.Dl.is_explained p.dl);
+      J.key j "capped_keys";
+      J.int j (capped_of p);
+      J.key j "recovery";
+      (match p.recovery_verdict with
+      | None -> J.null j
+      | Some v -> J.str j (Fmt.str "%a" Atlas.Recovery.pp_verdict v));
+      (match signature_of_point ~spec:s.spec p with
+      | None -> ()
+      | Some sg ->
+          J.key j "signature";
+          J.str j sg.Obs.Signature.hash;
+          J.key j "detail";
+          J.str j (Fmt.str "%a" Check.Dl.pp_verdict p.dl));
+      J.obj_close j)
+    s.points;
+  J.arr_close j;
+  J.key j "cycle_totals";
+  J.arr_open j;
+  Array.iter (fun c -> J.int j c) (breakdown s);
+  J.arr_close j;
+  J.obj_close j

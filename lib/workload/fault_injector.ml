@@ -411,6 +411,77 @@ let breakdown s =
     s.outcomes;
   acc
 
+(* The deterministic one-line diagnosis of a violating outcome, shared
+   by the summary printer, the failure signature and the artifact. *)
+let failure_detail o =
+  if not o.graceful then
+    match o.errors with e :: _ -> e | [] -> "raised"
+  else if not o.invariants.Invariant.ok then
+    match
+      List.find_opt
+        (fun (c : Invariant.check) -> not c.Invariant.ok)
+        o.invariants.Invariant.checks
+    with
+    | Some c -> c.Invariant.name ^ ": " ^ c.Invariant.detail
+    | None -> "inconsistent"
+  else "inconsistent recovery"
+
+(* Normalized failure signature: class x fault model x normalized
+   diagnosis x failing-check shape — never the seed, crash step or any
+   cycle count, so the same bug at two crash points (or under two
+   campaign seeds) dedupes to one identity. *)
+let signature_of o =
+  if not o.violation then None
+  else
+    let klass =
+      if not o.graceful then "raise"
+      else
+        match o.recovery_verdict with
+        | Some (Atlas.Recovery.Unrecoverable _) -> "unrecoverable"
+        | _ ->
+            if not o.invariants.Invariant.ok then "invariant"
+            else "inconsistent"
+    in
+    let failing =
+      List.length
+        (List.filter
+           (fun (c : Invariant.check) -> not c.Invariant.ok)
+           o.invariants.Invariant.checks)
+    in
+    Some
+      (Obs.Signature.make ~klass ~phase:(model_label o.fault)
+         ~invariant:(failure_detail o)
+         ~shape:(Obs.Signature.shape_of_count failing))
+
+(* Distinct signatures with multiplicities, in first-seen order. *)
+let distinct_signatures s =
+  List.fold_left
+    (fun acc o ->
+      match signature_of o with
+      | None -> acc
+      | Some sg -> (
+          match
+            List.assoc_opt sg.Obs.Signature.hash
+              (List.map (fun (g, n) -> (g.Obs.Signature.hash, n)) acc)
+          with
+          | Some _ ->
+              List.map
+                (fun (g, n) ->
+                  if Obs.Signature.equal g sg then (g, n + 1) else (g, n))
+                acc
+          | None -> acc @ [ (sg, 1) ]))
+    [] s.outcomes
+
+(* One verdict-ledger line per fault model; the exact string is an
+   identity witness (the replay gate compares it byte-for-byte), so it
+   is built here and reused verbatim by [pp_summary] and the artifact. *)
+let ledger_row t =
+  Printf.sprintf
+    "%-20s %4d runs, %4d crashed, %4d consistent; verdicts \
+     clean/degraded/unrecoverable %d/%d/%d; %d violations (%d unexpected)"
+    (model_label t.model) t.m_runs t.m_crashes t.m_consistent t.m_clean
+    t.m_degraded t.m_unrecoverable t.m_violations t.m_unexpected
+
 let pp_summary ppf s =
   let total_rb = List.fold_left (fun a o -> a + o.rolled_back) 0 s.outcomes in
   let total_casc = List.fold_left (fun a o -> a + o.cascaded) 0 s.outcomes in
@@ -434,14 +505,14 @@ let pp_summary ppf s =
     total_rb total_casc total_gc;
   Fmt.pf ppf "@ device cycles across all runs:@ %a" Nvm.Stats.pp_breakdown_totals
     (breakdown s);
-  List.iter
-    (fun t ->
-      Fmt.pf ppf
-        "@ %-20s %4d runs, %4d crashed, %4d consistent; verdicts \
-         clean/degraded/unrecoverable %d/%d/%d; %d violations (%d unexpected)"
-        (model_label t.model) t.m_runs t.m_crashes t.m_consistent t.m_clean
-        t.m_degraded t.m_unrecoverable t.m_violations t.m_unexpected)
-    s.per_model;
+  List.iter (fun t -> Fmt.pf ppf "@ %s" (ledger_row t)) s.per_model;
+  (match distinct_signatures s with
+  | [] -> ()
+  | sigs ->
+      Fmt.pf ppf "@ distinct failure signatures: %d" (List.length sigs);
+      List.iter
+        (fun (sg, n) -> Fmt.pf ppf "@   %a x%d" Obs.Signature.pp sg n)
+        sigs);
   let shown = ref 0 in
   let hidden = ref 0 in
   List.iter
@@ -455,18 +526,7 @@ let pp_summary ppf s =
             \  repro: %s"
             (if o.expected then "expected" else "UNEXPECTED")
             (model_label o.fault) s.spec.campaign_seed o.seed o.crash_step
-            (if not o.graceful then
-               match o.errors with e :: _ -> e | [] -> "raised"
-             else if not o.invariants.Invariant.ok then
-               match
-                 List.find_opt
-                   (fun (c : Invariant.check) -> not c.Invariant.ok)
-                   o.invariants.Invariant.checks
-               with
-               | Some c -> c.Invariant.name ^ ": " ^ c.Invariant.detail
-               | None -> "inconsistent"
-             else "inconsistent recovery")
-            o.repro
+            (failure_detail o) o.repro
         end)
     s.outcomes;
   if !hidden > 0 then Fmt.pf ppf "@ ... and %d more violations" !hidden;
@@ -478,3 +538,128 @@ let pp_summary ppf s =
         \  minimal repro: %s"
         sh.attempts sh.final_crash_step sh.final_iterations sh.minimized);
   Fmt.pf ppf "@]"
+
+(* The campaign's slice of a results artifact: spec echo, verdict
+   ledger (reusing [ledger_row] verbatim, so the replay gate's
+   string-identity covers the same bytes a human reads), every
+   violation with its normalized signature and reproducer, and the
+   jobs-invariant cycle breakdown.  Seeds and crash steps are drawn
+   before the parallel fan-out, so including them keeps the document
+   byte-identical across --jobs. *)
+let to_json j s =
+  let module J = Obs.Json in
+  let b = s.spec.base in
+  J.obj_open j;
+  J.key j "variant";
+  J.str j (variant_flag b.Runner.variant);
+  J.key j "hardware";
+  J.str j b.Runner.hardware.Tsp_core.Hardware.name;
+  J.key j "failure";
+  J.str j (Tsp_core.Failure_class.to_string b.Runner.failure);
+  J.key j "platform";
+  J.str j b.Runner.platform.Nvm.Config.name;
+  J.key j "threads";
+  J.int j b.Runner.threads;
+  J.key j "iterations";
+  J.int j b.Runner.iterations;
+  J.key j "campaign_seed";
+  J.int j s.spec.campaign_seed;
+  J.key j "fault_models";
+  J.arr_open j;
+  List.iter (fun m -> J.str j (model_label m)) s.spec.fault_models;
+  J.arr_close j;
+  (match s.spec.exhaustive with
+  | Some e ->
+      J.key j "crash_window";
+      J.obj_open j;
+      J.key j "from";
+      J.int j e.from_step;
+      J.key j "window";
+      J.int j e.window;
+      J.key j "stride";
+      J.int j e.stride;
+      J.obj_close j
+  | None ->
+      J.key j "runs";
+      J.int j s.spec.runs;
+      J.key j "crash_window";
+      J.obj_open j;
+      J.key j "min_step";
+      J.int j s.spec.min_step;
+      J.key j "max_step";
+      J.int j s.spec.max_step;
+      J.obj_close j);
+  J.key j "total";
+  J.int j s.total;
+  J.key j "crashes";
+  J.int j s.crashes;
+  J.key j "consistent_recoveries";
+  J.int j s.consistent_recoveries;
+  J.key j "violations";
+  J.int j s.violations;
+  J.key j "unexpected_violations";
+  J.int j s.unexpected_violations;
+  J.key j "ledger";
+  J.arr_open j;
+  List.iter (fun t -> J.str j (ledger_row t)) s.per_model;
+  J.arr_close j;
+  J.key j "signatures";
+  J.arr_open j;
+  List.iter
+    (fun (sg, n) ->
+      J.obj_open j;
+      J.key j "signature";
+      Obs.Signature.to_json j sg;
+      J.key j "count";
+      J.int j n;
+      J.obj_close j)
+    (distinct_signatures s);
+  J.arr_close j;
+  J.key j "violation_rows";
+  J.arr_open j;
+  List.iter
+    (fun o ->
+      if o.violation then begin
+        J.obj_open j;
+        J.key j "fault";
+        J.str j (model_label o.fault);
+        J.key j "seed";
+        J.int j o.seed;
+        J.key j "crash_step";
+        J.int j o.crash_step;
+        J.key j "expected";
+        J.bool j o.expected;
+        J.key j "detail";
+        J.str j (failure_detail o);
+        (match signature_of o with
+        | Some sg ->
+            J.key j "signature";
+            J.str j sg.Obs.Signature.hash
+        | None -> ());
+        J.key j "repro";
+        J.str j o.repro;
+        J.obj_close j
+      end)
+    s.outcomes;
+  J.arr_close j;
+  (match s.shrunk with
+  | None -> ()
+  | Some sh ->
+      J.key j "shrunk";
+      J.obj_open j;
+      J.key j "original";
+      J.str j sh.original;
+      J.key j "minimized";
+      J.str j sh.minimized;
+      J.key j "attempts";
+      J.int j sh.attempts;
+      J.key j "final_iterations";
+      J.int j sh.final_iterations;
+      J.key j "final_crash_step";
+      J.int j sh.final_crash_step;
+      J.obj_close j);
+  J.key j "cycle_totals";
+  J.arr_open j;
+  Array.iter (fun c -> J.int j c) (breakdown s);
+  J.arr_close j;
+  J.obj_close j

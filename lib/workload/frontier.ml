@@ -137,3 +137,41 @@ let pp ppf rows =
      proved)@ ";
   Fmt.pf ppf "NVTraverse < log-flush on flushes/op at >= throughput: %s@]"
     (if nvtraverse_beats_logflush rows then "yes" else "NO")
+
+(* The frontier's slice of a results artifact: one row per design with
+   its throughput, psync-per-op rates and verdicts — the E23 chart as
+   data.  Rows are pure functions of the run parameters, so the
+   document is byte-identical across --jobs. *)
+let to_json j rows =
+  let module J = Obs.Json in
+  J.arr_open j;
+  List.iter
+    (fun r ->
+      J.obj_open j;
+      J.key j "variant";
+      J.str j (Machine.variant_to_cli_string r.variant);
+      J.key j "miters";
+      J.float j r.miters;
+      J.key j "elapsed_cycles";
+      J.int j r.elapsed_cycles;
+      J.key j "completed_ops";
+      J.int j r.completed_ops;
+      J.key j "ocs_commits";
+      J.int j r.ocs_commits;
+      J.key j "flushes_per_op";
+      J.float j r.flushes_per_op;
+      J.key j "fences_per_op";
+      J.float j r.fences_per_op;
+      J.key j "appends_per_op";
+      J.float j r.appends_per_op;
+      J.key j "dl_explained";
+      J.bool j r.dl_explained;
+      J.key j "dl_capped";
+      J.int j r.dl_capped;
+      J.key j "recovery";
+      (match r.recovery_verdict with
+      | None -> J.null j
+      | Some v -> J.str j (Fmt.str "%a" Atlas.Recovery.pp_verdict v));
+      J.obj_close j)
+    rows;
+  J.arr_close j

@@ -47,3 +47,8 @@ val nvtraverse_beats_logflush : row list -> bool
     than log-flush at equal or better throughput. *)
 
 val pp : row list Fmt.t
+
+val to_json : Obs.Json.t -> row list -> unit
+(** Emit the frontier as a JSON array (one object per design row) —
+    the E23 chart as results-artifact data.  Byte-identical across
+    [--jobs]. *)

@@ -132,3 +132,38 @@ let pp_cell ppf c =
     c.objects
     (Machine.recovery_mode_to_string c.mode)
     c.outage_cycles c.background_cycles c.heap_audit_ok c.verdict
+
+(* One measurement cell as a results-artifact object.  Host wall-clock
+   fields are deliberately excluded: they vary run to run, and the
+   artifact identity contract only admits pure functions of the cell
+   parameters. *)
+let cell_to_json j c =
+  let module J = Obs.Json in
+  J.obj_open j;
+  J.key j "variant";
+  J.str j (Machine.variant_to_cli_string c.variant);
+  J.key j "objects";
+  J.int j c.objects;
+  J.key j "mode";
+  J.str j (Machine.recovery_mode_to_string c.mode);
+  J.key j "outage_cycles";
+  J.int j c.outage_cycles;
+  J.key j "background_cycles";
+  J.int j c.background_cycles;
+  J.key j "on_demand_touches";
+  J.int j c.on_demand_touches;
+  J.key j "phases";
+  J.obj_open j;
+  List.iter
+    (fun (name, cy) ->
+      J.key j name;
+      J.int j cy)
+    c.phases;
+  J.obj_close j;
+  J.key j "verdict";
+  J.str j c.verdict;
+  J.key j "heap_audit_ok";
+  J.bool j c.heap_audit_ok;
+  J.key j "image_hash";
+  J.str j (Printf.sprintf "%016x" c.image_hash);
+  J.obj_close j

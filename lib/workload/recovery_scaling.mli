@@ -63,3 +63,9 @@ val cells_match : cell -> cell -> bool
     [cells_match] the same measurement at jobs = 1. *)
 
 val pp_cell : cell Fmt.t
+
+val cell_to_json : Obs.Json.t -> cell -> unit
+(** Emit one cell as a results-artifact object.  The host wall-clock
+    fields ([host_ms], [recover_host_ms]) are excluded — the artifact
+    identity contract only admits pure functions of the cell
+    parameters. *)

@@ -35,7 +35,10 @@ let pct_change ~base v =
    [int_of_float (q *. float (n - 1))] biased high quantiles low on
    small sample sets (p99 of 10 samples returned the 9th, not the 10th),
    and [Array.sort compare] paid polymorphic-compare dispatch per
-   element. *)
+   element.  [Obs.Hist.quantile] follows this same convention over its
+   log buckets (rank ceil(q*n), 1-based), so exact and bucketed
+   quantiles agree to within the bucket error and are regression-tested
+   against each other in test_obs.ml. *)
 let percentiles samples qs =
   if Array.length samples = 0 then []
   else begin

@@ -335,6 +335,249 @@ let test_metrics_zero_commit () =
   Alcotest.(check (float 1e-9)) "no denominator: flushes/op 0" 0.0
     m0.Metrics.flushes_per_op
 
+(* --- Json: the shared writer/reader behind every artifact --- *)
+
+(* One document exercising every value form plus the hostile cases: a
+   string full of quotes/backslashes/control chars, and a NaN (which
+   must render as null — the strict snapshot checker rejects bare nan
+   tokens).  The writer's output must satisfy the structural scanner
+   and parse back through the reader with the same shape. *)
+let test_json_writer_roundtrip () =
+  let module J = Obs.Json in
+  let j = J.create () in
+  J.obj_open j;
+  J.key j "name";
+  J.str j "w\"q\\b\nnl\x02ctl";
+  J.key j "n";
+  J.int j (-42);
+  J.key j "nan";
+  J.float j Float.nan;
+  J.key j "rate";
+  J.float j 1.25;
+  J.key j "ok";
+  J.bool j true;
+  J.key j "nil";
+  J.null j;
+  J.key j "xs";
+  J.arr_open j;
+  List.iter (J.int j) [ 1; 2; 3 ];
+  J.arr_close j;
+  J.key j "nested";
+  J.obj_open j;
+  J.key j "empty";
+  J.arr_open j;
+  J.arr_close j;
+  J.obj_close j;
+  J.obj_close j;
+  let s = J.contents j in
+  check_json_shape s;
+  match J.parse s with
+  | Error e -> Alcotest.failf "writer output rejected by reader: %s" e
+  | Ok doc ->
+      (match J.member "nan" doc with
+      | Some J.Null -> ()
+      | _ -> Alcotest.fail "NaN must render as null");
+      (match J.member "name" doc with
+      | Some (J.Str _) -> ()
+      | _ -> Alcotest.fail "hostile string survives");
+      (match J.member "xs" doc with
+      | Some (J.Arr [ J.Num a; J.Num b; J.Num c ]) ->
+          Alcotest.(check (float 1e-9)) "array elements" 6.0 (a +. b +. c)
+      | _ -> Alcotest.fail "array shape");
+      (match J.member "rate" doc with
+      | Some (J.Num f) -> Alcotest.(check (float 1e-9)) "fixed-point" 1.25 f
+      | _ -> Alcotest.fail "float member")
+
+(* --- Hist: bucketed quantiles vs the exact nearest-rank values --- *)
+
+(* The histogram promises <= 6.25% relative bucket error.  Feed it a
+   log-spread sample set and compare every headline quantile against
+   the exact nearest-rank answer from Workload.Report.percentiles (the
+   same convention Hist.quantile documents). *)
+let test_hist_quantile_error () =
+  let rng = Random.State.make [| 4242 |] in
+  let n = 10_000 in
+  let samples =
+    Array.init n (fun _ ->
+        let octave = Random.State.int rng 14 in
+        let base = 1 lsl octave in
+        base + Random.State.int rng base)
+  in
+  let h = Obs.Hist.create () in
+  Array.iter (Obs.Hist.add h) samples;
+  Alcotest.(check int) "exact count" n (Obs.Hist.count h);
+  Alcotest.(check int) "exact sum"
+    (Array.fold_left ( + ) 0 samples)
+    (Obs.Hist.sum h);
+  List.iter
+    (fun (q, exact) ->
+      let est = Obs.Hist.quantile h q in
+      let err =
+        Float.abs (float_of_int est -. float_of_int exact)
+        /. float_of_int (max exact 1)
+      in
+      if err > 0.0625 then
+        Alcotest.failf "p%g: bucketed %d vs exact %d (%.2f%% error)"
+          (q *. 100.) est exact (100. *. err))
+    (Workload.Report.percentiles (Array.copy samples) [ 0.5; 0.9; 0.99; 0.999 ])
+
+(* Hist.add sits on the tracer emit path and the service latency sink,
+   so it carries the same Gc.minor_words contract as emit itself. *)
+let test_hist_no_alloc () =
+  let h = Obs.Hist.create () in
+  let ops = 100_000 in
+  Obs.Hist.add h 1 (* warm outside the measured window *);
+  let per_op =
+    words_per_op
+      (fun () ->
+        for i = 1 to ops do
+          Obs.Hist.add h (i * 2654435761 land 0xFFFFF)
+        done)
+      ops
+  in
+  if per_op > 0.01 then
+    Alcotest.failf "Hist.add allocates %.4f minor words/op" per_op;
+  Alcotest.(check int) "no samples dropped" (ops + 1) (Obs.Hist.count h)
+
+(* --- Signature: stable identity for "the same bug" --- *)
+
+let test_signature_normalize () =
+  let module S = Obs.Signature in
+  Alcotest.(check string) "digit runs collapse"
+    "counter #: expected # found #"
+    (S.normalize "counter 123: expected 40 found 7");
+  let once = S.normalize "k9 v10 #already" in
+  Alcotest.(check string) "idempotent" once (S.normalize once);
+  Alcotest.(check string) "shape buckets" "few" (S.shape_of_count 3);
+  Alcotest.(check string) "shape none floors" "none" (S.shape_of_count (-1));
+  let s1 =
+    S.make ~klass:"invariant" ~phase:"full-discard"
+      ~invariant:"counter 12: expected 40 found 13"
+      ~shape:(S.shape_of_count 3)
+  in
+  let s2 =
+    S.make ~klass:"invariant" ~phase:"full-discard"
+      ~invariant:"counter 999: expected 1 found 0"
+      ~shape:(S.shape_of_count 4)
+  in
+  Alcotest.(check bool) "per-key digits don't distinguish" true
+    (S.equal s1 s2);
+  let s3 =
+    S.make ~klass:"invariant" ~phase:"torn-lines"
+      ~invariant:"counter 12: expected 40 found 13"
+      ~shape:(S.shape_of_count 3)
+  in
+  Alcotest.(check bool) "phase does distinguish" false (S.equal s1 s3);
+  Alcotest.(check int) "hash is 16 hex digits" 16
+    (String.length s1.S.hash);
+  String.iter
+    (function
+      | '0' .. '9' | 'a' .. 'f' -> ()
+      | c -> Alcotest.failf "non-hex hash char %C" c)
+    s1.S.hash;
+  (* feeding a signature's own (already normalized) fields back yields
+     the identical signature — make is a fixpoint *)
+  let s1' =
+    S.make ~klass:s1.S.klass ~phase:s1.S.phase ~invariant:s1.S.invariant
+      ~shape:s1.S.shape
+  in
+  Alcotest.(check bool) "make is a fixpoint" true (S.equal s1 s1')
+
+(* The `faults --smoke` base: small cache so discard-class faults
+   genuinely lose lines (same rationale as test_faults.ml). *)
+module FM = Nvm.Fault_model
+module FI = Workload.Fault_injector
+
+let faults_base =
+  let platform = { Nvm.Config.desktop with Nvm.Config.cache_lines = 512 } in
+  {
+    (Runner.calibrated_config platform) with
+    Runner.variant = Runner.Mutex_map Atlas.Mode.Log_only;
+    workload = Runner.Counters { h_keys = 256; preload = true };
+    threads = 4;
+    iterations = 200;
+    n_buckets = 512;
+    log_mib = 1;
+  }
+
+(* The ISSUE's headline property: the same bug observed at two
+   different seeds AND two different crash points hashes to the same
+   signature — triage dedupes a thousand-point campaign to its
+   distinct failure modes.  Log-only under Full_discard is the
+   documented-expected violation used by the smoke preset. *)
+let test_signature_crash_point_independent () =
+  let spec =
+    { (FI.default_spec faults_base) with
+      FI.fault_models = [ Some FM.Full_discard ] }
+  in
+  (* two sightings of the eq1 ledger bug at different seeds AND crash
+     points, plus one sighting of the distinct eq2 histogram bug *)
+  let o1 =
+    FI.one spec ~fault:(Some FM.Full_discard) ~seed:11 ~crash_step:11_000
+  in
+  let o2 =
+    FI.one spec ~fault:(Some FM.Full_discard) ~seed:7 ~crash_step:15_000
+  in
+  let o3 =
+    FI.one spec ~fault:(Some FM.Full_discard) ~seed:3 ~crash_step:6_000
+  in
+  Alcotest.(check bool) "all three crash points violate" true
+    (o1.FI.violation && o2.FI.violation && o3.FI.violation);
+  Alcotest.(check bool) "crash steps differ" true
+    (o1.FI.crash_step <> o2.FI.crash_step);
+  match (FI.signature_of o1, FI.signature_of o2, FI.signature_of o3) with
+  | Some s1, Some s2, Some s3 ->
+      Alcotest.(check bool) "same bug, same signature across seed and crash"
+        true
+        (Obs.Signature.equal s1 s2);
+      Alcotest.(check bool) "different bug, different signature" false
+        (Obs.Signature.equal s1 s3)
+  | _ -> Alcotest.fail "violating outcomes must carry signatures"
+
+(* --- Artifact: byte-identity across --jobs, replay-argv hygiene --- *)
+
+(* The results document is a pure function of the spec: fanning the
+   same campaign over 1, 2 and 4 domains must render byte-identical
+   artifacts (the dune-level gate checks the full CLI path; this pins
+   the library layer). *)
+let test_artifact_jobs_identical () =
+  let spec =
+    { (FI.default_spec faults_base) with
+      FI.runs = 3; min_step = 2_000; max_step = 12_000; campaign_seed = 7 }
+  in
+  let doc jobs =
+    let s = FI.run ~jobs spec in
+    Obs.Artifact.results ~subcommand:"faults" ~body:(fun j ->
+        Obs.Json.key j "campaigns";
+        Obs.Json.arr_open j;
+        FI.to_json j s;
+        Obs.Json.arr_close j)
+  in
+  let d1 = doc 1 in
+  Alcotest.(check string) "jobs 1 = jobs 2" d1 (doc 2);
+  Alcotest.(check string) "jobs 1 = jobs 4" d1 (doc 4);
+  match Obs.Json.parse d1 with
+  | Error e -> Alcotest.failf "results document malformed: %s" e
+  | Ok v -> (
+      match Obs.Json.member "schema" v with
+      | Some (Obs.Json.Str s) ->
+          Alcotest.(check string) "schema stamp" Obs.Artifact.results_schema s
+      | _ -> Alcotest.fail "results document carries its schema")
+
+(* Run-only knobs must never reach the stored replay argv: --jobs/-j,
+   --artifact-dir and --replay are dropped in both "--flag v" and
+   "--flag=v" spellings, campaign flags pass through untouched. *)
+let test_artifact_replay_args () =
+  Alcotest.(check (list string))
+    "run-only flags stripped"
+    [ "faults"; "--smoke"; "--seed=7"; "--shrink" ]
+    (Obs.Artifact.replay_args
+       [|
+         "tsp"; "faults"; "--smoke"; "--jobs"; "4"; "--artifact-dir"; "out";
+         "--seed=7"; "-j"; "2"; "--replay=m.json"; "--shrink";
+         "--artifact-dir=o2";
+       |])
+
 let suite =
   ( "obs",
     [
@@ -348,4 +591,12 @@ let suite =
       case "runner/traced-identical" test_traced_identical;
       case "metrics/counts" test_metrics_counts;
       case "metrics/zero-commit-per-op" test_metrics_zero_commit;
+      case "json/writer-roundtrip-hostile" test_json_writer_roundtrip;
+      case "hist/quantile-error-bound" test_hist_quantile_error;
+      case "hist/no-alloc-add" test_hist_no_alloc;
+      case "signature/normalize-idempotent" test_signature_normalize;
+      case "signature/crash-point-independent"
+        test_signature_crash_point_independent;
+      case "artifact/jobs-byte-identical" test_artifact_jobs_identical;
+      case "artifact/replay-args-stripped" test_artifact_replay_args;
     ] )
